@@ -1,0 +1,56 @@
+// Exp-3 "Construction time": BiG-index build times per dataset (all layers).
+//
+// Paper reference: 20 minutes for YAGO3, 6.4 h for Dbpedia, 6.6 h for IMDB,
+// 3 h for the largest synthetic graph — on a 2.93 GHz / 64 GB server at full
+// dataset size. At bench scale the absolute numbers shrink accordingly; the
+// shape to check is the relative ordering (dbpedia slowest per vertex, yago3
+// fastest) and that construction is dominated by the first layers.
+
+#include "bench_util.h"
+
+using namespace bigindex;
+using namespace bigindex::bench;
+
+int main() {
+  PrintHeader("Exp-3 — index construction time", "Sec. 6.2 Exp-3, Fig. 9");
+  double scale = BenchScale();
+
+  std::printf("%-9s %9s %9s %8s %12s %14s %12s\n", "dataset", "|V|", "|E|",
+              "layers", "build(ms)", "us-per-vertex", "index/|G|");
+  for (const std::string& name : DatasetNames()) {
+    auto ds = MakeDataset(name, scale);
+    if (!ds.ok()) continue;
+    Timer t;
+    auto index = BigIndex::Build(ds->graph, &ds->ontology.ontology,
+                                 {.max_layers = 7});
+    double ms = t.ElapsedMillis();
+    if (!index.ok()) continue;
+    std::printf("%-9s %9zu %9zu %8zu %12.1f %14.2f %12.3f\n", name.c_str(),
+                ds->graph.NumVertices(), ds->graph.NumEdges(),
+                index->NumLayers(), ms,
+                1000.0 * ms / ds->graph.NumVertices(),
+                static_cast<double>(index->TotalSummarySize()) /
+                    ds->graph.Size());
+  }
+
+  // Greedy (Algorithm 1) construction as a contrast on one dataset.
+  {
+    auto ds = MakeDataset("yago3", scale);
+    if (ds.ok()) {
+      BigIndexOptions opt;
+      opt.max_layers = 2;
+      opt.use_greedy_config = true;
+      opt.config_search.theta = 0.9;
+      opt.config_search.cost.sample_count = 100;
+      Timer t;
+      auto index =
+          BigIndex::Build(ds->graph, &ds->ontology.ontology, opt);
+      if (index.ok()) {
+        std::printf("\nAlgorithm-1 greedy construction (yago3, 2 layers, "
+                    "theta 0.9, 100 samples): %.1f ms, layer-1 ratio %.3f\n",
+                    t.ElapsedMillis(), index->LayerCompressionRatio(1));
+      }
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Fig. 16 + Exp-4 "Graph sampling": effectiveness of the sampled compress
+// estimator.
+//
+// (a) Fig. 16: estimated compression ratio vs number of sampled subgraphs —
+//     the paper observes the estimate stabilizes once n >= 400 (and derives
+//     n = 0.25 (z/E)^2 = ~400 for E = 5%).
+// (b) Exp-4: Spearman rank correlation between estimated costs of 100 random
+//     configurations and their ground-truth compression on the full graph.
+//     Paper: r_s = 0.541 > 0.326 (critical value at alpha = 0.001).
+
+#include <cmath>
+
+#include "bench_util.h"
+
+using namespace bigindex;
+using namespace bigindex::bench;
+
+namespace {
+
+double SpearmanRank(const std::vector<double>& a,
+                    const std::vector<double>& b) {
+  auto ranks = [](const std::vector<double>& v) {
+    std::vector<size_t> idx(v.size());
+    for (size_t i = 0; i < v.size(); ++i) idx[i] = i;
+    std::sort(idx.begin(), idx.end(),
+              [&](size_t x, size_t y) { return v[x] < v[y]; });
+    std::vector<double> r(v.size());
+    for (size_t i = 0; i < idx.size(); ++i) r[idx[i]] = static_cast<double>(i);
+    return r;
+  };
+  std::vector<double> ra = ranks(a), rb = ranks(b);
+  double n = static_cast<double>(a.size());
+  double d2 = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    d2 += (ra[i] - rb[i]) * (ra[i] - rb[i]);
+  }
+  return 1.0 - 6.0 * d2 / (n * (n * n - 1.0));
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Fig. 16 + Exp-4 — cost-model sampling effectiveness",
+              "Fig. 16, Sec. 6.2 Exp-4");
+  double scale = BenchScale();
+
+  auto ds = MakeDataset("yago3", scale);
+  if (!ds.ok()) return 1;
+  const Graph& g = ds->graph;
+  const Ontology& ont = ds->ontology.ontology;
+  GeneralizationConfig full = FullOneStepConfiguration(g, ont);
+  double exact = CostModel::ExactCompress(g, full);
+
+  std::printf("(a) estimated compress of the full one-step configuration vs "
+              "sample count\n");
+  std::printf("%8s %12s %16s %10s\n", "samples", "estimate",
+              "|delta to prev|", "ctor(ms)");
+  double prev = -1;
+  for (size_t n : {25, 50, 100, 200, 400, 800, 1600}) {
+    Timer t;
+    CostModel model(g, {.sample_count = n, .seed = 11});
+    double ctor_ms = t.ElapsedMillis();
+    double est = model.EstimateCompress(full);
+    std::printf("%8zu %12.4f %16.4f %10.1f\n", n, est,
+                prev < 0 ? 0.0 : std::fabs(est - prev), ctor_ms);
+    prev = est;
+  }
+  std::printf("paper shape: estimate stabilizes for n >= 400 "
+              "(n = 0.25 (z/E)^2 = %zu at z = 1.96, E = 5%%).\n"
+              "Note: radius-2 samples see local structure only, so the\n"
+              "absolute level differs from the whole-graph ratio (%.4f);\n"
+              "the paper's own validation (and (b) below) is about the\n"
+              "estimator's *relative* ordering of configurations.\n",
+              SampleSizeForError(1.96, 0.05), exact);
+
+  // (b) Spearman rank correlation over 100 random configurations.
+  std::printf("\n(b) estimated cost vs ground-truth compress over 100 random "
+              "configurations\n");
+  Rng rng(77);
+  CostModel model(g, {.sample_count = 400, .seed = 11});
+  std::vector<double> estimated, ground_truth;
+  const auto& mappings = full.mappings();
+  for (int c = 0; c < 100; ++c) {
+    GeneralizationConfig config;
+    for (const LabelMapping& m : mappings) {
+      if (rng.Bernoulli(0.5)) (void)config.AddMapping(m.from, m.to);
+    }
+    estimated.push_back(model.EstimateCompress(config));
+    ground_truth.push_back(CostModel::ExactCompress(g, config));
+  }
+  double rs = SpearmanRank(estimated, ground_truth);
+  std::printf("Spearman r_s = %.3f (paper: 0.541; critical value 0.326 at "
+              "alpha = 0.001) -> estimator %s a useful relative indicator\n",
+              rs, rs > 0.326 ? "IS" : "IS NOT");
+  return 0;
+}

@@ -1,0 +1,172 @@
+#include "bisim/bisimulation.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <numeric>
+#include <unordered_map>
+
+namespace bigindex {
+namespace {
+
+// FNV-1a over a word sequence; exactness of the partition does not depend on
+// this (collisions are resolved by full comparison in the bucket map).
+struct VecHash {
+  size_t operator()(const std::vector<uint32_t>& v) const {
+    size_t h = 1469598103934665603ULL;
+    for (uint32_t x : v) {
+      h ^= x;
+      h *= 1099511628211ULL;
+    }
+    return h;
+  }
+};
+
+// Assigns dense ids to distinct signatures.
+class SignatureInterner {
+ public:
+  uint32_t Intern(std::vector<uint32_t>&& sig) {
+    auto [it, inserted] = map_.try_emplace(std::move(sig), next_);
+    if (inserted) ++next_;
+    return it->second;
+  }
+  size_t size() const { return next_; }
+  void Reset() {
+    map_.clear();
+    next_ = 0;
+  }
+
+ private:
+  std::unordered_map<std::vector<uint32_t>, uint32_t, VecHash> map_;
+  uint32_t next_ = 0;
+};
+
+}  // namespace
+
+BisimMapping::BisimMapping(std::vector<VertexId> vertex_to_super,
+                           size_t num_blocks)
+    : vertex_to_super_(std::move(vertex_to_super)) {
+  member_offsets_.assign(num_blocks + 1, 0);
+  members_.resize(vertex_to_super_.size());
+  for (VertexId s : vertex_to_super_) member_offsets_[s + 1]++;
+  std::partial_sum(member_offsets_.begin(), member_offsets_.end(),
+                   member_offsets_.begin());
+  std::vector<uint64_t> cursor(member_offsets_.begin(),
+                               member_offsets_.end() - 1);
+  for (VertexId v = 0; v < vertex_to_super_.size(); ++v) {
+    members_[cursor[vertex_to_super_[v]]++] = v;
+  }
+}
+
+BisimResult ComputeBisimulation(const Graph& g, const BisimOptions& options) {
+  const size_t n = g.NumVertices();
+  BisimResult result;
+
+  // Round 0: partition by label, densely renumbered.
+  std::vector<uint32_t> block(n);
+  size_t num_blocks = 0;
+  {
+    std::unordered_map<LabelId, uint32_t> label_rank;
+    for (VertexId v = 0; v < n; ++v) {
+      auto [it, inserted] =
+          label_rank.try_emplace(g.label(v), static_cast<uint32_t>(num_blocks));
+      if (inserted) ++num_blocks;
+      block[v] = it->second;
+    }
+  }
+
+  SignatureInterner interner;
+  std::vector<uint32_t> next_block(n);
+  size_t rounds = 0;
+  while (true) {
+    if (options.max_rounds != 0 && rounds >= options.max_rounds) break;
+    interner.Reset();
+    std::vector<uint32_t> sig;
+    const bool use_out = options.direction != BisimDirection::kPredecessor;
+    const bool use_in = options.direction != BisimDirection::kSuccessor;
+    for (VertexId v = 0; v < n; ++v) {
+      sig.clear();
+      sig.push_back(block[v]);
+      if (use_out) {
+        size_t first = sig.size();
+        for (VertexId w : g.OutNeighbors(v)) sig.push_back(block[w]);
+        std::sort(sig.begin() + first, sig.end());
+        sig.erase(std::unique(sig.begin() + first, sig.end()), sig.end());
+        // Separator keeps out- and in-sets from blending into one run.
+        if (use_in) sig.push_back(std::numeric_limits<uint32_t>::max());
+      }
+      if (use_in) {
+        size_t first = sig.size();
+        for (VertexId w : g.InNeighbors(v)) sig.push_back(block[w]);
+        std::sort(sig.begin() + first, sig.end());
+        sig.erase(std::unique(sig.begin() + first, sig.end()), sig.end());
+      }
+      next_block[v] = interner.Intern(std::vector<uint32_t>(sig));
+    }
+    ++rounds;
+    size_t new_count = interner.size();
+    bool stable = (new_count == num_blocks);
+    num_blocks = new_count;
+    block.swap(next_block);
+    if (stable) break;
+  }
+  result.refinement_rounds = rounds;
+
+  // The interner's ids are dense but arbitrary; keep them (supernode ids are
+  // layer-local anyway).
+  std::vector<VertexId> assignment(block.begin(), block.end());
+  result.mapping = BisimMapping(std::move(assignment), num_blocks);
+
+  // Materialize the quotient graph. Supernode label = label of any member
+  // (identical within a block by construction).
+  GraphBuilder builder;
+  builder.Reserve(num_blocks, g.NumEdges());
+  {
+    std::vector<LabelId> super_label(num_blocks, kInvalidLabel);
+    for (VertexId v = 0; v < n; ++v) super_label[block[v]] = g.label(v);
+    for (size_t s = 0; s < num_blocks; ++s) builder.AddVertex(super_label[s]);
+  }
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId w : g.OutNeighbors(u)) {
+      builder.AddEdge(block[u], block[w]);  // duplicates collapsed by Build()
+    }
+  }
+  auto built = builder.Build();
+  assert(built.ok());
+  result.summary = std::move(built).value();
+  return result;
+}
+
+bool IsStableBisimulation(const Graph& g, const BisimMapping& mapping) {
+  const size_t n = g.NumVertices();
+  if (mapping.NumVertices() != n) return false;
+
+  // Labels uniform within blocks.
+  for (VertexId s = 0; s < mapping.NumSupernodes(); ++s) {
+    auto members = mapping.Members(s);
+    if (members.empty()) return false;
+    LabelId l = g.label(members.front());
+    for (VertexId v : members) {
+      if (g.label(v) != l) return false;
+    }
+  }
+
+  // Successor-block sets uniform within blocks.
+  auto successor_blocks = [&](VertexId v) {
+    std::vector<VertexId> out;
+    for (VertexId w : g.OutNeighbors(v)) out.push_back(mapping.SuperOf(w));
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    return out;
+  };
+  for (VertexId s = 0; s < mapping.NumSupernodes(); ++s) {
+    auto members = mapping.Members(s);
+    auto expected = successor_blocks(members.front());
+    for (size_t i = 1; i < members.size(); ++i) {
+      if (successor_blocks(members[i]) != expected) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace bigindex

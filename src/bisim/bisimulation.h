@@ -1,0 +1,97 @@
+// Maximal bisimulation summarization (Sec. 2, "Graph bisimulation" and
+// "Graph summarization Bisim(G)").
+//
+// Two vertices are bisimilar iff they carry the same label and their successor
+// sets match up block-wise (the relation of Sec. 2; Example 2.1's "their child
+// node is bisimilar"). We compute the *maximal* bisimulation — the coarsest
+// stable partition refining the label partition — by iterated signature
+// refinement: each round re-partitions vertices by
+// (current block, {blocks of out-neighbors}), and the fixpoint is reached when
+// no round splits a block. Refinement only ever splits, so fixpoint detection
+// is a block-count comparison.
+//
+// The quotient is materialized as another Graph (supernodes, edges
+// {([u],[v]) | (u,v) in E}); the hash-table reverse mapping Bisim^-1 of the
+// paper is the BisimMapping CSR (supernode -> members).
+
+#ifndef BIGINDEX_BISIM_BISIMULATION_H_
+#define BIGINDEX_BISIM_BISIMULATION_H_
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace bigindex {
+
+/// The vertex <-> supernode correspondence of one Bisim application
+/// (the paper's equiv(v) / [v]_equiv and its reverse Bisim^-1).
+class BisimMapping {
+ public:
+  BisimMapping() = default;
+
+  /// Builds the mapping from a vertex -> block assignment with
+  /// `num_blocks` dense block ids.
+  BisimMapping(std::vector<VertexId> vertex_to_super, size_t num_blocks);
+
+  /// Bisim(v): the supernode containing v.
+  VertexId SuperOf(VertexId v) const { return vertex_to_super_[v]; }
+
+  /// Bisim^-1(s): the member vertices of supernode s, ascending.
+  std::span<const VertexId> Members(VertexId s) const {
+    return {members_.data() + member_offsets_[s],
+            member_offsets_[s + 1] - member_offsets_[s]};
+  }
+
+  size_t NumSupernodes() const { return member_offsets_.size() - 1; }
+  size_t NumVertices() const { return vertex_to_super_.size(); }
+
+ private:
+  std::vector<VertexId> vertex_to_super_;
+  std::vector<uint64_t> member_offsets_;  // CSR over supernodes
+  std::vector<VertexId> members_;
+};
+
+/// Result of summarizing one graph.
+struct BisimResult {
+  Graph summary;        // Bisim(G), supernode labels = member labels
+  BisimMapping mapping;  // v <-> [v]_equiv
+  size_t refinement_rounds = 0;  // rounds until fixpoint (diagnostics)
+};
+
+/// Which adjacency the bisimulation relation observes. The paper adopts the
+/// successor-based relation (its Sec. 2 definition and Example 2.1); the
+/// other variants realize the "other summarization formalisms" of the
+/// conclusion's future work. All three quotients are path-preserving —
+/// F&B (kBoth) is the finest, so it preserves the most structure and
+/// compresses the least.
+enum class BisimDirection {
+  kSuccessor,    // u ~ v iff same label and matching out-neighbor blocks
+  kPredecessor,  // ... matching in-neighbor blocks
+  kBoth,         // F&B-bisimulation: both sides must match
+};
+
+/// Options for ComputeBisimulation.
+struct BisimOptions {
+  /// Hard cap on refinement rounds; 0 means run to fixpoint. A capped run
+  /// yields a partition that is *coarser* than maximal bisimulation and NOT
+  /// guaranteed stable — only the ablation bench uses caps.
+  size_t max_rounds = 0;
+
+  /// Relation variant (see BisimDirection).
+  BisimDirection direction = BisimDirection::kSuccessor;
+};
+
+/// Computes the maximal bisimulation summary of `g`.
+BisimResult ComputeBisimulation(const Graph& g, const BisimOptions& options = {});
+
+/// Verifies that `mapping` is a stable bisimulation partition of `g`:
+/// members of a block share a label, and whenever u has an edge into block B,
+/// every u' in u's block has an edge into B. Used by tests and the
+/// maintenance path. O(|E| log |E|).
+bool IsStableBisimulation(const Graph& g, const BisimMapping& mapping);
+
+}  // namespace bigindex
+
+#endif  // BIGINDEX_BISIM_BISIMULATION_H_

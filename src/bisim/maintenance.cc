@@ -1,0 +1,57 @@
+#include "bisim/maintenance.h"
+
+#include <algorithm>
+#include <set>
+
+namespace bigindex {
+
+StatusOr<Graph> ApplyUpdates(const Graph& g,
+                             std::span<const GraphUpdate> updates) {
+  const size_t n = g.NumVertices();
+  std::set<std::pair<VertexId, VertexId>> edges;
+  for (const auto& [u, v] : g.Edges()) edges.emplace(u, v);
+  for (const GraphUpdate& up : updates) {
+    if (up.source >= n || up.target >= n) {
+      return Status::InvalidArgument("update references out-of-range vertex");
+    }
+    if (up.kind == GraphUpdate::Kind::kAddEdge) {
+      edges.emplace(up.source, up.target);
+    } else {
+      edges.erase({up.source, up.target});
+    }
+  }
+  GraphBuilder builder;
+  builder.Reserve(n, edges.size());
+  for (VertexId v = 0; v < n; ++v) builder.AddVertex(g.label(v));
+  for (const auto& [u, v] : edges) builder.AddEdge(u, v);
+  return builder.Build();
+}
+
+bool GraphsIdentical(const Graph& a, const Graph& b) {
+  if (a.NumVertices() != b.NumVertices() || a.NumEdges() != b.NumEdges()) {
+    return false;
+  }
+  for (VertexId v = 0; v < a.NumVertices(); ++v) {
+    if (a.label(v) != b.label(v)) return false;
+    auto na = a.OutNeighbors(v);
+    auto nb = b.OutNeighbors(v);
+    if (!std::equal(na.begin(), na.end(), nb.begin(), nb.end())) return false;
+  }
+  return true;
+}
+
+StatusOr<MaintenanceResult> ResummarizeAfterUpdates(
+    const Graph& g, const Graph& previous_summary,
+    std::span<const GraphUpdate> updates) {
+  auto updated = ApplyUpdates(g, updates);
+  if (!updated.ok()) return updated.status();
+
+  MaintenanceResult result;
+  result.updated_graph = std::move(updated).value();
+  result.bisim = ComputeBisimulation(result.updated_graph);
+  result.summary_changed =
+      !GraphsIdentical(result.bisim.summary, previous_summary);
+  return result;
+}
+
+}  // namespace bigindex

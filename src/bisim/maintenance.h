@@ -1,0 +1,61 @@
+// Maintenance of summaries under data-graph updates (Sec. 3.2,
+// "Maintenance of BiG-index").
+//
+// The paper adopts an external incremental-bisimulation algorithm [Deng et
+// al., TKDE'13] and notes the index "can be recomputed occasionally". We
+// implement the pragmatic variant: apply an update batch, recompute the
+// affected layer's maximal bisimulation (our refinement is fast), and report
+// whether the *summary* changed at all — when it did not, upper layers of a
+// BiG-index are provably still valid and are reused (see
+// BigIndex::ApplyUpdates). The unchanged-summary detection is conservative
+// (exact graph equality under our deterministic block numbering), never
+// unsound.
+
+#ifndef BIGINDEX_BISIM_MAINTENANCE_H_
+#define BIGINDEX_BISIM_MAINTENANCE_H_
+
+#include <span>
+#include <vector>
+
+#include "bisim/bisimulation.h"
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace bigindex {
+
+/// One edge-level update to a data graph.
+struct GraphUpdate {
+  enum class Kind { kAddEdge, kRemoveEdge };
+  Kind kind = Kind::kAddEdge;
+  VertexId source = kInvalidVertex;
+  VertexId target = kInvalidVertex;
+};
+
+/// Applies `updates` in order and returns the updated graph. Removing an
+/// absent edge or adding a duplicate is a no-op; out-of-range endpoints fail
+/// with InvalidArgument.
+StatusOr<Graph> ApplyUpdates(const Graph& g,
+                             std::span<const GraphUpdate> updates);
+
+/// True iff a and b are the same graph: identical vertex labels and edge
+/// sets under identical vertex numbering.
+bool GraphsIdentical(const Graph& a, const Graph& b);
+
+/// Result of re-summarizing a layer after updates.
+struct MaintenanceResult {
+  Graph updated_graph;
+  BisimResult bisim;
+  /// False iff the new summary is identical to `previous_summary`, in which
+  /// case every layer built above it remains valid.
+  bool summary_changed = true;
+};
+
+/// Applies `updates` to `g` and recomputes its summary; compares against
+/// `previous_summary` to fill summary_changed.
+StatusOr<MaintenanceResult> ResummarizeAfterUpdates(
+    const Graph& g, const Graph& previous_summary,
+    std::span<const GraphUpdate> updates);
+
+}  // namespace bigindex
+
+#endif  // BIGINDEX_BISIM_MAINTENANCE_H_

@@ -1,0 +1,114 @@
+#include "core/big_index.h"
+
+#include <cassert>
+
+namespace bigindex {
+
+StatusOr<BigIndex> BigIndex::Build(Graph base, const Ontology* ontology,
+                                   const BigIndexOptions& options) {
+  if (ontology == nullptr) {
+    return Status::InvalidArgument("ontology must not be null");
+  }
+  BigIndex index(std::move(base), ontology, options);
+
+  const Graph* current = &index.base_;
+  for (size_t i = 1; i <= options.max_layers; ++i) {
+    GeneralizationConfig config =
+        options.use_greedy_config
+            ? FindConfiguration(*current, *ontology, options.config_search)
+            : FullOneStepConfiguration(*current, *ontology);
+    BIGINDEX_RETURN_IF_ERROR(config.Validate(*ontology));
+
+    Graph generalized = Generalize(*current, config);
+    BisimResult bisim = ComputeBisimulation(generalized);
+
+    double ratio = current->Size() == 0
+                       ? 1.0
+                       : static_cast<double>(bisim.summary.Size()) /
+                             current->Size();
+    // Nothing left to gain: no labels moved and no structural compression.
+    if (config.empty() && ratio > options.stop_ratio) break;
+
+    IndexLayer layer;
+    layer.config = std::move(config);
+    layer.graph = std::move(bisim.summary);
+    layer.mapping = std::move(bisim.mapping);
+    index.layers_.push_back(std::move(layer));
+    current = &index.layers_.back().graph;
+  }
+  return index;
+}
+
+StatusOr<BigIndex> BigIndex::FromParts(Graph base, const Ontology* ontology,
+                                       std::vector<IndexLayer> layers) {
+  if (ontology == nullptr) {
+    return Status::InvalidArgument("ontology must not be null");
+  }
+  BigIndex index(std::move(base), ontology, BigIndexOptions{});
+  const Graph* lower = &index.base_;
+  for (const IndexLayer& layer : layers) {
+    if (layer.mapping.NumVertices() != lower->NumVertices() ||
+        layer.mapping.NumSupernodes() != layer.graph.NumVertices()) {
+      return Status::Corruption("layer mapping inconsistent with graphs");
+    }
+    lower = &layer.graph;
+  }
+  index.layers_ = std::move(layers);
+  return index;
+}
+
+VertexId BigIndex::MapUp(VertexId v, size_t from, size_t to) const {
+  assert(from <= to && to <= NumLayers());
+  VertexId x = v;
+  for (size_t l = from + 1; l <= to; ++l) {
+    // Gen keeps vertex ids; Bisim maps them to supernodes.
+    x = layers_[l - 1].mapping.SuperOf(x);
+  }
+  return x;
+}
+
+LabelId BigIndex::GeneralizeLabel(LabelId label, size_t m) const {
+  LabelId l = label;
+  for (size_t i = 1; i <= m; ++i) l = layers_[i - 1].config.Generalize(l);
+  return l;
+}
+
+std::vector<LabelId> BigIndex::GeneralizeKeywords(
+    const std::vector<LabelId>& q, size_t m) const {
+  std::vector<LabelId> out;
+  out.reserve(q.size());
+  for (LabelId l : q) out.push_back(GeneralizeLabel(l, m));
+  return out;
+}
+
+size_t BigIndex::TotalSummarySize() const {
+  size_t total = 0;
+  for (const IndexLayer& layer : layers_) total += layer.graph.Size();
+  return total;
+}
+
+StatusOr<size_t> BigIndex::ApplyUpdates(std::span<const GraphUpdate> updates) {
+  auto updated = bigindex::ApplyUpdates(base_, updates);
+  if (!updated.ok()) return updated.status();
+  base_ = std::move(updated).value();
+
+  // Bottom-up re-summarization with the existing configurations (edge
+  // updates never change labels, so every C^i stays valid). Stop at the
+  // first unchanged summary: all layers above it were computed from an
+  // identical input graph and remain correct.
+  size_t rebuilt = 0;
+  const Graph* current = &base_;
+  for (IndexLayer& layer : layers_) {
+    Graph generalized = Generalize(*current, layer.config);
+    BisimResult bisim = ComputeBisimulation(generalized);
+    bool changed = !GraphsIdentical(bisim.summary, layer.graph);
+    layer.mapping = std::move(bisim.mapping);
+    if (!changed) break;
+    layer.graph = std::move(bisim.summary);
+    ++rebuilt;
+    current = &layer.graph;
+  }
+  return rebuilt;
+}
+
+}  // namespace bigindex

@@ -1,0 +1,55 @@
+// Configuration selection for one index layer.
+//
+// Theorem 3.1: choosing the cost-minimal configuration is NP-hard (reduction
+// from maxSAT), so the paper uses the one-step greedy heuristic of
+// Algorithm 1: rank all single generalizations (ℓ -> ℓ') by estimated cost,
+// then admit them greedily while cost(C ∪ {c_i}) stays within threshold θ and
+// |C| stays within budget Π.
+//
+// The experiments' default index instead sets θ and Π large "so that the
+// labels of the graphs were generalized once when a layer was constructed"
+// (Sec. 6.1.2) — FullOneStepConfiguration() builds that configuration
+// directly (every label with a supertype steps up once).
+
+#ifndef BIGINDEX_CORE_CONFIG_SEARCH_H_
+#define BIGINDEX_CORE_CONFIG_SEARCH_H_
+
+#include <cstddef>
+
+#include "core/cost_model.h"
+#include "graph/graph.h"
+#include "ontology/config.h"
+#include "ontology/ontology.h"
+
+namespace bigindex {
+
+/// Options for Algorithm 1.
+struct ConfigSearchOptions {
+  /// Cost threshold θ: the configuration stops growing once adding the next
+  /// candidate would push cost(G, C) above it.
+  double theta = 0.9;
+
+  /// Budget Π: maximum number of generalizations in the configuration.
+  size_t pi = SIZE_MAX;
+
+  /// Cost-model knobs (α, sampling).
+  CostModelOptions cost;
+};
+
+/// Algorithm 1: one-step greedy heuristic for a maximal configuration.
+/// Candidates are every (label in G) -> (direct supertype in `ontology`)
+/// mapping; conflicting mappings for the same label are resolved by cost
+/// order (a configuration is a function on labels).
+GeneralizationConfig FindConfiguration(const Graph& g,
+                                       const Ontology& ontology,
+                                       const ConfigSearchOptions& options);
+
+/// The experiments' default: generalize every label of `g` one ontology step
+/// (first = smallest-id direct supertype; deterministic). Labels without a
+/// supertype stay fixed (case (ii) of the configuration definition).
+GeneralizationConfig FullOneStepConfiguration(const Graph& g,
+                                              const Ontology& ontology);
+
+}  // namespace bigindex
+
+#endif  // BIGINDEX_CORE_CONFIG_SEARCH_H_

@@ -1,0 +1,155 @@
+#include "core/evaluator.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/timer.h"
+
+namespace bigindex {
+namespace {
+
+size_t ResolveLayer(const BigIndex& index,
+                    const std::vector<LabelId>& keywords,
+                    const EvalOptions& options) {
+  if (options.forced_layer < 0) {
+    return OptimalQueryLayer(index, keywords, options.beta);
+  }
+  size_t m = std::min<size_t>(options.forced_layer, index.NumLayers());
+  while (m > 0 && !QueryDistinctAtLayer(index, keywords, m)) --m;
+  return m;
+}
+
+}  // namespace
+
+std::vector<Answer> EvaluateWithIndex(const BigIndex& index,
+                                      const KeywordSearchAlgorithm& f,
+                                      const std::vector<LabelId>& keywords,
+                                      const EvalOptions& options,
+                                      EvalBreakdown* breakdown) {
+  EvalBreakdown local;
+  EvalBreakdown& bd = breakdown ? *breakdown : local;
+  std::vector<Answer> final_answers;
+  if (keywords.empty()) return final_answers;
+
+  const size_t m = ResolveLayer(index, keywords, options);
+  bd.layer = m;
+  const Graph& g0 = index.base();
+
+  // Layer 0: hierarchical machinery degenerates to direct evaluation.
+  if (m == 0) {
+    Timer t;
+    final_answers = f.Evaluate(g0, keywords);
+    bd.explore_ms = t.ElapsedMillis();
+    if (options.top_k != 0 && final_answers.size() > options.top_k) {
+      final_answers.resize(options.top_k);
+    }
+    bd.final_answers = final_answers.size();
+    return final_answers;
+  }
+
+  // (3) Evaluate f on the summary graph with the generalized query.
+  Timer timer;
+  std::vector<LabelId> qm = index.GeneralizeKeywords(keywords, m);
+  std::vector<Answer> generalized = f.Evaluate(index.LayerGraph(m), qm);
+  bd.explore_ms = timer.ElapsedMillis();
+  bd.generalized_answers = generalized.size();
+  SortAnswers(generalized);  // rank order drives progressive specialization
+
+  const bool rooted = f.IsRooted();
+  std::unordered_set<VertexId> verified_roots;
+  std::unordered_set<std::string> emitted_keys;  // r-clique dedup
+
+  // (4)+(5): progressive specialization in generalized rank order
+  // (Sec. 4.3.4): with top-k we stop as soon as k answers are verified.
+  for (const Answer& am : generalized) {
+    timer.Restart();
+    SpecializedAnswer spec = SpecializeAnswer(index, am, m, keywords);
+    bd.specialize_ms += timer.ElapsedMillis();
+    if (spec.pruned_empty && !rooted) {
+      ++bd.pruned_answers;
+      continue;
+    }
+
+    timer.Restart();
+    std::vector<Answer> realized =
+        options.answer_gen.use_path_based
+            ? GenerateAnswersPathBased(index, spec, options.answer_gen,
+                                       &bd.gen_stats)
+            : GenerateAnswersVertexBased(index, spec, options.answer_gen,
+                                         &bd.gen_stats);
+    bd.generate_ms += timer.ElapsedMillis();
+
+    timer.Restart();
+    if (!options.exact_verification) {
+      // Fast mode (paper implementation): realized answers keep the
+      // generalized score (Prop 5.3). Dedup by root / keyword assignment in
+      // generalized rank order.
+      for (Answer& cand : realized) {
+        if (rooted) {
+          if (!verified_roots.insert(cand.root).second) continue;
+        } else {
+          std::string key;
+          for (VertexId v : cand.keyword_vertices) {
+            key += std::to_string(v);
+            key += ',';
+          }
+          if (!emitted_keys.insert(key).second) continue;
+        }
+        cand.score = am.score;
+        final_answers.push_back(std::move(cand));
+      }
+      bd.verify_ms += timer.ElapsedMillis();
+      if (options.top_k != 0 && final_answers.size() >= options.top_k) break;
+      continue;
+    }
+    if (rooted) {
+      // Candidate roots: every layer-0 specialization of the generalized
+      // root (root candidates are never label-pruned — this is what makes
+      // the root set complete, Lemma 4.1). Realizations contribute the same
+      // roots; the union is taken implicitly.
+      if (spec.root_position >= 0) {
+        for (VertexId r : spec.root_candidates) {
+          if (!verified_roots.insert(r).second) continue;
+          ++bd.candidate_roots;
+          Answer candidate;
+          candidate.root = r;
+          if (auto exact = f.VerifyCandidate(g0, keywords, candidate)) {
+            final_answers.push_back(std::move(*exact));
+          }
+        }
+      }
+    } else {
+      // Lazy verification (Sec. 4.3.4 spirit): candidates arrive in
+      // generalized rank order; with a top-k request stop verifying as soon
+      // as k answers pass — verification BFS on the data graph is the
+      // expensive step for distance semantics.
+      for (const Answer& cand : realized) {
+        if (options.top_k != 0 && final_answers.size() >= options.top_k) {
+          break;
+        }
+        std::string key;
+        for (VertexId v : cand.keyword_vertices) {
+          key += std::to_string(v);
+          key += ',';
+        }
+        if (!emitted_keys.insert(key).second) continue;
+        ++bd.candidate_roots;
+        if (auto exact = f.VerifyCandidate(g0, keywords, cand)) {
+          final_answers.push_back(std::move(*exact));
+        }
+      }
+    }
+    bd.verify_ms += timer.ElapsedMillis();
+
+    if (options.top_k != 0 && final_answers.size() >= options.top_k) break;
+  }
+
+  SortAnswers(final_answers);
+  if (options.top_k != 0 && final_answers.size() > options.top_k) {
+    final_answers.resize(options.top_k);
+  }
+  bd.final_answers = final_answers.size();
+  return final_answers;
+}
+
+}  // namespace bigindex

@@ -1,0 +1,142 @@
+#include "core/index_io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "graph/graph_io.h"
+
+namespace bigindex {
+namespace {
+
+constexpr char kMagic[] = "bigindex-index v1";
+
+bool NextRecord(std::istream& in, std::string& line) {
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty() || line[0] == '#') continue;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Status WriteIndex(const BigIndex& index, const LabelDictionary& dict,
+                  std::ostream& out) {
+  out << kMagic << "\n" << index.NumLayers() << "\n";
+  BIGINDEX_RETURN_IF_ERROR(WriteGraph(index.base(), dict, out));
+  for (size_t m = 1; m <= index.NumLayers(); ++m) {
+    const IndexLayer& layer = index.Layer(m);
+    out << "layer " << m << "\n";
+    out << "config " << layer.config.mappings().size() << "\n";
+    for (const LabelMapping& mapping : layer.config.mappings()) {
+      out << dict.Name(mapping.from) << "\t" << dict.Name(mapping.to) << "\n";
+    }
+    const size_t lower_n = index.LayerGraph(m - 1).NumVertices();
+    out << "mapping " << lower_n << " " << layer.graph.NumVertices() << "\n";
+    for (VertexId v = 0; v < lower_n; ++v) {
+      out << layer.mapping.SuperOf(v) << (v + 1 == lower_n ? "\n" : " ");
+    }
+    if (lower_n == 0) out << "\n";
+    BIGINDEX_RETURN_IF_ERROR(WriteGraph(layer.graph, dict, out));
+  }
+  if (!out) return Status::IOError("write failed");
+  return Status::OK();
+}
+
+StatusOr<BigIndex> ReadIndex(std::istream& in, LabelDictionary& dict,
+                             const Ontology* ontology) {
+  std::string line;
+  if (!NextRecord(in, line) || line != kMagic) {
+    return Status::Corruption("missing index header");
+  }
+  if (!NextRecord(in, line)) return Status::Corruption("missing layer count");
+  size_t num_layers = 0;
+  {
+    std::istringstream ss(line);
+    if (!(ss >> num_layers)) return Status::Corruption("bad layer count");
+  }
+  auto base = ReadGraph(in, dict);
+  if (!base.ok()) return base.status();
+
+  std::vector<IndexLayer> layers;
+  size_t lower_n = base->NumVertices();
+  for (size_t m = 1; m <= num_layers; ++m) {
+    if (!NextRecord(in, line) || line.rfind("layer ", 0) != 0) {
+      return Status::Corruption("missing layer marker");
+    }
+    if (!NextRecord(in, line) || line.rfind("config ", 0) != 0) {
+      return Status::Corruption("missing config marker");
+    }
+    size_t num_mappings = 0;
+    {
+      std::istringstream ss(line.substr(7));
+      if (!(ss >> num_mappings)) return Status::Corruption("bad config size");
+    }
+    IndexLayer layer;
+    for (size_t i = 0; i < num_mappings; ++i) {
+      if (!NextRecord(in, line)) {
+        return Status::Corruption("truncated config");
+      }
+      size_t tab = line.find('\t');
+      if (tab == std::string::npos) {
+        return Status::Corruption("config line missing tab");
+      }
+      LabelId from = dict.Intern(std::string_view(line).substr(0, tab));
+      LabelId to = dict.Intern(std::string_view(line).substr(tab + 1));
+      BIGINDEX_RETURN_IF_ERROR(layer.config.AddMapping(from, to));
+    }
+    if (!NextRecord(in, line) || line.rfind("mapping ", 0) != 0) {
+      return Status::Corruption("missing mapping marker");
+    }
+    size_t map_n = 0, num_supers = 0;
+    {
+      std::istringstream ss(line.substr(8));
+      if (!(ss >> map_n >> num_supers)) {
+        return Status::Corruption("bad mapping sizes");
+      }
+    }
+    if (map_n != lower_n) {
+      return Status::Corruption("mapping domain size mismatch");
+    }
+    std::vector<VertexId> assignment(map_n);
+    if (map_n > 0) {
+      if (!NextRecord(in, line)) {
+        return Status::Corruption("truncated mapping");
+      }
+      std::istringstream ss(line);
+      for (size_t v = 0; v < map_n; ++v) {
+        uint64_t s = 0;
+        if (!(ss >> s) || s >= num_supers) {
+          return Status::Corruption("bad mapping entry");
+        }
+        assignment[v] = static_cast<VertexId>(s);
+      }
+    }
+    layer.mapping = BisimMapping(std::move(assignment), num_supers);
+    auto graph = ReadGraph(in, dict);
+    if (!graph.ok()) return graph.status();
+    layer.graph = std::move(graph).value();
+    lower_n = layer.graph.NumVertices();
+    layers.push_back(std::move(layer));
+  }
+  return BigIndex::FromParts(std::move(base).value(), ontology,
+                             std::move(layers));
+}
+
+Status SaveIndexFile(const BigIndex& index, const LabelDictionary& dict,
+                     const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open " + path);
+  return WriteIndex(index, dict, out);
+}
+
+StatusOr<BigIndex> LoadIndexFile(const std::string& path,
+                                 LabelDictionary& dict,
+                                 const Ontology* ontology) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+  return ReadIndex(in, dict, ontology);
+}
+
+}  // namespace bigindex

@@ -1,0 +1,36 @@
+// Persistence for BigIndex: saves/loads the base graph, every layer's
+// configuration, summary graph, and Bisim^-1 mapping, so an index built once
+// can be reused across processes ("BiG-index loads the m-th layer from the
+// disk", Sec. 5.1).
+
+#ifndef BIGINDEX_CORE_INDEX_IO_H_
+#define BIGINDEX_CORE_INDEX_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "core/big_index.h"
+#include "graph/label_dictionary.h"
+#include "util/status.h"
+
+namespace bigindex {
+
+/// Writes `index` to `out`. Labels are written as strings through `dict`.
+Status WriteIndex(const BigIndex& index, const LabelDictionary& dict,
+                  std::ostream& out);
+
+/// Reads an index from `in`. `ontology` must be the ontology the index was
+/// built with (it is not serialized; it usually ships with the dataset) and
+/// must outlive the returned index.
+StatusOr<BigIndex> ReadIndex(std::istream& in, LabelDictionary& dict,
+                             const Ontology* ontology);
+
+Status SaveIndexFile(const BigIndex& index, const LabelDictionary& dict,
+                     const std::string& path);
+StatusOr<BigIndex> LoadIndexFile(const std::string& path,
+                                 LabelDictionary& dict,
+                                 const Ontology* ontology);
+
+}  // namespace bigindex
+
+#endif  // BIGINDEX_CORE_INDEX_IO_H_

@@ -1,0 +1,51 @@
+#include "core/query.h"
+
+#include <algorithm>
+
+namespace bigindex {
+
+bool QueryDistinctAtLayer(const BigIndex& index,
+                          const std::vector<LabelId>& keywords, size_t m) {
+  std::vector<LabelId> gen = index.GeneralizeKeywords(keywords, m);
+  std::sort(gen.begin(), gen.end());
+  return std::adjacent_find(gen.begin(), gen.end()) == gen.end();
+}
+
+double QueryLayerCost(const BigIndex& index,
+                      const std::vector<LabelId>& keywords, size_t m,
+                      double beta) {
+  const Graph& base = index.base();
+  const Graph& layer = index.LayerGraph(m);
+
+  double size_term = base.Size() == 0
+                         ? 1.0
+                         : static_cast<double>(layer.Size()) / base.Size();
+
+  double base_support = 0.0;
+  double layer_support = 0.0;
+  for (LabelId q : keywords) {
+    base_support += base.LabelSupport(q);
+    layer_support += layer.LabelSupport(index.GeneralizeLabel(q, m));
+  }
+  double support_term =
+      base_support == 0.0 ? 1.0 : layer_support / base_support;
+
+  return beta * size_term + (1.0 - beta) * support_term;
+}
+
+size_t OptimalQueryLayer(const BigIndex& index,
+                         const std::vector<LabelId>& keywords, double beta) {
+  size_t best = 0;
+  double best_cost = QueryLayerCost(index, keywords, 0, beta);
+  for (size_t m = 1; m <= index.NumLayers(); ++m) {
+    if (!QueryDistinctAtLayer(index, keywords, m)) continue;
+    double cost = QueryLayerCost(index, keywords, m, beta);
+    if (cost < best_cost) {
+      best_cost = cost;
+      best = m;
+    }
+  }
+  return best;
+}
+
+}  // namespace bigindex

@@ -1,0 +1,61 @@
+// The pluggable keyword-search interface `f` of the problem statement
+// (Def 2.3): BiG-index is generic over any algorithm that evaluates a keyword
+// query on a graph, provided the index transformation is label- and
+// path-preserving (Sec. 2) — which our Gen/Bisim pipeline guarantees.
+//
+// Implementations in src/search: BkwsAlgorithm (backward keyword search,
+// BANKS-style), BlinksAlgorithm (ranked distinct-root top-k), and
+// RCliqueAlgorithm (distance-bounded multi-center answers). They run
+// unchanged on data graphs and on summary layers — summaries are "yet another
+// set of graphs" (Sec. 1).
+
+#ifndef BIGINDEX_CORE_SEARCH_ALGORITHM_H_
+#define BIGINDEX_CORE_SEARCH_ALGORITHM_H_
+
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "graph/graph.h"
+#include "search/answer.h"
+
+namespace bigindex {
+
+/// Interface for a keyword search semantics (the paper's f).
+///
+/// Evaluate() receives keywords as label ids valid for `g`'s dictionary and
+/// returns answers over `g`'s vertex ids. Implementations must be
+/// deterministic for a given (graph, keywords) pair — BiG-index's equivalence
+/// guarantee (Thm 4.2) is stated answer-set-wise and the tests compare sets.
+class KeywordSearchAlgorithm {
+ public:
+  virtual ~KeywordSearchAlgorithm() = default;
+
+  /// Human-readable name ("bkws", "blinks", "r-clique").
+  virtual std::string_view Name() const = 0;
+
+  /// Evaluates `keywords` on `g` and returns all (or top-k, per the
+  /// algorithm's own options) answers.
+  virtual std::vector<Answer> Evaluate(
+      const Graph& g, const std::vector<LabelId>& keywords) const = 0;
+
+  /// True for rooted-tree semantics (bkws, Blinks): answers are identified
+  /// by their root and BiG-index enumerates candidate roots during answer
+  /// generation. False for multi-center semantics (r-clique), where
+  /// candidates are keyword-vertex assignments.
+  virtual bool IsRooted() const = 0;
+
+  /// Verifies one layer-0 candidate produced by BiG-index answer generation
+  /// (Sec. 4.2 Step 5 / Sec. 5 "answer generation and verification") and, if
+  /// it satisfies the semantics, returns the *exact* answer: for rooted
+  /// semantics only candidate.root is consulted and the best tree for that
+  /// root is computed on `g`; for r-clique the keyword assignment is
+  /// distance-verified and exactly scored. Returns nullopt otherwise.
+  virtual std::optional<Answer> VerifyCandidate(
+      const Graph& g, const std::vector<LabelId>& keywords,
+      const Answer& candidate) const = 0;
+};
+
+}  // namespace bigindex
+
+#endif  // BIGINDEX_CORE_SEARCH_ALGORITHM_H_

@@ -1,0 +1,124 @@
+#include "graph/binary_io.h"
+
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+namespace bigindex {
+namespace {
+
+constexpr char kMagic[4] = {'B', 'I', 'G', 'X'};
+constexpr uint32_t kVersion = 1;
+
+// Sanity bound against corrupted counts (1 billion entities).
+constexpr uint64_t kMaxCount = 1ull << 30;
+
+template <typename T>
+void Put(std::ostream& out, T value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool Get(std::istream& in, T& value) {
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  return static_cast<bool>(in);
+}
+
+}  // namespace
+
+Status WriteGraphBinary(const Graph& g, const LabelDictionary& dict,
+                        std::ostream& out) {
+  out.write(kMagic, sizeof(kMagic));
+  Put<uint32_t>(out, kVersion);
+
+  // The graph references label ids < dict.size(); write the whole
+  // dictionary so ids stay dense and meaningful on load.
+  Put<uint64_t>(out, dict.size());
+  for (LabelId l = 0; l < dict.size(); ++l) {
+    const std::string& name = dict.Name(l);
+    Put<uint32_t>(out, static_cast<uint32_t>(name.size()));
+    out.write(name.data(), static_cast<std::streamsize>(name.size()));
+  }
+
+  Put<uint64_t>(out, g.NumVertices());
+  Put<uint64_t>(out, g.NumEdges());
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    Put<uint32_t>(out, g.label(v));
+  }
+  for (VertexId u = 0; u < g.NumVertices(); ++u) {
+    for (VertexId v : g.OutNeighbors(u)) {
+      Put<uint32_t>(out, u);
+      Put<uint32_t>(out, v);
+    }
+  }
+  if (!out) return Status::IOError("binary write failed");
+  return Status::OK();
+}
+
+StatusOr<Graph> ReadGraphBinary(std::istream& in, LabelDictionary& dict) {
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::Corruption("bad binary graph magic");
+  }
+  uint32_t version = 0;
+  if (!Get(in, version) || version != kVersion) {
+    return Status::Corruption("unsupported binary graph version");
+  }
+
+  uint64_t num_labels = 0;
+  if (!Get(in, num_labels) || num_labels > kMaxCount) {
+    return Status::Corruption("bad label count");
+  }
+  // Local id -> interned id (the target dictionary may already hold labels).
+  std::vector<LabelId> remap(num_labels);
+  std::string name;
+  for (uint64_t i = 0; i < num_labels; ++i) {
+    uint32_t len = 0;
+    if (!Get(in, len) || len > (1u << 20)) {
+      return Status::Corruption("bad label length");
+    }
+    name.resize(len);
+    in.read(name.data(), len);
+    if (!in) return Status::Corruption("truncated label table");
+    remap[i] = dict.Intern(name);
+  }
+
+  uint64_t n = 0, m = 0;
+  if (!Get(in, n) || !Get(in, m) || n > kMaxCount || m > kMaxCount) {
+    return Status::Corruption("bad graph size header");
+  }
+  GraphBuilder builder;
+  builder.Reserve(n, m);
+  for (uint64_t i = 0; i < n; ++i) {
+    uint32_t l = 0;
+    if (!Get(in, l)) return Status::Corruption("truncated vertex labels");
+    if (l >= num_labels) return Status::Corruption("label id out of range");
+    builder.AddVertex(remap[l]);
+  }
+  for (uint64_t i = 0; i < m; ++i) {
+    uint32_t u = 0, v = 0;
+    if (!Get(in, u) || !Get(in, v)) {
+      return Status::Corruption("truncated edge section");
+    }
+    if (u >= n || v >= n) return Status::Corruption("edge out of range");
+    builder.AddEdge(u, v);
+  }
+  return builder.Build();
+}
+
+Status SaveGraphBinaryFile(const Graph& g, const LabelDictionary& dict,
+                           const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open " + path);
+  return WriteGraphBinary(g, dict, out);
+}
+
+StatusOr<Graph> LoadGraphBinaryFile(const std::string& path,
+                                    LabelDictionary& dict) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open " + path);
+  return ReadGraphBinary(in, dict);
+}
+
+}  // namespace bigindex

@@ -1,0 +1,107 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace bigindex {
+
+bool Graph::HasEdge(VertexId u, VertexId v) const {
+  auto nbrs = OutNeighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+std::span<const VertexId> Graph::VerticesWithLabel(LabelId label) const {
+  if (label + 1 >= label_offsets_.size()) return {};
+  return {label_vertices_.data() + label_offsets_[label],
+          label_offsets_[label + 1] - label_offsets_[label]};
+}
+
+std::vector<std::pair<VertexId, VertexId>> Graph::Edges() const {
+  std::vector<std::pair<VertexId, VertexId>> result;
+  result.reserve(NumEdges());
+  for (VertexId u = 0; u < NumVertices(); ++u) {
+    for (VertexId v : OutNeighbors(u)) result.emplace_back(u, v);
+  }
+  return result;
+}
+
+void GraphBuilder::Reserve(size_t vertices, size_t edges) {
+  labels_.reserve(vertices);
+  edges_.reserve(edges);
+}
+
+VertexId GraphBuilder::AddVertex(LabelId label) {
+  VertexId id = static_cast<VertexId>(labels_.size());
+  labels_.push_back(label);
+  return id;
+}
+
+void GraphBuilder::AddEdge(VertexId u, VertexId v) {
+  edges_.emplace_back(u, v);
+}
+
+StatusOr<Graph> GraphBuilder::Build() {
+  const size_t n = labels_.size();
+  for (const auto& [u, v] : edges_) {
+    if (u >= n || v >= n) {
+      return Status::InvalidArgument("edge references out-of-range vertex");
+    }
+  }
+
+  // Collapse duplicate edges.
+  std::sort(edges_.begin(), edges_.end());
+  edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
+  const size_t m = edges_.size();
+
+  Graph g;
+  g.labels_ = std::move(labels_);
+
+  // Out-adjacency: edges_ is already sorted by (source, target).
+  g.out_offsets_.assign(n + 1, 0);
+  g.out_targets_.resize(m);
+  for (const auto& [u, v] : edges_) g.out_offsets_[u + 1]++;
+  std::partial_sum(g.out_offsets_.begin(), g.out_offsets_.end(),
+                   g.out_offsets_.begin());
+  for (size_t i = 0; i < m; ++i) g.out_targets_[i] = edges_[i].second;
+
+  // In-adjacency via counting sort by target.
+  g.in_offsets_.assign(n + 1, 0);
+  g.in_sources_.resize(m);
+  for (const auto& [u, v] : edges_) g.in_offsets_[v + 1]++;
+  std::partial_sum(g.in_offsets_.begin(), g.in_offsets_.end(),
+                   g.in_offsets_.begin());
+  {
+    std::vector<uint64_t> cursor(g.in_offsets_.begin(),
+                                 g.in_offsets_.end() - 1);
+    for (const auto& [u, v] : edges_) g.in_sources_[cursor[v]++] = u;
+  }
+  // Sources arrive in ascending order already (edges_ sorted by source), so
+  // each in-neighbor list is sorted.
+
+  // Inverted label index.
+  LabelId max_label = 0;
+  for (LabelId l : g.labels_) max_label = std::max(max_label, l);
+  const size_t num_label_slots = n == 0 ? 0 : static_cast<size_t>(max_label) + 1;
+  g.label_offsets_.assign(num_label_slots + 1, 0);
+  g.label_vertices_.resize(n);
+  for (LabelId l : g.labels_) g.label_offsets_[l + 1]++;
+  std::partial_sum(g.label_offsets_.begin(), g.label_offsets_.end(),
+                   g.label_offsets_.begin());
+  {
+    std::vector<uint64_t> cursor(g.label_offsets_.begin(),
+                                 g.label_offsets_.end() - 1);
+    for (VertexId v = 0; v < n; ++v) {
+      g.label_vertices_[cursor[g.labels_[v]]++] = v;
+    }
+  }
+  for (size_t l = 0; l < num_label_slots; ++l) {
+    if (g.label_offsets_[l + 1] > g.label_offsets_[l]) {
+      g.distinct_labels_.push_back(static_cast<LabelId>(l));
+    }
+  }
+
+  edges_.clear();
+  return g;
+}
+
+}  // namespace bigindex

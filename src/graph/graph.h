@@ -1,0 +1,130 @@
+// The directed labeled graph of Sec. 2 of the paper: G = (V, E, L, Σ).
+//
+// Graph is an immutable CSR structure with both out- and in-adjacency plus an
+// inverted label index (label -> vertices), which every keyword search
+// semantics needs to seed its keyword vertex sets V_q. Build instances through
+// GraphBuilder.
+
+#ifndef BIGINDEX_GRAPH_GRAPH_H_
+#define BIGINDEX_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "graph/types.h"
+#include "util/status.h"
+
+namespace bigindex {
+
+class GraphBuilder;
+
+/// Immutable directed vertex-labeled graph in CSR form.
+///
+/// |G| = |V| + |E| is the paper's graph-size measure (Sec. 2); Size() returns
+/// it. Parallel edges are collapsed and self-loops kept (bisimulation and the
+/// search semantics are well-defined with them).
+class Graph {
+ public:
+  Graph() = default;
+
+  size_t NumVertices() const { return labels_.size(); }
+  size_t NumEdges() const { return out_targets_.size(); }
+  /// |V| + |E|, the paper's |G|.
+  size_t Size() const { return NumVertices() + NumEdges(); }
+
+  LabelId label(VertexId v) const { return labels_[v]; }
+  std::span<const LabelId> labels() const { return labels_; }
+
+  /// Out-neighbors of v (targets of edges v -> w), sorted ascending.
+  std::span<const VertexId> OutNeighbors(VertexId v) const {
+    return {out_targets_.data() + out_offsets_[v],
+            out_offsets_[v + 1] - out_offsets_[v]};
+  }
+
+  /// In-neighbors of v (sources of edges u -> v), sorted ascending.
+  std::span<const VertexId> InNeighbors(VertexId v) const {
+    return {in_sources_.data() + in_offsets_[v],
+            in_offsets_[v + 1] - in_offsets_[v]};
+  }
+
+  size_t OutDegree(VertexId v) const {
+    return out_offsets_[v + 1] - out_offsets_[v];
+  }
+  size_t InDegree(VertexId v) const {
+    return in_offsets_[v + 1] - in_offsets_[v];
+  }
+  /// Total degree, used for the joint-vertex test of Sec. 4.3.3.
+  size_t Degree(VertexId v) const { return OutDegree(v) + InDegree(v); }
+
+  /// True iff edge (u, v) exists. O(log OutDegree(u)).
+  bool HasEdge(VertexId u, VertexId v) const;
+
+  /// All vertices whose label is `label`, sorted ascending; empty if none.
+  std::span<const VertexId> VerticesWithLabel(LabelId label) const;
+
+  /// Number of vertices carrying `label` (|V_ℓ| in the cost model).
+  size_t LabelCount(LabelId label) const {
+    return VerticesWithLabel(label).size();
+  }
+
+  /// Distinct labels that occur in the graph (the graph's Σ), sorted.
+  std::span<const LabelId> DistinctLabels() const { return distinct_labels_; }
+
+  /// Support of a label: |V_ℓ| / |V| (Sec. 3.2). Zero if absent or empty.
+  double LabelSupport(LabelId label) const {
+    return NumVertices() == 0
+               ? 0.0
+               : static_cast<double>(LabelCount(label)) / NumVertices();
+  }
+
+  /// All edges as (source, target) pairs, in CSR order. For tests and I/O.
+  std::vector<std::pair<VertexId, VertexId>> Edges() const;
+
+ private:
+  friend class GraphBuilder;
+
+  std::vector<LabelId> labels_;
+  std::vector<uint64_t> out_offsets_;  // size |V|+1
+  std::vector<VertexId> out_targets_;
+  std::vector<uint64_t> in_offsets_;  // size |V|+1
+  std::vector<VertexId> in_sources_;
+
+  // Inverted label index: vertices grouped by label, CSR over label ids.
+  std::vector<uint64_t> label_offsets_;  // size max_label+2
+  std::vector<VertexId> label_vertices_;
+  std::vector<LabelId> distinct_labels_;
+};
+
+/// Accumulates vertices and edges, then produces an immutable Graph.
+///
+/// Vertices are identified by their insertion order. Edges referencing
+/// out-of-range vertices make Build() fail with InvalidArgument; duplicate
+/// edges are silently collapsed.
+class GraphBuilder {
+ public:
+  GraphBuilder() = default;
+
+  /// Pre-sizes internal buffers (optional).
+  void Reserve(size_t vertices, size_t edges);
+
+  /// Adds a vertex with the given label and returns its id.
+  VertexId AddVertex(LabelId label);
+
+  /// Adds the directed edge u -> v.
+  void AddEdge(VertexId u, VertexId v);
+
+  size_t NumVertices() const { return labels_.size(); }
+
+  /// Consumes the builder's contents and produces the Graph.
+  StatusOr<Graph> Build();
+
+ private:
+  std::vector<LabelId> labels_;
+  std::vector<std::pair<VertexId, VertexId>> edges_;
+};
+
+}  // namespace bigindex
+
+#endif  // BIGINDEX_GRAPH_GRAPH_H_

@@ -1,0 +1,83 @@
+#include "graph/graph_io.h"
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace bigindex {
+namespace {
+
+constexpr char kMagic[] = "bigindex-graph v1";
+
+// Reads the next line that is neither empty nor a '#' comment.
+bool NextRecord(std::istream& in, std::string& line) {
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty() || line[0] == '#') continue;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+StatusOr<Graph> ReadGraph(std::istream& in, LabelDictionary& dict) {
+  std::string line;
+  if (!NextRecord(in, line) || line != kMagic) {
+    return Status::Corruption("missing graph header");
+  }
+  if (!NextRecord(in, line)) return Status::Corruption("missing size line");
+  std::istringstream sizes(line);
+  uint64_t n = 0, m = 0;
+  if (!(sizes >> n >> m)) return Status::Corruption("bad size line");
+
+  GraphBuilder builder;
+  builder.Reserve(n, m);
+  for (uint64_t i = 0; i < n; ++i) {
+    if (!NextRecord(in, line)) {
+      return Status::Corruption("truncated vertex section");
+    }
+    builder.AddVertex(dict.Intern(line));
+  }
+  for (uint64_t i = 0; i < m; ++i) {
+    if (!NextRecord(in, line)) {
+      return Status::Corruption("truncated edge section");
+    }
+    std::istringstream edge(line);
+    uint64_t u = 0, v = 0;
+    if (!(edge >> u >> v) || u >= n || v >= n) {
+      return Status::Corruption("bad edge line: " + line);
+    }
+    builder.AddEdge(static_cast<VertexId>(u), static_cast<VertexId>(v));
+  }
+  return builder.Build();
+}
+
+Status WriteGraph(const Graph& g, const LabelDictionary& dict,
+                  std::ostream& out) {
+  out << kMagic << "\n" << g.NumVertices() << " " << g.NumEdges() << "\n";
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    out << dict.Name(g.label(v)) << "\n";
+  }
+  for (VertexId u = 0; u < g.NumVertices(); ++u) {
+    for (VertexId v : g.OutNeighbors(u)) out << u << " " << v << "\n";
+  }
+  if (!out) return Status::IOError("write failed");
+  return Status::OK();
+}
+
+StatusOr<Graph> LoadGraphFile(const std::string& path,
+                              LabelDictionary& dict) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+  return ReadGraph(in, dict);
+}
+
+Status SaveGraphFile(const Graph& g, const LabelDictionary& dict,
+                     const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open " + path);
+  return WriteGraph(g, dict, out);
+}
+
+}  // namespace bigindex

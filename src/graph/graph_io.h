@@ -1,0 +1,39 @@
+// Text serialization of graphs.
+//
+// Format (line-oriented, '#' comments allowed between records):
+//
+//   bigindex-graph v1
+//   <num_vertices> <num_edges>
+//   <label string>          x num_vertices   (vertex i = i-th label line)
+//   <src> <dst>              x num_edges
+//
+// Labels are interned into the caller-supplied LabelDictionary so graphs and
+// ontologies loaded together share label ids.
+
+#ifndef BIGINDEX_GRAPH_GRAPH_IO_H_
+#define BIGINDEX_GRAPH_GRAPH_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.h"
+#include "graph/label_dictionary.h"
+#include "util/status.h"
+
+namespace bigindex {
+
+/// Parses a graph from `in`. Fails with Corruption on malformed input.
+StatusOr<Graph> ReadGraph(std::istream& in, LabelDictionary& dict);
+
+/// Writes `g` to `out` in the format above.
+Status WriteGraph(const Graph& g, const LabelDictionary& dict,
+                  std::ostream& out);
+
+/// File convenience wrappers.
+StatusOr<Graph> LoadGraphFile(const std::string& path, LabelDictionary& dict);
+Status SaveGraphFile(const Graph& g, const LabelDictionary& dict,
+                     const std::string& path);
+
+}  // namespace bigindex
+
+#endif  // BIGINDEX_GRAPH_GRAPH_IO_H_

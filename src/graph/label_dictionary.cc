@@ -1,0 +1,26 @@
+#include "graph/label_dictionary.h"
+
+#include <cassert>
+
+namespace bigindex {
+
+LabelId LabelDictionary::Intern(std::string_view name) {
+  auto it = index_.find(name);
+  if (it != index_.end()) return it->second;
+  LabelId id = static_cast<LabelId>(names_.size());
+  names_.emplace_back(name);
+  index_.emplace(std::string_view(names_.back()), id);
+  return id;
+}
+
+LabelId LabelDictionary::Find(std::string_view name) const {
+  auto it = index_.find(name);
+  return it == index_.end() ? kInvalidLabel : it->second;
+}
+
+const std::string& LabelDictionary::Name(LabelId id) const {
+  assert(id < names_.size());
+  return names_[id];
+}
+
+}  // namespace bigindex

@@ -1,0 +1,50 @@
+// String interning for vertex labels / ontology types.
+//
+// All graphs and the ontology of one dataset share a single LabelDictionary so
+// a LabelId means the same thing at every layer of a BiG-index.
+
+#ifndef BIGINDEX_GRAPH_LABEL_DICTIONARY_H_
+#define BIGINDEX_GRAPH_LABEL_DICTIONARY_H_
+
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "graph/types.h"
+
+namespace bigindex {
+
+/// Bidirectional mapping between label strings and dense LabelIds.
+///
+/// Intern() is idempotent; Find() never allocates. Ids are assigned in
+/// insertion order starting at 0, so they are stable across identical
+/// insertion sequences (the generators rely on this for determinism).
+class LabelDictionary {
+ public:
+  LabelDictionary() = default;
+
+  /// Returns the id of `name`, inserting it if new.
+  LabelId Intern(std::string_view name);
+
+  /// Returns the id of `name`, or kInvalidLabel if not present.
+  LabelId Find(std::string_view name) const;
+
+  /// Returns the string for `id`. id must be < size().
+  const std::string& Name(LabelId id) const;
+
+  bool Contains(std::string_view name) const {
+    return Find(name) != kInvalidLabel;
+  }
+
+  size_t size() const { return names_.size(); }
+
+ private:
+  // Deque so stored strings never move; index_ holds views into them.
+  std::deque<std::string> names_;
+  std::unordered_map<std::string_view, LabelId> index_;
+};
+
+}  // namespace bigindex
+
+#endif  // BIGINDEX_GRAPH_LABEL_DICTIONARY_H_

@@ -1,0 +1,82 @@
+#include "graph/traversal.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace bigindex {
+
+void BfsScratch::EnsureSize(size_t n) {
+  if (visit_stamp_.size() < n) visit_stamp_.assign(n, 0);
+  if (stamp_ == std::numeric_limits<uint32_t>::max()) {
+    std::fill(visit_stamp_.begin(), visit_stamp_.end(), 0);
+    stamp_ = 0;
+  }
+  ++stamp_;
+}
+
+std::vector<std::pair<VertexId, uint32_t>> BfsScratch::BoundedDistances(
+    const Graph& g, VertexId source, uint32_t max_dist, Direction dir) {
+  return BoundedDistancesMulti(g, {source}, max_dist, dir);
+}
+
+std::vector<std::pair<VertexId, uint32_t>> BfsScratch::BoundedDistancesMulti(
+    const Graph& g, const std::vector<VertexId>& sources, uint32_t max_dist,
+    Direction dir) {
+  EnsureSize(g.NumVertices());
+  std::vector<std::pair<VertexId, uint32_t>> result;
+  queue_.clear();
+  for (VertexId s : sources) {
+    if (visit_stamp_[s] == stamp_) continue;
+    visit_stamp_[s] = stamp_;
+    queue_.push_back(s);
+    result.emplace_back(s, 0);
+  }
+  // result[i].second is the distance of queue_[i]; the two arrays stay
+  // parallel throughout, so popping an index gives us its level directly.
+  size_t head = 0;
+  while (head < queue_.size()) {
+    VertexId u = queue_[head];
+    uint32_t d = result[head].second;
+    ++head;
+    if (d >= max_dist) break;  // BFS order: all later entries are >= d.
+    auto nbrs =
+        dir == Direction::kForward ? g.OutNeighbors(u) : g.InNeighbors(u);
+    for (VertexId w : nbrs) {
+      if (visit_stamp_[w] == stamp_) continue;
+      visit_stamp_[w] = stamp_;
+      queue_.push_back(w);
+      result.emplace_back(w, d + 1);
+    }
+  }
+  return result;
+}
+
+uint32_t ShortestDistance(const Graph& g, VertexId u, VertexId v,
+                          uint32_t max_dist) {
+  if (u == v) return 0;
+  // Plain forward BFS with early exit; bidirectional search would also work
+  // but the bounded depth keeps frontiers small in practice.
+  std::vector<uint32_t> dist(g.NumVertices(), kInfDistance);
+  std::vector<VertexId> queue;
+  dist[u] = 0;
+  queue.push_back(u);
+  size_t head = 0;
+  while (head < queue.size()) {
+    VertexId x = queue[head++];
+    if (dist[x] >= max_dist) break;
+    for (VertexId w : g.OutNeighbors(x)) {
+      if (dist[w] != kInfDistance) continue;
+      dist[w] = dist[x] + 1;
+      if (w == v) return dist[w];
+      queue.push_back(w);
+    }
+  }
+  return kInfDistance;
+}
+
+bool ReachableWithin(const Graph& g, VertexId u, VertexId v,
+                     uint32_t max_dist) {
+  return ShortestDistance(g, u, v, max_dist) != kInfDistance;
+}
+
+}  // namespace bigindex

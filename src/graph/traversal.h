@@ -1,0 +1,55 @@
+// Breadth-first traversal utilities shared by the search semantics and the
+// cost model: bounded single-source distances, point-to-point distance, and
+// hop-bounded reachability.
+
+#ifndef BIGINDEX_GRAPH_TRAVERSAL_H_
+#define BIGINDEX_GRAPH_TRAVERSAL_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace bigindex {
+
+/// Edge orientation for traversals. kForward follows u -> v; kBackward walks
+/// edges in reverse (v's in-neighbors), as the backward expansions of
+/// bkws/Blinks do.
+enum class Direction { kForward, kBackward };
+
+/// Reusable BFS workspace. Holding one per thread/query avoids reallocating
+/// the visited array on every traversal of a large graph.
+class BfsScratch {
+ public:
+  /// Single-source BFS from `source` up to `max_dist` hops; returns
+  /// (vertex, distance) pairs, source included at distance 0, in BFS order.
+  std::vector<std::pair<VertexId, uint32_t>> BoundedDistances(
+      const Graph& g, VertexId source, uint32_t max_dist, Direction dir);
+
+  /// Multi-source variant: all listed sources start at distance 0.
+  std::vector<std::pair<VertexId, uint32_t>> BoundedDistancesMulti(
+      const Graph& g, const std::vector<VertexId>& sources, uint32_t max_dist,
+      Direction dir);
+
+ private:
+  void EnsureSize(size_t n);
+
+  std::vector<uint32_t> visit_stamp_;
+  uint32_t stamp_ = 0;
+  std::vector<VertexId> queue_;
+};
+
+/// Shortest directed distance from u to v, capped at `max_dist` hops; returns
+/// kInfDistance if v is unreachable within the cap.
+uint32_t ShortestDistance(const Graph& g, VertexId u, VertexId v,
+                          uint32_t max_dist);
+
+/// True iff v is reachable from u within `max_dist` hops (forward edges).
+bool ReachableWithin(const Graph& g, VertexId u, VertexId v,
+                     uint32_t max_dist);
+
+}  // namespace bigindex
+
+#endif  // BIGINDEX_GRAPH_TRAVERSAL_H_

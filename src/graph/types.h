@@ -1,0 +1,28 @@
+// Fundamental identifier types shared by every graph-related module.
+
+#ifndef BIGINDEX_GRAPH_TYPES_H_
+#define BIGINDEX_GRAPH_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace bigindex {
+
+/// Dense vertex identifier within one Graph (layer-local: vertex 7 of layer 2
+/// and vertex 7 of layer 0 are unrelated).
+using VertexId = uint32_t;
+
+/// Interned label identifier, resolved through a LabelDictionary.
+using LabelId = uint32_t;
+
+/// Sentinel for "no vertex" / "no label".
+inline constexpr VertexId kInvalidVertex =
+    std::numeric_limits<VertexId>::max();
+inline constexpr LabelId kInvalidLabel = std::numeric_limits<LabelId>::max();
+
+/// Sentinel distance for "unreachable".
+inline constexpr uint32_t kInfDistance = std::numeric_limits<uint32_t>::max();
+
+}  // namespace bigindex
+
+#endif  // BIGINDEX_GRAPH_TYPES_H_

@@ -1,0 +1,122 @@
+#include "ontology/ontology.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_set>
+
+namespace bigindex {
+
+std::span<const LabelId> Ontology::Supertypes(LabelId type) const {
+  if (type + 1 >= super_offsets_.size()) return {};
+  return {super_targets_.data() + super_offsets_[type],
+          super_offsets_[type + 1] - super_offsets_[type]};
+}
+
+std::span<const LabelId> Ontology::Subtypes(LabelId type) const {
+  if (type + 1 >= sub_offsets_.size()) return {};
+  return {sub_targets_.data() + sub_offsets_[type],
+          sub_offsets_[type + 1] - sub_offsets_[type]};
+}
+
+bool Ontology::IsSupertype(LabelId ancestor, LabelId descendant) const {
+  if (ancestor == descendant) return true;
+  // Upward BFS from descendant. Ontology chains are short (height ~7 in the
+  // paper's data), so this stays tiny.
+  std::vector<LabelId> frontier{descendant};
+  std::unordered_set<LabelId> seen{descendant};
+  while (!frontier.empty()) {
+    LabelId t = frontier.back();
+    frontier.pop_back();
+    for (LabelId super : Supertypes(t)) {
+      if (super == ancestor) return true;
+      if (seen.insert(super).second) frontier.push_back(super);
+    }
+  }
+  return false;
+}
+
+uint32_t Ontology::HeightAbove(LabelId type) const {
+  uint32_t best = 0;
+  for (LabelId super : Supertypes(type)) {
+    best = std::max(best, 1 + HeightAbove(super));
+  }
+  return best;
+}
+
+void OntologyBuilder::AddSupertypeEdge(LabelId subtype, LabelId supertype) {
+  edges_.emplace_back(subtype, supertype);
+}
+
+StatusOr<Ontology> OntologyBuilder::Build() {
+  std::sort(edges_.begin(), edges_.end());
+  edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
+
+  LabelId max_label = 0;
+  for (const auto& [sub, super] : edges_) {
+    max_label = std::max({max_label, sub, super});
+  }
+  const size_t slots = edges_.empty() ? 0 : static_cast<size_t>(max_label) + 1;
+
+  Ontology ont;
+  ont.edge_count_ = edges_.size();
+  ont.super_offsets_.assign(slots + 1, 0);
+  ont.super_targets_.resize(edges_.size());
+  for (const auto& [sub, super] : edges_) ont.super_offsets_[sub + 1]++;
+  std::partial_sum(ont.super_offsets_.begin(), ont.super_offsets_.end(),
+                   ont.super_offsets_.begin());
+  {
+    std::vector<uint64_t> cursor(ont.super_offsets_.begin(),
+                                 ont.super_offsets_.end() - 1);
+    for (const auto& [sub, super] : edges_) {
+      ont.super_targets_[cursor[sub]++] = super;
+    }
+  }
+
+  ont.sub_offsets_.assign(slots + 1, 0);
+  ont.sub_targets_.resize(edges_.size());
+  for (const auto& [sub, super] : edges_) ont.sub_offsets_[super + 1]++;
+  std::partial_sum(ont.sub_offsets_.begin(), ont.sub_offsets_.end(),
+                   ont.sub_offsets_.begin());
+  {
+    std::vector<uint64_t> cursor(ont.sub_offsets_.begin(),
+                                 ont.sub_offsets_.end() - 1);
+    for (const auto& [sub, super] : edges_) {
+      ont.sub_targets_[cursor[super]++] = sub;
+    }
+  }
+
+  // Count distinct types and detect cycles with an iterative Kahn pass over
+  // the supertype relation.
+  {
+    std::unordered_set<LabelId> types;
+    for (const auto& [sub, super] : edges_) {
+      types.insert(sub);
+      types.insert(super);
+    }
+    ont.num_types_ = types.size();
+
+    std::vector<uint32_t> indegree(slots, 0);  // #subtype-edges into a type
+    for (const auto& [sub, super] : edges_) indegree[sub]++;
+    std::vector<LabelId> ready;
+    for (LabelId t : types) {
+      if (indegree[t] == 0) ready.push_back(t);
+    }
+    size_t visited = 0;
+    while (!ready.empty()) {
+      LabelId t = ready.back();
+      ready.pop_back();
+      ++visited;
+      for (LabelId sub : ont.Subtypes(t)) {
+        if (--indegree[sub] == 0) ready.push_back(sub);
+      }
+    }
+    if (visited != ont.num_types_) {
+      return Status::InvalidArgument("ontology has a supertype cycle");
+    }
+  }
+
+  edges_.clear();
+  return ont;
+}
+
+}  // namespace bigindex

@@ -1,0 +1,86 @@
+// The ontology graph G_Ont of Sec. 2: a DAG over labels (types) whose edges
+// (ℓ', ℓ) state that ℓ' is a direct supertype of ℓ.
+//
+// BiG-index only ever generalizes a label to one of its *direct* supertypes
+// per layer (configurations, Sec. 2), so the hot queries here are "direct
+// supertypes of ℓ" and the transitive IsSupertype test used by answer
+// filtering (Prop 4.1 / Sec. 4.3.1).
+
+#ifndef BIGINDEX_ONTOLOGY_ONTOLOGY_H_
+#define BIGINDEX_ONTOLOGY_ONTOLOGY_H_
+
+#include <span>
+#include <vector>
+
+#include "graph/types.h"
+#include "util/status.h"
+
+namespace bigindex {
+
+class OntologyBuilder;
+
+/// Immutable ontology DAG. Types are LabelIds from the shared dictionary;
+/// types never mentioned in any edge simply have no supertypes/subtypes.
+class Ontology {
+ public:
+  Ontology() = default;
+
+  /// Direct supertypes of `type`, sorted ascending. Empty if none known.
+  std::span<const LabelId> Supertypes(LabelId type) const;
+
+  /// Direct subtypes of `type`, sorted ascending. Empty if none known.
+  std::span<const LabelId> Subtypes(LabelId type) const;
+
+  bool HasSupertype(LabelId type) const { return !Supertypes(type).empty(); }
+
+  /// True iff `ancestor` is reachable from `descendant` following supertype
+  /// edges (reflexive: a type is a supertype of itself for filtering
+  /// purposes, matching the use in Prop 4.1).
+  bool IsSupertype(LabelId ancestor, LabelId descendant) const;
+
+  /// Length of the longest supertype chain starting at `type` (0 for roots).
+  uint32_t HeightAbove(LabelId type) const;
+
+  /// Number of supertype edges.
+  size_t NumEdges() const { return edge_count_; }
+
+  /// Number of types that appear in at least one edge.
+  size_t NumTypes() const { return num_types_; }
+
+  /// |V_Ont| + |E_Ont|.
+  size_t Size() const { return NumTypes() + NumEdges(); }
+
+  /// Greatest label id with ontology data, +1 (the adjacency table span).
+  size_t LabelSlots() const {
+    return super_offsets_.empty() ? 0 : super_offsets_.size() - 1;
+  }
+
+ private:
+  friend class OntologyBuilder;
+
+  std::vector<uint64_t> super_offsets_;  // CSR over label ids
+  std::vector<LabelId> super_targets_;
+  std::vector<uint64_t> sub_offsets_;
+  std::vector<LabelId> sub_targets_;
+  size_t edge_count_ = 0;
+  size_t num_types_ = 0;
+};
+
+/// Accumulates SubTypeOf edges and validates acyclicity at Build() time.
+class OntologyBuilder {
+ public:
+  /// Declares that `supertype` is a direct supertype of `subtype`
+  /// (i.e., edge (supertype, subtype) of E_Ont).
+  void AddSupertypeEdge(LabelId subtype, LabelId supertype);
+
+  /// Produces the Ontology; fails with InvalidArgument if the supertype
+  /// relation has a cycle (G_Ont must be a DAG, Sec. 2).
+  StatusOr<Ontology> Build();
+
+ private:
+  std::vector<std::pair<LabelId, LabelId>> edges_;  // (subtype, supertype)
+};
+
+}  // namespace bigindex
+
+#endif  // BIGINDEX_ONTOLOGY_ONTOLOGY_H_

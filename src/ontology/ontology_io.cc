@@ -1,0 +1,75 @@
+#include "ontology/ontology_io.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace bigindex {
+namespace {
+
+constexpr char kMagic[] = "bigindex-ontology v1";
+
+bool NextRecord(std::istream& in, std::string& line) {
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty() || line[0] == '#') continue;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+StatusOr<Ontology> ReadOntology(std::istream& in, LabelDictionary& dict) {
+  std::string line;
+  if (!NextRecord(in, line) || line != kMagic) {
+    return Status::Corruption("missing ontology header");
+  }
+  if (!NextRecord(in, line)) return Status::Corruption("missing size line");
+  uint64_t m = 0;
+  {
+    std::istringstream sizes(line);
+    if (!(sizes >> m)) return Status::Corruption("bad size line");
+  }
+  OntologyBuilder builder;
+  for (uint64_t i = 0; i < m; ++i) {
+    if (!NextRecord(in, line)) {
+      return Status::Corruption("truncated edge section");
+    }
+    size_t tab = line.find('\t');
+    if (tab == std::string::npos) {
+      return Status::Corruption("edge line missing tab: " + line);
+    }
+    LabelId sub = dict.Intern(std::string_view(line).substr(0, tab));
+    LabelId super = dict.Intern(std::string_view(line).substr(tab + 1));
+    builder.AddSupertypeEdge(sub, super);
+  }
+  return builder.Build();
+}
+
+Status WriteOntology(const Ontology& ontology, const LabelDictionary& dict,
+                     std::ostream& out) {
+  out << kMagic << "\n" << ontology.NumEdges() << "\n";
+  for (LabelId t = 0; t < ontology.LabelSlots(); ++t) {
+    for (LabelId super : ontology.Supertypes(t)) {
+      out << dict.Name(t) << "\t" << dict.Name(super) << "\n";
+    }
+  }
+  if (!out) return Status::IOError("write failed");
+  return Status::OK();
+}
+
+StatusOr<Ontology> LoadOntologyFile(const std::string& path,
+                                    LabelDictionary& dict) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+  return ReadOntology(in, dict);
+}
+
+Status SaveOntologyFile(const Ontology& ontology, const LabelDictionary& dict,
+                        const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open " + path);
+  return WriteOntology(ontology, dict, out);
+}
+
+}  // namespace bigindex

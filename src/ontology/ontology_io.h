@@ -1,0 +1,35 @@
+// Text serialization of ontology graphs.
+//
+// Format:
+//
+//   bigindex-ontology v1
+//   <num_edges>
+//   <subtype-label> TAB <supertype-label>     x num_edges
+
+#ifndef BIGINDEX_ONTOLOGY_ONTOLOGY_IO_H_
+#define BIGINDEX_ONTOLOGY_ONTOLOGY_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/label_dictionary.h"
+#include "ontology/ontology.h"
+#include "util/status.h"
+
+namespace bigindex {
+
+/// Parses an ontology from `in`, interning labels into `dict`.
+StatusOr<Ontology> ReadOntology(std::istream& in, LabelDictionary& dict);
+
+/// Writes `ontology` to `out`.
+Status WriteOntology(const Ontology& ontology, const LabelDictionary& dict,
+                     std::ostream& out);
+
+StatusOr<Ontology> LoadOntologyFile(const std::string& path,
+                                    LabelDictionary& dict);
+Status SaveOntologyFile(const Ontology& ontology, const LabelDictionary& dict,
+                        const std::string& path);
+
+}  // namespace bigindex
+
+#endif  // BIGINDEX_ONTOLOGY_ONTOLOGY_IO_H_

@@ -1,0 +1,36 @@
+#include "ontology/typing.h"
+
+namespace bigindex {
+
+StatusOr<TypingResult> AttachUntypedLabels(const Graph& g,
+                                           const Ontology& ontology,
+                                           LabelDictionary& dict,
+                                           std::string_view fallback_name) {
+  TypingResult result;
+  result.fallback_type = dict.Intern(fallback_name);
+
+  OntologyBuilder builder;
+  // Copy the existing supertype edges.
+  for (LabelId t = 0; t < ontology.LabelSlots(); ++t) {
+    for (LabelId super : ontology.Supertypes(t)) {
+      builder.AddSupertypeEdge(t, super);
+    }
+  }
+  // Attach every untyped graph label under the fallback.
+  for (LabelId l : g.DistinctLabels()) {
+    if (ontology.HasSupertype(l)) {
+      ++result.typed;
+      continue;
+    }
+    if (l == result.fallback_type) continue;  // don't self-attach
+    builder.AddSupertypeEdge(l, result.fallback_type);
+    ++result.attached;
+  }
+
+  auto built = builder.Build();
+  if (!built.ok()) return built.status();
+  result.ontology = std::move(built).value();
+  return result;
+}
+
+}  // namespace bigindex

@@ -1,0 +1,49 @@
+// Support for general graphs whose labels are not ontology types
+// (the paper's Appendix A.2 and its DBpedia treatment, Sec. 6.1.2: "73.2% of
+// the entities can be matched to some types in the ontology graph, whereas
+// the rest can be simply matched to the topmost type"; footnote 10 points to
+// entity-typing tools like PEARL/Patty for the remainder).
+//
+// AttachUntypedLabels extends an ontology so that every graph label without
+// a supertype becomes a direct subtype of a designated fallback type —
+// making the full BiG-index machinery applicable to arbitrary labeled
+// graphs without modifying the data graph itself.
+
+#ifndef BIGINDEX_ONTOLOGY_TYPING_H_
+#define BIGINDEX_ONTOLOGY_TYPING_H_
+
+#include <string_view>
+
+#include "graph/graph.h"
+#include "graph/label_dictionary.h"
+#include "ontology/ontology.h"
+#include "util/status.h"
+
+namespace bigindex {
+
+/// Result of attaching untyped labels.
+struct TypingResult {
+  Ontology ontology;       // extended ontology
+  size_t typed = 0;        // labels that already had a supertype
+  size_t attached = 0;     // labels newly attached to the fallback type
+  LabelId fallback_type = kInvalidLabel;
+
+  /// Fraction of the graph's distinct labels that were already typed
+  /// (the paper reports 73.2% for DBpedia against YAGO's ontology).
+  double typed_fraction() const {
+    size_t total = typed + attached;
+    return total == 0 ? 1.0 : static_cast<double>(typed) / total;
+  }
+};
+
+/// Rebuilds `ontology` with every distinct label of `g` that lacks a
+/// supertype attached under `fallback_name` (interned into `dict`; created
+/// as a fresh root type if absent). The input ontology is not modified.
+StatusOr<TypingResult> AttachUntypedLabels(const Graph& g,
+                                           const Ontology& ontology,
+                                           LabelDictionary& dict,
+                                           std::string_view fallback_name);
+
+}  // namespace bigindex
+
+#endif  // BIGINDEX_ONTOLOGY_TYPING_H_

@@ -1,0 +1,65 @@
+#include "search/answer.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_set>
+
+namespace bigindex {
+
+bool AnswerLess(const Answer& a, const Answer& b) {
+  if (a.score != b.score) return a.score < b.score;
+  if (a.root != b.root) return a.root < b.root;
+  return a.keyword_vertices < b.keyword_vertices;
+}
+
+void SortAnswers(std::vector<Answer>& answers) {
+  std::sort(answers.begin(), answers.end(), AnswerLess);
+}
+
+void CanonicalizeAnswer(Answer& a) {
+  std::sort(a.vertices.begin(), a.vertices.end());
+  a.vertices.erase(std::unique(a.vertices.begin(), a.vertices.end()),
+                   a.vertices.end());
+}
+
+std::string AnswerToString(const Answer& a) {
+  std::ostringstream out;
+  out << "root=";
+  if (a.root == kInvalidVertex) {
+    out << "-";
+  } else {
+    out << a.root;
+  }
+  out << " score=" << a.score << " kw=[";
+  for (size_t i = 0; i < a.keyword_vertices.size(); ++i) {
+    if (i) out << ",";
+    out << a.keyword_vertices[i];
+  }
+  out << "] V={";
+  for (size_t i = 0; i < a.vertices.size(); ++i) {
+    if (i) out << ",";
+    out << a.vertices[i];
+  }
+  out << "}";
+  return out.str();
+}
+
+bool AnswerIsConnected(const Graph& g, const Answer& a) {
+  if (a.vertices.empty()) return true;
+  std::unordered_set<VertexId> in_answer(a.vertices.begin(),
+                                         a.vertices.end());
+  std::vector<VertexId> stack{a.vertices.front()};
+  std::unordered_set<VertexId> seen{a.vertices.front()};
+  while (!stack.empty()) {
+    VertexId u = stack.back();
+    stack.pop_back();
+    auto visit = [&](VertexId w) {
+      if (in_answer.count(w) && seen.insert(w).second) stack.push_back(w);
+    };
+    for (VertexId w : g.OutNeighbors(u)) visit(w);
+    for (VertexId w : g.InNeighbors(u)) visit(w);
+  }
+  return seen.size() == a.vertices.size();
+}
+
+}  // namespace bigindex

@@ -1,0 +1,61 @@
+// Shared answer representation for all keyword search semantics.
+//
+// Every semantics in src/search returns Answers: a vertex set with one
+// designated match vertex per query keyword, an optional root (tree
+// semantics), and a score where *lower is better* (Σ distances in both Blinks
+// and r-clique). The answer's topology is implied: it is the node-induced
+// subgraph of `vertices` in the graph it was computed on, which is exactly
+// what BiG-index's specialization machinery consumes (Sec. 4.2).
+
+#ifndef BIGINDEX_SEARCH_ANSWER_H_
+#define BIGINDEX_SEARCH_ANSWER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace bigindex {
+
+/// One query answer over a specific graph (a data graph or a summary layer).
+struct Answer {
+  /// All vertices of the answer, sorted ascending, unique. Includes the root
+  /// and all intermediate (Steiner) vertices of connecting paths.
+  std::vector<VertexId> vertices;
+
+  /// keyword_vertices[i] matches the i-th query keyword. A vertex may match
+  /// several keywords. Always the same length as the query.
+  std::vector<VertexId> keyword_vertices;
+
+  /// Root for rooted-tree semantics (bkws / Blinks); kInvalidVertex for
+  /// semantics without a root (r-clique).
+  VertexId root = kInvalidVertex;
+
+  /// Lower is better. Σ dist(root, kwᵢ) for tree semantics,
+  /// Σ pairwise distances for r-clique.
+  uint32_t score = 0;
+
+  bool operator==(const Answer&) const = default;
+};
+
+/// Orders answers by (score, root, keyword vertices) for deterministic top-k.
+bool AnswerLess(const Answer& a, const Answer& b);
+
+/// Sorts answers into deterministic rank order (stable across runs).
+void SortAnswers(std::vector<Answer>& answers);
+
+/// Canonicalizes `vertices` (sort + unique). Call after assembling an answer.
+void CanonicalizeAnswer(Answer& a);
+
+/// Debug rendering: "root=3 score=5 kw=[7,9] V={3,5,7,9}".
+std::string AnswerToString(const Answer& a);
+
+/// True iff the answer's vertex set is connected in the *undirected* view of
+/// g. All semantics here produce connected answers; tests verify it.
+bool AnswerIsConnected(const Graph& g, const Answer& a);
+
+}  // namespace bigindex
+
+#endif  // BIGINDEX_SEARCH_ANSWER_H_

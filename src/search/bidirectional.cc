@@ -1,0 +1,134 @@
+#include "search/bidirectional.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "search/bkws.h"
+
+namespace bigindex {
+namespace {
+
+/// Priority-queue entry of the spreading-activation expansion.
+struct Frontier {
+  double activation;
+  uint32_t dist;
+  VertexId vertex;
+  uint32_t cone;  // keyword index
+
+  bool operator<(const Frontier& other) const {
+    // max-heap on activation; deterministic tie-breaks.
+    if (activation != other.activation) return activation < other.activation;
+    if (dist != other.dist) return dist > other.dist;
+    if (vertex != other.vertex) return vertex > other.vertex;
+    return cone > other.cone;
+  }
+};
+
+}  // namespace
+
+std::vector<Answer> BidirectionalSearch(const Graph& g,
+                                        const std::vector<LabelId>& keywords,
+                                        const BidirectionalOptions& options,
+                                        BidirectionalStats* stats) {
+  std::vector<Answer> answers;
+  const size_t nq = keywords.size();
+  if (nq == 0 || nq > 32 || g.NumVertices() == 0) return answers;
+
+  // Per-cone distance tables (exact distances emerge because expansion is
+  // monotone per cone: activation is a strictly decreasing function of
+  // distance within one cone, so pops happen in BFS order per cone).
+  std::vector<std::vector<uint32_t>> dist(
+      nq, std::vector<uint32_t>(g.NumVertices(), kInfDistance));
+  std::vector<std::vector<VertexId>> witness(
+      nq, std::vector<VertexId>(g.NumVertices(), kInvalidVertex));
+  std::vector<std::vector<VertexId>> next_hop(
+      nq, std::vector<VertexId>(g.NumVertices(), kInvalidVertex));
+
+  std::priority_queue<Frontier> backward;
+  for (size_t i = 0; i < nq; ++i) {
+    auto origins = g.VerticesWithLabel(keywords[i]);
+    if (origins.empty()) return answers;  // some keyword is unmatchable
+    double base = 1.0 / static_cast<double>(origins.size());
+    for (VertexId v : origins) {
+      dist[i][v] = 0;
+      witness[i][v] = v;
+      next_hop[i][v] = v;
+      backward.push({base, 0, v, static_cast<uint32_t>(i)});
+    }
+  }
+
+  std::vector<uint32_t> covered(g.NumVertices(), 0);
+  const uint32_t full_mask = nq == 32 ? 0xFFFFFFFFu : ((1u << nq) - 1);
+
+  // Backward spreading activation. A forward phase re-prioritizes vertices
+  // that some cone already reached (they are candidate roots): their
+  // remaining in-edges are explored eagerly so partially-covered roots
+  // complete early. Exhaustive within d_max, so the distinct-root answer set
+  // is exactly bkws's.
+  while (!backward.empty()) {
+    Frontier f = backward.top();
+    backward.pop();
+    if (dist[f.cone][f.vertex] != f.dist) continue;  // stale entry
+    if (stats) {
+      if (covered[f.vertex] != 0) {
+        ++stats->forward_pops;
+      } else {
+        ++stats->backward_pops;
+      }
+    }
+    covered[f.vertex] |= (1u << f.cone);
+    if (f.dist >= options.d_max) continue;
+    // Forward-boosting: vertices already covered by other cones propagate
+    // with a boosted activation so their completion is prioritized.
+    double boost = covered[f.vertex] == (1u << f.cone) ? 1.0 : 2.0;
+    for (VertexId u : g.InNeighbors(f.vertex)) {
+      // Dijkstra-style relaxation: activation order is not BFS order (the
+      // forward boost can promote deeper entries), so shorter paths found
+      // later must overwrite earlier tentative distances.
+      if (f.dist + 1 >= dist[f.cone][u]) continue;
+      dist[f.cone][u] = f.dist + 1;
+      witness[f.cone][u] = witness[f.cone][f.vertex];
+      next_hop[f.cone][u] = f.vertex;
+      backward.push({f.activation * options.decay * boost, f.dist + 1, u,
+                     f.cone});
+    }
+  }
+
+  for (VertexId r = 0; r < g.NumVertices(); ++r) {
+    if (covered[r] != full_mask) continue;
+    Answer a;
+    a.root = r;
+    a.vertices.push_back(r);
+    for (size_t i = 0; i < nq; ++i) {
+      a.score += dist[i][r];
+      a.keyword_vertices.push_back(witness[i][r]);
+      if (options.materialize_paths) {
+        VertexId v = r;
+        while (v != witness[i][v]) {
+          v = next_hop[i][v];
+          a.vertices.push_back(v);
+        }
+      } else {
+        a.vertices.push_back(witness[i][r]);
+      }
+    }
+    CanonicalizeAnswer(a);
+    answers.push_back(std::move(a));
+  }
+
+  SortAnswers(answers);
+  if (options.top_k != 0 && answers.size() > options.top_k) {
+    answers.resize(options.top_k);
+  }
+  return answers;
+}
+
+std::optional<Answer> BidirectionalAlgorithm::VerifyCandidate(
+    const Graph& g, const std::vector<LabelId>& keywords,
+    const Answer& candidate) const {
+  return CompleteRootedAnswer(g, keywords, candidate.root, options_.d_max,
+                              options_.materialize_paths);
+}
+
+}  // namespace bigindex

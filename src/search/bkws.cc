@@ -1,0 +1,171 @@
+#include "search/bkws.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace bigindex {
+namespace {
+
+/// Per-keyword backward BFS result: distance, witness keyword vertex, and
+/// the next hop on a shortest path toward the witness.
+struct BackwardCone {
+  std::vector<uint32_t> dist;       // kInfDistance if unreached
+  std::vector<VertexId> witness;    // keyword vertex this distance leads to
+  std::vector<VertexId> next_hop;   // successor on the path to witness
+};
+
+BackwardCone ExpandBackward(const Graph& g, LabelId keyword,
+                            uint32_t d_max) {
+  const size_t n = g.NumVertices();
+  BackwardCone cone;
+  cone.dist.assign(n, kInfDistance);
+  cone.witness.assign(n, kInvalidVertex);
+  cone.next_hop.assign(n, kInvalidVertex);
+
+  std::vector<VertexId> queue;
+  for (VertexId v : g.VerticesWithLabel(keyword)) {
+    cone.dist[v] = 0;
+    cone.witness[v] = v;
+    cone.next_hop[v] = v;
+    queue.push_back(v);
+  }
+  size_t head = 0;
+  while (head < queue.size()) {
+    VertexId v = queue[head++];
+    uint32_t d = cone.dist[v];
+    if (d >= d_max) continue;
+    // Backward expansion: u -> v means u reaches the keyword through v.
+    for (VertexId u : g.InNeighbors(v)) {
+      if (cone.dist[u] != kInfDistance) continue;
+      cone.dist[u] = d + 1;
+      cone.witness[u] = cone.witness[v];
+      cone.next_hop[u] = v;
+      queue.push_back(u);
+    }
+  }
+  return cone;
+}
+
+// Appends the vertices of the shortest path root -> witness recorded in cone
+// (excluding the root itself, including the witness).
+void AppendPath(const BackwardCone& cone, VertexId root,
+                std::vector<VertexId>& out) {
+  VertexId v = root;
+  while (v != cone.witness[v]) {
+    v = cone.next_hop[v];
+    out.push_back(v);
+  }
+}
+
+}  // namespace
+
+std::optional<Answer> CompleteRootedAnswer(
+    const Graph& g, const std::vector<LabelId>& keywords, VertexId root,
+    uint32_t d_max, bool materialize_paths) {
+  if (root >= g.NumVertices() || keywords.empty()) return std::nullopt;
+  const size_t nq = keywords.size();
+
+  // Forward bounded BFS from the root with parent tracking.
+  std::unordered_map<VertexId, std::pair<uint32_t, VertexId>> info;  // v -> (dist, parent)
+  std::vector<VertexId> queue{root};
+  info.emplace(root, std::make_pair(0u, root));
+  // Best (dist, vertex) per keyword, tie-broken by smallest vertex id.
+  std::vector<std::pair<uint32_t, VertexId>> best(
+      nq, {kInfDistance, kInvalidVertex});
+  auto consider = [&](VertexId v, uint32_t d) {
+    LabelId l = g.label(v);
+    for (size_t i = 0; i < nq; ++i) {
+      if (keywords[i] == l && std::make_pair(d, v) < best[i]) {
+        best[i] = {d, v};
+      }
+    }
+  };
+  consider(root, 0);
+  size_t head = 0;
+  while (head < queue.size()) {
+    VertexId v = queue[head++];
+    uint32_t d = info.at(v).first;
+    if (d >= d_max) continue;
+    for (VertexId w : g.OutNeighbors(v)) {
+      if (info.count(w)) continue;
+      info.emplace(w, std::make_pair(d + 1, v));
+      consider(w, d + 1);
+      queue.push_back(w);
+    }
+  }
+  for (const auto& [d, v] : best) {
+    if (d == kInfDistance) return std::nullopt;
+  }
+
+  Answer a;
+  a.root = root;
+  a.vertices.push_back(root);
+  for (const auto& [d, v] : best) {
+    a.score += d;
+    a.keyword_vertices.push_back(v);
+    if (materialize_paths) {
+      VertexId x = v;
+      while (x != root) {
+        a.vertices.push_back(x);
+        x = info.at(x).second;
+      }
+    } else {
+      a.vertices.push_back(v);
+    }
+  }
+  CanonicalizeAnswer(a);
+  return a;
+}
+
+std::vector<Answer> BackwardKeywordSearch(const Graph& g,
+                                          const std::vector<LabelId>& keywords,
+                                          const BkwsOptions& options) {
+  std::vector<Answer> answers;
+  if (keywords.empty() || g.NumVertices() == 0) return answers;
+
+  // One backward cone per keyword. Expanding the smallest V_qi first (the
+  // classical heuristic) does not change the result set; we simply expand
+  // all — each cone is one bounded BFS.
+  std::vector<BackwardCone> cones;
+  cones.reserve(keywords.size());
+  for (LabelId q : keywords) {
+    cones.push_back(ExpandBackward(g, q, options.d_max));
+  }
+
+  // Answer discovery: roots reached by every cone.
+  for (VertexId r = 0; r < g.NumVertices(); ++r) {
+    uint32_t score = 0;
+    bool covered = true;
+    for (const BackwardCone& cone : cones) {
+      if (cone.dist[r] == kInfDistance) {
+        covered = false;
+        break;
+      }
+      score += cone.dist[r];
+    }
+    if (!covered) continue;
+
+    Answer a;
+    a.root = r;
+    a.score = score;
+    a.vertices.push_back(r);
+    for (const BackwardCone& cone : cones) {
+      a.keyword_vertices.push_back(cone.witness[r]);
+      if (options.materialize_paths) {
+        AppendPath(cone, r, a.vertices);
+      } else {
+        a.vertices.push_back(cone.witness[r]);
+      }
+    }
+    CanonicalizeAnswer(a);
+    answers.push_back(std::move(a));
+  }
+
+  SortAnswers(answers);
+  if (options.top_k != 0 && answers.size() > options.top_k) {
+    answers.resize(options.top_k);
+  }
+  return answers;
+}
+
+}  // namespace bigindex

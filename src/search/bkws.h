@@ -1,0 +1,85 @@
+// Backward keyword search (bkws) — the BANKS-style semantics of Sec. 5.1 and
+// the exact keyword search of Sec. 2.
+//
+// A match of Q = {q_1..q_n} is a subtree T rooted at r with one leaf p_i per
+// keyword such that L(p_i) = q_i and dist(r, p_i) <= d_max. We implement the
+// distinct-root variant (at most one — the best — tree per root), which is
+// the semantics He et al. refine and the one the paper plugs into BiG-index.
+//
+// Evaluation is the classical backward expansion: one bounded multi-source
+// BFS per keyword along *reversed* edges from the keyword's vertex set V_qi,
+// recording for every reached vertex its distance and a witness keyword
+// vertex + next hop (so answer trees can be materialized). Roots are vertices
+// reached by all keywords.
+
+#ifndef BIGINDEX_SEARCH_BKWS_H_
+#define BIGINDEX_SEARCH_BKWS_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/search_algorithm.h"
+#include "graph/graph.h"
+#include "search/answer.h"
+
+namespace bigindex {
+
+/// Options for backward keyword search.
+struct BkwsOptions {
+  /// Maximum root-to-keyword distance (the paper uses d_max = 5 for Blinks
+  /// experiments; bkws shares the bound).
+  uint32_t d_max = 5;
+
+  /// Return only the k best-scoring answers; 0 = return all matches.
+  size_t top_k = 0;
+
+  /// If true, answer trees include the intermediate path vertices
+  /// (root -> keyword witnesses); if false, only root + keyword vertices.
+  /// Path vertices are required for BiG-index answer generation.
+  bool materialize_paths = true;
+};
+
+/// Stand-alone entry point.
+std::vector<Answer> BackwardKeywordSearch(const Graph& g,
+                                          const std::vector<LabelId>& keywords,
+                                          const BkwsOptions& options = {});
+
+/// Computes the exact best answer tree rooted at `root` (shared by bkws and
+/// Blinks verification): one forward bounded BFS from the root, nearest
+/// keyword vertex per keyword with deterministic tie-breaking (smallest id).
+/// Returns nullopt if some keyword is unreachable within d_max.
+std::optional<Answer> CompleteRootedAnswer(
+    const Graph& g, const std::vector<LabelId>& keywords, VertexId root,
+    uint32_t d_max, bool materialize_paths);
+
+/// Adapter implementing the pluggable `f` interface.
+class BkwsAlgorithm final : public KeywordSearchAlgorithm {
+ public:
+  explicit BkwsAlgorithm(BkwsOptions options = {}) : options_(options) {}
+
+  std::string_view Name() const override { return "bkws"; }
+
+  std::vector<Answer> Evaluate(
+      const Graph& g, const std::vector<LabelId>& keywords) const override {
+    return BackwardKeywordSearch(g, keywords, options_);
+  }
+
+  bool IsRooted() const override { return true; }
+
+  std::optional<Answer> VerifyCandidate(
+      const Graph& g, const std::vector<LabelId>& keywords,
+      const Answer& candidate) const override {
+    return CompleteRootedAnswer(g, keywords, candidate.root, options_.d_max,
+                                options_.materialize_paths);
+  }
+
+  const BkwsOptions& options() const { return options_; }
+
+ private:
+  BkwsOptions options_;
+};
+
+}  // namespace bigindex
+
+#endif  // BIGINDEX_SEARCH_BKWS_H_

@@ -1,0 +1,313 @@
+#include "search/blinks.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "search/bkws.h"
+
+namespace bigindex {
+namespace {
+
+/// A lazily expanded backward BFS cone for one keyword: level L is expanded
+/// on demand; after ExpandLevel() returns, every vertex at distance <=
+/// frontier_dist() from the keyword set is discovered with its exact
+/// distance, witness keyword vertex, and next hop.
+class LazyCone {
+ public:
+  LazyCone(const Graph& g, LabelId keyword, uint32_t d_max)
+      : g_(g), d_max_(d_max) {
+    dist_.assign(g.NumVertices(), kInfDistance);
+    witness_.assign(g.NumVertices(), kInvalidVertex);
+    next_hop_.assign(g.NumVertices(), kInvalidVertex);
+    for (VertexId v : g.VerticesWithLabel(keyword)) {
+      dist_[v] = 0;
+      witness_[v] = v;
+      next_hop_[v] = v;
+      queue_.push_back(v);
+    }
+    level_end_ = queue_.size();
+  }
+
+  uint32_t frontier_dist() const { return frontier_dist_; }
+  bool Exhausted() const {
+    return frontier_dist_ >= d_max_ || head_ >= queue_.size();
+  }
+
+  /// Expands one BFS level. Returns the vertices newly discovered.
+  std::span<const VertexId> ExpandLevel(size_t* popped) {
+    size_t new_begin = queue_.size();
+    while (head_ < level_end_) {
+      VertexId v = queue_[head_++];
+      if (popped) ++(*popped);
+      for (VertexId u : g_.InNeighbors(v)) {
+        if (dist_[u] != kInfDistance) continue;
+        dist_[u] = frontier_dist_ + 1;
+        witness_[u] = witness_[v];
+        next_hop_[u] = v;
+        queue_.push_back(u);
+      }
+    }
+    ++frontier_dist_;
+    level_end_ = queue_.size();
+    return {queue_.data() + new_begin, queue_.size() - new_begin};
+  }
+
+  uint32_t dist(VertexId v) const { return dist_[v]; }
+  VertexId witness(VertexId v) const { return witness_[v]; }
+
+  /// Appends the path from root toward its witness (excludes root).
+  void AppendPath(VertexId root, std::vector<VertexId>& out) const {
+    VertexId v = root;
+    while (v != witness_[v]) {
+      v = next_hop_[v];
+      out.push_back(v);
+    }
+  }
+
+ private:
+  const Graph& g_;
+  uint32_t d_max_;
+  std::vector<uint32_t> dist_;
+  std::vector<VertexId> witness_;
+  std::vector<VertexId> next_hop_;
+  std::vector<VertexId> queue_;
+  size_t head_ = 0;
+  size_t level_end_ = 0;
+  uint32_t frontier_dist_ = 0;
+};
+
+}  // namespace
+
+BlinksIndex BlinksIndex::Build(const Graph& g, size_t block_size) {
+  BlinksIndex index;
+  index.partition_ = PartitionGraph(g, block_size);
+  index.portals_ = ComputePortals(g, index.partition_);
+  const size_t num_blocks = index.partition_.NumBlocks();
+  index.node_keyword_.resize(num_blocks);
+
+  // Per block: multi-source backward BFS from each in-block label set,
+  // restricted to block members — the in-block node-keyword map.
+  std::vector<VertexId> queue;
+  std::vector<uint32_t> dist;
+  for (uint32_t b = 0; b < num_blocks; ++b) {
+    auto members = index.partition_.BlockMembers(b);
+    // Distinct labels in this block.
+    std::vector<LabelId> labels;
+    for (VertexId v : members) labels.push_back(g.label(v));
+    std::sort(labels.begin(), labels.end());
+    labels.erase(std::unique(labels.begin(), labels.end()), labels.end());
+
+    for (LabelId l : labels) {
+      index.keyword_blocks_[l].push_back(b);
+      auto& map = index.node_keyword_[b][l];
+      queue.clear();
+      for (VertexId v : members) {
+        if (g.label(v) == l) {
+          map[v] = 0;
+          queue.push_back(v);
+        }
+      }
+      size_t head = 0;
+      while (head < queue.size()) {
+        VertexId v = queue[head++];
+        uint32_t d = map[v];
+        for (VertexId u : g.InNeighbors(v)) {
+          if (index.partition_.BlockOf(u) != b) continue;  // stay in block
+          if (map.count(u)) continue;
+          map[u] = d + 1;
+          queue.push_back(u);
+        }
+      }
+    }
+  }
+
+  // Approximate footprint: each node-keyword entry is a (vertex, dist) pair
+  // in a hash map (~16 bytes payload + overhead estimate).
+  size_t entries = 0;
+  for (const auto& block_map : index.node_keyword_) {
+    for (const auto& [l, m] : block_map) entries += m.size();
+  }
+  index.memory_bytes_ = entries * 24 +
+                        index.portals_.size() * sizeof(VertexId) +
+                        g.NumVertices() * sizeof(uint32_t);
+  return index;
+}
+
+uint32_t BlinksIndex::InBlockKeywordDistance(VertexId v, LabelId label) const {
+  uint32_t b = partition_.BlockOf(v);
+  auto it = node_keyword_[b].find(label);
+  if (it == node_keyword_[b].end()) return kInfDistance;
+  auto vit = it->second.find(v);
+  return vit == it->second.end() ? kInfDistance : vit->second;
+}
+
+std::span<const uint32_t> BlinksIndex::BlocksWithKeyword(LabelId label) const {
+  auto it = keyword_blocks_.find(label);
+  if (it == keyword_blocks_.end()) return {};
+  return it->second;
+}
+
+size_t BlinksIndex::SingleLevelMemoryEstimate(const Graph& g) {
+  // Global node-keyword map: one distance entry per (vertex, distinct label).
+  return g.NumVertices() * g.DistinctLabels().size() * sizeof(uint32_t);
+}
+
+std::vector<Answer> BlinksSearch(const Graph& g, const BlinksIndex& index,
+                                 const std::vector<LabelId>& keywords,
+                                 const BlinksOptions& options,
+                                 BlinksStats* stats) {
+  std::vector<Answer> answers;
+  const size_t nq = keywords.size();
+  if (nq == 0 || g.NumVertices() == 0) return answers;
+  assert(nq <= 32 && "keyword mask is 32 bits");
+
+  std::vector<LazyCone> cones;
+  cones.reserve(nq);
+  for (LabelId q : keywords) cones.emplace_back(g, q, options.d_max);
+
+  // Per-vertex bookkeeping for partial roots.
+  std::vector<uint32_t> known_mask(g.NumVertices(), 0);
+  std::vector<uint32_t> sum_known(g.NumVertices(), 0);
+  const uint32_t full_mask =
+      nq == 32 ? 0xFFFFFFFFu : ((1u << nq) - 1);
+  std::vector<VertexId> partial;   // discovered by >=1 cone, not complete
+  std::vector<VertexId> complete;  // discovered by all cones (answer roots)
+
+  BlinksStats local_stats;
+  BlinksStats& st = stats ? *stats : local_stats;
+
+  auto record_discovery = [&](size_t cone_idx, VertexId v) {
+    bool was_virgin = known_mask[v] == 0;
+    known_mask[v] |= (1u << cone_idx);
+    sum_known[v] += cones[cone_idx].dist(v);
+    if (known_mask[v] == full_mask) {
+      complete.push_back(v);
+    } else if (was_virgin) {
+      partial.push_back(v);
+      // Node-keyword map probe (bi-level index use): an in-block hit tells
+      // us immediately that v is a promising root; the probe count feeds the
+      // diagnostics/breakdown figures. Distances stay exact via the cones.
+      for (size_t j = 0; j < nq; ++j) {
+        if (j == cone_idx) continue;
+        ++st.probes;
+        index.InBlockKeywordDistance(v, keywords[j]);
+      }
+    }
+  };
+
+  // Seed: level-0 vertices are already in the cones; register them.
+  for (size_t i = 0; i < nq; ++i) {
+    for (VertexId v : g.VerticesWithLabel(keywords[i])) {
+      record_discovery(i, v);
+    }
+  }
+
+  // Round-robin expansion, smallest frontier first (He et al.'s strategy of
+  // advancing the least-advanced cursor keeps the lower bound tight).
+  const bool want_topk = options.top_k != 0;
+  while (true) {
+    // Early termination: the k best complete roots beat every possible
+    // future or incomplete root.
+    if (want_topk && complete.size() >= options.top_k) {
+      // kth best score among complete roots.
+      std::vector<uint32_t> scores;
+      scores.reserve(complete.size());
+      for (VertexId v : complete) scores.push_back(sum_known[v]);
+      std::nth_element(scores.begin(), scores.begin() + options.top_k - 1,
+                       scores.end());
+      uint32_t kth = scores[options.top_k - 1];
+
+      // Lower bound over roots never discovered by cone i: dist_i >= f_i+1.
+      uint64_t lb_virgin = 0;
+      for (const LazyCone& cone : cones) {
+        lb_virgin += cone.frontier_dist() + 1;
+      }
+      // Lower bound over partially discovered roots.
+      uint64_t lb_partial = UINT64_MAX;
+      for (VertexId v : partial) {
+        if (known_mask[v] == full_mask) continue;  // completed meanwhile
+        uint64_t lb = sum_known[v];
+        for (size_t j = 0; j < nq; ++j) {
+          if (!(known_mask[v] >> j & 1)) lb += cones[j].frontier_dist() + 1;
+        }
+        lb_partial = std::min(lb_partial, lb);
+      }
+      // Strict: at lb == kth a future root could tie the kth score and win
+      // the deterministic tie-break, so only stop when strictly better.
+      if (kth < std::min(lb_virgin, lb_partial)) {
+        st.early_terminated = true;
+        break;
+      }
+    }
+
+    // Pick the non-exhausted cone with the smallest frontier distance.
+    size_t pick = nq;
+    for (size_t i = 0; i < nq; ++i) {
+      if (cones[i].Exhausted()) continue;
+      if (pick == nq ||
+          cones[i].frontier_dist() < cones[pick].frontier_dist()) {
+        pick = i;
+      }
+    }
+    if (pick == nq) break;  // all exhausted: results are exact and complete
+
+    auto fresh = cones[pick].ExpandLevel(&st.vertices_popped);
+    ++st.levels_expanded;
+    for (VertexId v : fresh) record_discovery(pick, v);
+  }
+
+  // Materialize answers from complete roots.
+  answers.reserve(complete.size());
+  for (VertexId r : complete) {
+    Answer a;
+    a.root = r;
+    a.score = sum_known[r];
+    a.vertices.push_back(r);
+    for (const LazyCone& cone : cones) {
+      a.keyword_vertices.push_back(cone.witness(r));
+      if (options.materialize_paths) {
+        cone.AppendPath(r, a.vertices);
+      } else {
+        a.vertices.push_back(cone.witness(r));
+      }
+    }
+    CanonicalizeAnswer(a);
+    answers.push_back(std::move(a));
+  }
+  SortAnswers(answers);
+  if (want_topk && answers.size() > options.top_k) {
+    answers.resize(options.top_k);
+  }
+  return answers;
+}
+
+std::vector<Answer> BlinksAlgorithm::Evaluate(
+    const Graph& g, const std::vector<LabelId>& keywords) const {
+  const BlinksIndex* index = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    auto it = cache_.find(&g);
+    if (it == cache_.end()) {
+      it = cache_
+               .emplace(&g, std::make_unique<BlinksIndex>(
+                                BlinksIndex::Build(g, options_.block_size)))
+               .first;
+    }
+    index = it->second.get();
+  }
+  return BlinksSearch(g, *index, keywords, options_);
+}
+
+std::optional<Answer> BlinksAlgorithm::VerifyCandidate(
+    const Graph& g, const std::vector<LabelId>& keywords,
+    const Answer& candidate) const {
+  return CompleteRootedAnswer(g, keywords, candidate.root, options_.d_max,
+                              options_.materialize_paths);
+}
+
+void BlinksAlgorithm::ClearCache() const {
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  cache_.clear();
+}
+
+}  // namespace bigindex

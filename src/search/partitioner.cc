@@ -1,0 +1,77 @@
+#include "search/partitioner.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace bigindex {
+
+Partition::Partition(std::vector<uint32_t> block_of, size_t num_blocks)
+    : block_of_(std::move(block_of)) {
+  offsets_.assign(num_blocks + 1, 0);
+  members_.resize(block_of_.size());
+  for (uint32_t b : block_of_) offsets_[b + 1]++;
+  std::partial_sum(offsets_.begin(), offsets_.end(), offsets_.begin());
+  std::vector<uint64_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (VertexId v = 0; v < block_of_.size(); ++v) {
+    members_[cursor[block_of_[v]]++] = v;
+  }
+}
+
+Partition PartitionGraph(const Graph& g, size_t target_block_size) {
+  assert(target_block_size > 0);
+  const size_t n = g.NumVertices();
+  std::vector<uint32_t> block_of(n, UINT32_MAX);
+  uint32_t next_block = 0;
+  std::vector<VertexId> queue;
+  for (VertexId seed = 0; seed < n; ++seed) {
+    if (block_of[seed] != UINT32_MAX) continue;
+    uint32_t b = next_block++;
+    size_t filled = 0;
+    queue.clear();
+    queue.push_back(seed);
+    block_of[seed] = b;
+    ++filled;
+    size_t head = 0;
+    while (head < queue.size() && filled < target_block_size) {
+      VertexId u = queue[head++];
+      auto try_assign = [&](VertexId w) {
+        if (filled >= target_block_size) return;
+        if (block_of[w] != UINT32_MAX) return;
+        block_of[w] = b;
+        ++filled;
+        queue.push_back(w);
+      };
+      for (VertexId w : g.OutNeighbors(u)) try_assign(w);
+      for (VertexId w : g.InNeighbors(u)) try_assign(w);
+    }
+  }
+  return Partition(std::move(block_of), next_block);
+}
+
+std::vector<VertexId> ComputePortals(const Graph& g,
+                                     const Partition& partition) {
+  std::vector<VertexId> portals;
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    uint32_t b = partition.BlockOf(v);
+    bool crossing = false;
+    for (VertexId w : g.OutNeighbors(v)) {
+      if (partition.BlockOf(w) != b) {
+        crossing = true;
+        break;
+      }
+    }
+    if (!crossing) {
+      for (VertexId w : g.InNeighbors(v)) {
+        if (partition.BlockOf(w) != b) {
+          crossing = true;
+          break;
+        }
+      }
+    }
+    if (crossing) portals.push_back(v);
+  }
+  return portals;
+}
+
+}  // namespace bigindex

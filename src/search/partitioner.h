@@ -1,0 +1,53 @@
+// Graph partitioning for the Blinks bi-level index (Sec. 5.3).
+//
+// The paper uses METIS with an average block size of 1000. METIS is not
+// available offline, so we substitute a BFS-grown greedy partitioner over the
+// undirected view of the graph: repeatedly seed an unassigned vertex and grow
+// a block breadth-first until it reaches the target size. Blinks only needs
+// blocks that are connected-ish and bounded in size — partition quality moves
+// constants, not trends (see DESIGN.md, Substitutions).
+
+#ifndef BIGINDEX_SEARCH_PARTITIONER_H_
+#define BIGINDEX_SEARCH_PARTITIONER_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace bigindex {
+
+/// A disjoint block cover of the vertex set.
+class Partition {
+ public:
+  Partition() = default;
+  Partition(std::vector<uint32_t> block_of, size_t num_blocks);
+
+  uint32_t BlockOf(VertexId v) const { return block_of_[v]; }
+  size_t NumBlocks() const { return offsets_.empty() ? 0 : offsets_.size() - 1; }
+  size_t NumVertices() const { return block_of_.size(); }
+
+  /// Vertices of block b, ascending.
+  std::span<const VertexId> BlockMembers(uint32_t b) const {
+    return {members_.data() + offsets_[b], offsets_[b + 1] - offsets_[b]};
+  }
+
+ private:
+  std::vector<uint32_t> block_of_;
+  std::vector<uint64_t> offsets_;  // CSR over blocks
+  std::vector<VertexId> members_;
+};
+
+/// BFS-grown partition with blocks of at most `target_block_size` vertices.
+Partition PartitionGraph(const Graph& g, size_t target_block_size);
+
+/// Portal vertices of a partition: vertices with at least one edge (in either
+/// direction) crossing into another block. Returned sorted ascending.
+std::vector<VertexId> ComputePortals(const Graph& g,
+                                     const Partition& partition);
+
+}  // namespace bigindex
+
+#endif  // BIGINDEX_SEARCH_PARTITIONER_H_

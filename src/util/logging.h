@@ -1,0 +1,47 @@
+// Minimal leveled logging to stderr. Benchmarks and index construction use it
+// for progress reporting; the library core stays silent below kWarning.
+
+#ifndef BIGINDEX_UTIL_LOGGING_H_
+#define BIGINDEX_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace bigindex {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Global minimum level; messages below it are dropped. Default: kInfo.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+void LogMessage(LogLevel level, const std::string& msg);
+
+/// Stream-style accumulator that emits on destruction.
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { LogMessage(level_, stream_.str()); }
+
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace bigindex
+
+#define BIGINDEX_LOG(level) \
+  ::bigindex::internal::LogLine(::bigindex::LogLevel::level)
+
+#endif  // BIGINDEX_UTIL_LOGGING_H_

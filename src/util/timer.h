@@ -1,0 +1,36 @@
+// Wall-clock timing helpers used by benchmarks and the query-cost breakdowns.
+
+#ifndef BIGINDEX_UTIL_TIMER_H_
+#define BIGINDEX_UTIL_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace bigindex {
+
+/// Monotonic stopwatch. Restart() resets the origin; Elapsed*() reads without
+/// resetting, so one timer can bracket several phases.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+  uint64_t ElapsedMicros() const {
+    return static_cast<uint64_t>(ElapsedSeconds() * 1e6);
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace bigindex
+
+#endif  // BIGINDEX_UTIL_TIMER_H_

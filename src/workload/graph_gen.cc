@@ -1,0 +1,169 @@
+#include "workload/graph_gen.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+
+#include "util/random.h"
+
+namespace bigindex {
+namespace {
+
+/// A relation slot of an entity type: every entity of that type points at
+/// one sink drawn from `family` (sinks labeled with any type in the family).
+struct RelationSlot {
+  // Sinks eligible for this slot, hot-first (Zipf over the vector order).
+  std::vector<VertexId> targets;
+};
+
+}  // namespace
+
+Graph GenerateKnowledgeGraph(const GeneratedOntology& ontology,
+                             const GraphGenOptions& options) {
+  assert(!ontology.leaf_types.empty());
+  Rng rng(options.seed);
+  const size_t n = options.num_vertices;
+  const size_t num_types = ontology.leaf_types.size();
+
+  // Seed-shuffled leaf types so which type is "hot" varies with the seed.
+  std::vector<LabelId> types(ontology.leaf_types);
+  for (size_t i = types.size(); i > 1; --i) {
+    std::swap(types[i - 1], types[rng.Uniform(i)]);
+  }
+  ZipfSampler type_dist(num_types, options.label_zipf);
+
+  // Split the type space: the first portion labels sinks, the rest entities.
+  const size_t num_sink_types = std::max<size_t>(1, num_types / 3);
+  const size_t num_sinks =
+      std::max<size_t>(1, static_cast<size_t>(n * options.sink_fraction));
+
+  // Group sink types into *families of ontology siblings*: a slot draws
+  // concrete sinks across one whole family, so before generalization the
+  // targets carry different leaf labels (blocks differ -> entities do not
+  // merge), and after one generalization step the family collapses to its
+  // parent label (sinks merge -> entire entity populations become
+  // bisimilar). This is what makes generalization, not plain bisimulation,
+  // the source of compression — the paper's Fig. 3 -> Fig. 4 step.
+  std::unordered_map<LabelId, std::vector<size_t>> family_of_parent;
+  for (size_t t = 0; t < num_sink_types; ++t) {
+    auto supers = ontology.ontology.Supertypes(types[t]);
+    LabelId parent = supers.empty() ? types[t] : supers.front();
+    family_of_parent[parent].push_back(t);
+  }
+  std::vector<std::vector<size_t>> families;
+  {
+    // Deterministic family order: by smallest member type index.
+    std::vector<std::pair<size_t, std::vector<size_t>>> ordered;
+    for (auto& [parent, members] : family_of_parent) {
+      std::sort(members.begin(), members.end());
+      ordered.emplace_back(members.front(), std::move(members));
+    }
+    std::sort(ordered.begin(), ordered.end());
+    for (auto& [key, members] : ordered) families.push_back(std::move(members));
+  }
+
+  GraphBuilder builder;
+  builder.Reserve(n, options.num_edges);
+
+  // Sinks first: labels from the sink-type range, Zipf-skewed.
+  std::vector<std::vector<VertexId>> sinks_of_type(num_sink_types);
+  for (size_t i = 0; i < num_sinks; ++i) {
+    size_t t = type_dist.Sample(rng) % num_sink_types;
+    VertexId v = builder.AddVertex(types[t]);
+    sinks_of_type[t].push_back(v);
+  }
+
+  // Entities: labels from the entity-type range.
+  const size_t num_entity_types = num_types - num_sink_types;
+  std::vector<std::vector<VertexId>> entities_of_type(num_entity_types);
+  for (size_t i = num_sinks; i < n; ++i) {
+    size_t t = type_dist.Sample(rng) % num_entity_types;
+    VertexId v = builder.AddVertex(types[num_sink_types + t]);
+    entities_of_type[t].push_back(v);
+  }
+
+  // Relation slots per entity type: each slot targets one sink-type family.
+  std::vector<std::vector<size_t>> slots_of_type(num_entity_types);
+  for (size_t t = 0; t < num_entity_types; ++t) {
+    size_t k = rng.UniformRange(options.min_slots, options.max_slots);
+    for (size_t j = 0; j < k; ++j) {
+      slots_of_type[t].push_back(rng.Uniform(families.size()));
+    }
+  }
+
+  // Slot edges: every entity fires each of its type's slots once, drawing a
+  // concrete sink Zipf-hot within the slot's pool.
+  const size_t noise_edges = static_cast<size_t>(
+      static_cast<double>(options.num_edges) * options.noise_fraction);
+  const size_t slot_budget =
+      options.num_edges > noise_edges ? options.num_edges - noise_edges : 0;
+
+  size_t made = 0;
+  std::unordered_map<size_t, ZipfSampler> sink_pick;  // per sink type
+  auto pick_sink_of_type = [&](size_t sink_type) -> VertexId {
+    const auto& pool = sinks_of_type[sink_type];
+    if (pool.empty()) return kInvalidVertex;
+    auto it = sink_pick.find(sink_type);
+    if (it == sink_pick.end()) {
+      it = sink_pick.emplace(sink_type,
+                             ZipfSampler(pool.size(), options.hub_zipf))
+               .first;
+    }
+    return pool[it->second.Sample(rng)];
+  };
+  auto pick_sink = [&](size_t family) -> VertexId {
+    const auto& members = families[family];
+    // Uniform leaf type within the family, Zipf-hot concrete sink within
+    // the type's pool; retry a few times for empty pools.
+    for (int attempt = 0; attempt < 4; ++attempt) {
+      VertexId v =
+          pick_sink_of_type(members[rng.Uniform(members.size())]);
+      if (v != kInvalidVertex) return v;
+    }
+    return kInvalidVertex;
+  };
+
+  for (size_t round = 0; made < slot_budget; ++round) {
+    bool progressed = false;
+    for (size_t t = 0; t < num_entity_types && made < slot_budget; ++t) {
+      const auto& pool = entities_of_type[t];
+      if (pool.empty()) continue;
+      for (VertexId e : pool) {
+        if (made >= slot_budget) break;
+        // Round r fires slot r of this type (entities revisit their slots
+        // if the edge budget exceeds one pass).
+        const auto& slots = slots_of_type[t];
+        size_t slot = slots[round % slots.size()];
+        VertexId s = pick_sink(slot);
+        if (s == kInvalidVertex) continue;
+        builder.AddEdge(e, s);
+        ++made;
+        progressed = true;
+      }
+    }
+    if (!progressed) break;  // no eligible entity/sink combination at all
+  }
+
+  // Noise: preferential-attachment edges *from entities* (attribute sinks
+  // never gain out-edges — polluting sinks would cascade splits through
+  // every entity pointing at them, which real attribute nodes do not do).
+  ZipfSampler noise_target(n, options.hub_zipf);
+  size_t attempts = 0;
+  const size_t num_entities = n - num_sinks;
+  while (made < options.num_edges && num_entities > 0 &&
+         attempts < options.num_edges * 4) {
+    ++attempts;
+    VertexId u =
+        static_cast<VertexId>(num_sinks + rng.Uniform(num_entities));
+    VertexId v = static_cast<VertexId>(noise_target.Sample(rng));
+    if (u == v) continue;
+    builder.AddEdge(u, v);
+    ++made;
+  }
+
+  auto built = builder.Build();
+  assert(built.ok());
+  return std::move(built).value();
+}
+
+}  // namespace bigindex

@@ -1,0 +1,63 @@
+// Synthetic knowledge-graph generation — the offline substitute for YAGO3 /
+// DBpedia / IMDB (see DESIGN.md, Substitutions).
+//
+// The generator mirrors the structure that makes BiG-index work on real
+// knowledge graphs (the Fig. 1 -> Fig. 3 -> Fig. 4 story):
+//
+//   * a share of the vertices are *attribute sinks* (years, places, awards —
+//     out-degree 0). Sinks with the same label are bisimilar immediately;
+//     sinks with *sibling* labels merge after one generalization step;
+//   * *entity* vertices (persons, films) carry Zipf-skewed leaf-type labels
+//     and point at sinks through per-type "relation slots": every entity of
+//     type T draws the same slot target families (e.g., every Player points
+//     at some Club-ish sink and some Country-ish sink). Before
+//     generalization their concrete targets differ; after it, the slot
+//     families collapse and whole entity populations become bisimilar —
+//     exactly how the paper's 100 persons become one supernode;
+//   * `noise_fraction` of the edges are preferential-attachment noise that
+//     degrades regularity (DBpedia-style), and the hub skew controls the
+//     dense neighborhoods that blow up r-clique on IMDB.
+
+#ifndef BIGINDEX_WORKLOAD_GRAPH_GEN_H_
+#define BIGINDEX_WORKLOAD_GRAPH_GEN_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+#include "workload/ontology_gen.h"
+
+namespace bigindex {
+
+/// Knobs for the knowledge-graph generator.
+struct GraphGenOptions {
+  size_t num_vertices = 10000;
+  size_t num_edges = 30000;
+
+  /// Fraction of vertices that are attribute sinks.
+  double sink_fraction = 0.4;
+
+  /// Zipf exponent of leaf-type frequencies for entities and sinks.
+  double label_zipf = 1.0;
+
+  /// Relation slots per entity type (each slot = one target type family).
+  size_t min_slots = 1;
+  size_t max_slots = 3;
+
+  /// Fraction of edges that are random entity-to-entity noise instead of
+  /// slot edges (lower = more regular = more compressible).
+  double noise_fraction = 0.2;
+
+  /// Zipf exponent for concrete sink choice within a slot family
+  /// (higher = hotter sinks = denser neighborhoods).
+  double hub_zipf = 0.6;
+
+  uint64_t seed = 7;
+};
+
+/// Generates the graph. Deterministic given options.seed and the ontology.
+Graph GenerateKnowledgeGraph(const GeneratedOntology& ontology,
+                             const GraphGenOptions& options);
+
+}  // namespace bigindex
+
+#endif  // BIGINDEX_WORKLOAD_GRAPH_GEN_H_

@@ -1,0 +1,67 @@
+#include "workload/ontology_gen.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "util/random.h"
+
+namespace bigindex {
+
+GeneratedOntology GenerateOntology(LabelDictionary& dict,
+                                   const OntologyGenOptions& options) {
+  GeneratedOntology out;
+  Rng rng(options.seed);
+  OntologyBuilder builder;
+
+  size_t counter = 0;
+  auto make_type = [&](uint32_t depth) {
+    std::string name = options.name_prefix + std::to_string(depth) + "_" +
+                       std::to_string(counter++);
+    LabelId id = dict.Intern(name);
+    out.all_types.push_back(id);
+    return id;
+  };
+
+  // Level-by-level construction. Widths grow geometrically from num_roots
+  // toward the leaf budget (or by `branching` when no budget binds), so
+  // sibling families stay non-trivial at *every* level — each generalization
+  // step then actually merges labels, as in real taxonomies.
+  double growth = options.branching;
+  if (options.max_leaf_types != 0 && options.height > 0) {
+    double target_growth =
+        std::pow(static_cast<double>(options.max_leaf_types) /
+                     static_cast<double>(options.num_roots),
+                 1.0 / options.height);
+    growth = std::min(growth, target_growth);
+  }
+
+  std::vector<LabelId> level;
+  for (size_t r = 0; r < options.num_roots; ++r) level.push_back(make_type(0));
+  double width = static_cast<double>(options.num_roots);
+  for (uint32_t depth = 1; depth <= options.height; ++depth) {
+    width *= growth;
+    size_t want = std::max(level.size(), static_cast<size_t>(width));
+    if (options.max_leaf_types != 0) {
+      want = std::max(level.size(), std::min(want, options.max_leaf_types));
+    }
+    std::vector<LabelId> next;
+    next.reserve(want);
+    for (size_t i = 0; i < want; ++i) {
+      LabelId child = make_type(depth);
+      // Near-round-robin parent pick keeps subtree sizes balanced-ish.
+      LabelId parent = level[(i + rng.Uniform(2)) % level.size()];
+      builder.AddSupertypeEdge(child, parent);
+      next.push_back(child);
+    }
+    level = std::move(next);
+  }
+  out.leaf_types = level;
+
+  auto built = builder.Build();
+  assert(built.ok());  // trees are acyclic by construction
+  out.ontology = std::move(built).value();
+  return out;
+}
+
+}  // namespace bigindex

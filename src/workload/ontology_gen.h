@@ -1,0 +1,57 @@
+// Synthetic ontology generation (Sec. 6.1.2): the paper's synthetic
+// ontologies have "an average degree of 5 and a height of 7 ... consistent
+// with the heights and average degrees of the real ontology graphs".
+//
+// We generate a forest of type trees top-down: each type spawns a randomized
+// number of subtypes (mean = branching) until the height budget or the leaf
+// target is reached. Leaf types label graph vertices; interior types exist
+// only in the ontology (generalization targets).
+
+#ifndef BIGINDEX_WORKLOAD_ONTOLOGY_GEN_H_
+#define BIGINDEX_WORKLOAD_ONTOLOGY_GEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/label_dictionary.h"
+#include "ontology/ontology.h"
+
+namespace bigindex {
+
+/// Knobs for the ontology generator.
+struct OntologyGenOptions {
+  /// Levels below the roots (paper: 7).
+  uint32_t height = 7;
+
+  /// Mean number of subtypes per type (paper: 5).
+  double branching = 5.0;
+
+  /// Number of root types ("Thing"-level).
+  size_t num_roots = 3;
+
+  /// Stop spawning once this many leaf types exist (caps ontology size;
+  /// 0 = no cap).
+  size_t max_leaf_types = 2000;
+
+  /// Name prefix for generated types (avoids collisions when several
+  /// ontologies share a dictionary).
+  std::string name_prefix = "T";
+
+  uint64_t seed = 1;
+};
+
+/// A generated ontology plus the type inventory the graph generator needs.
+struct GeneratedOntology {
+  Ontology ontology;
+  std::vector<LabelId> leaf_types;  // types graph vertices draw labels from
+  std::vector<LabelId> all_types;
+};
+
+/// Generates the forest described above. Deterministic given options.seed.
+GeneratedOntology GenerateOntology(LabelDictionary& dict,
+                                   const OntologyGenOptions& options);
+
+}  // namespace bigindex
+
+#endif  // BIGINDEX_WORKLOAD_ONTOLOGY_GEN_H_

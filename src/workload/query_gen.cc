@@ -1,0 +1,89 @@
+#include "workload/query_gen.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_set>
+
+#include "graph/traversal.h"
+#include "util/random.h"
+
+namespace bigindex {
+
+std::vector<QuerySpec> GenerateQueryWorkload(const Dataset& dataset,
+                                             const QueryGenOptions& options) {
+  const Graph& g = dataset.graph;
+  std::vector<QuerySpec> workload;
+  if (g.NumVertices() == 0) return workload;
+
+  Rng rng(options.seed);
+  BfsScratch scratch;
+  size_t qid = 1;
+  for (size_t size : options.sizes) {
+    size_t floor = options.min_count;
+    QuerySpec spec;
+    for (size_t attempt = 0;; ++attempt) {
+      if (attempt >= options.max_attempts) {
+        // Relax the floor rather than fail: scaled-down graphs may not have
+        // `size` distinct frequent labels co-located.
+        if (floor > 1) {
+          floor /= 2;
+          attempt = 0;
+        } else {
+          break;  // give up on this query size
+        }
+      }
+      VertexId seed_vertex = static_cast<VertexId>(rng.Uniform(g.NumVertices()));
+      // Collect labels around the seed in both directions (answers connect
+      // keywords through paths of either orientation).
+      std::unordered_set<LabelId> nearby;
+      for (auto [v, d] : scratch.BoundedDistances(g, seed_vertex,
+                                                  options.radius,
+                                                  Direction::kForward)) {
+        nearby.insert(g.label(v));
+      }
+      for (auto [v, d] : scratch.BoundedDistances(g, seed_vertex,
+                                                  options.radius,
+                                                  Direction::kBackward)) {
+        nearby.insert(g.label(v));
+      }
+      std::vector<LabelId> frequent;
+      for (LabelId l : nearby) {
+        if (g.LabelCount(l) >= floor) frequent.push_back(l);
+      }
+      if (frequent.size() < size) continue;
+      std::sort(frequent.begin(), frequent.end());
+      // Deterministic random subset of the frequent nearby labels.
+      for (size_t i = frequent.size(); i > 1; --i) {
+        std::swap(frequent[i - 1], frequent[rng.Uniform(i)]);
+      }
+      spec.keywords.assign(frequent.begin(), frequent.begin() + size);
+      for (LabelId l : spec.keywords) spec.counts.push_back(g.LabelCount(l));
+      break;
+    }
+    if (spec.keywords.empty()) continue;
+    spec.id = "Q" + std::to_string(qid++);
+    workload.push_back(std::move(spec));
+  }
+  return workload;
+}
+
+std::string WorkloadToString(const Dataset& dataset,
+                             const std::vector<QuerySpec>& workload) {
+  std::ostringstream out;
+  for (const QuerySpec& q : workload) {
+    out << q.id << ": (";
+    for (size_t i = 0; i < q.keywords.size(); ++i) {
+      if (i) out << ", ";
+      out << dataset.dict->Name(q.keywords[i]);
+    }
+    out << ")  counts=(";
+    for (size_t i = 0; i < q.counts.size(); ++i) {
+      if (i) out << ", ";
+      out << q.counts[i];
+    }
+    out << ")\n";
+  }
+  return out.str();
+}
+
+}  // namespace bigindex

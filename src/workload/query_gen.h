@@ -1,0 +1,57 @@
+// Keyword query workload generation (Sec. 6.1.3, Table 4).
+//
+// The paper selects 2–6 keywords "from the ontology graph which had semantic
+// relationships" with per-keyword counts above a floor. We realize that by
+// seeding a random vertex and collecting frequent labels from its hop
+// neighborhood — co-located labels are semantically related and guarantee
+// the query has answers.
+
+#ifndef BIGINDEX_WORKLOAD_QUERY_GEN_H_
+#define BIGINDEX_WORKLOAD_QUERY_GEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+#include "workload/datasets.h"
+
+namespace bigindex {
+
+/// One benchmark query (a Table 4 row).
+struct QuerySpec {
+  std::string id;                  // "Q1" …
+  std::vector<LabelId> keywords;   // labels to search
+  std::vector<size_t> counts;      // per-keyword vertex counts in the graph
+};
+
+/// Workload knobs.
+struct QueryGenOptions {
+  /// Keyword counts per query, Table 4 style (|Q| between 2 and 6).
+  std::vector<size_t> sizes = {2, 2, 3, 3, 3, 4, 5, 6};
+
+  /// Minimum per-keyword vertex count (the paper used > 3000 on the full
+  /// graphs; scaled graphs use a scaled floor).
+  size_t min_count = 20;
+
+  /// Neighborhood radius for relatedness.
+  uint32_t radius = 3;
+
+  uint64_t seed = 99;
+
+  /// Attempts per query before relaxing min_count.
+  size_t max_attempts = 200;
+};
+
+/// Generates one workload for `dataset`. Deterministic given options.seed.
+std::vector<QuerySpec> GenerateQueryWorkload(const Dataset& dataset,
+                                             const QueryGenOptions& options);
+
+/// Renders a workload like Table 4 (id, keyword names, counts).
+std::string WorkloadToString(const Dataset& dataset,
+                             const std::vector<QuerySpec>& workload);
+
+}  // namespace bigindex
+
+#endif  // BIGINDEX_WORKLOAD_QUERY_GEN_H_

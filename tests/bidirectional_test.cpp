@@ -1,0 +1,128 @@
+// Tests for the bidirectional-expansion semantics ([14], the future-work
+// plug-in): answer-set equality with backward search, strategy statistics,
+// and BiG-index integration (Thm 4.2 holds for it too).
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/big_index.h"
+#include "core/evaluator.h"
+#include "search/bidirectional.h"
+#include "search/bkws.h"
+#include "util/random.h"
+
+namespace bigindex {
+namespace {
+
+Graph RandomGraph(uint64_t seed, size_t n, size_t m, size_t num_labels) {
+  Rng rng(seed);
+  GraphBuilder b;
+  for (size_t i = 0; i < n; ++i) {
+    b.AddVertex(static_cast<LabelId>(rng.Uniform(num_labels)));
+  }
+  for (size_t i = 0; i < m; ++i) {
+    b.AddEdge(static_cast<VertexId>(rng.Uniform(n)),
+              static_cast<VertexId>(rng.Uniform(n)));
+  }
+  return std::move(b.Build()).value();
+}
+
+using RootScore = std::pair<VertexId, uint32_t>;
+
+std::set<RootScore> RootScores(const std::vector<Answer>& answers) {
+  std::set<RootScore> out;
+  for (const Answer& a : answers) out.emplace(a.root, a.score);
+  return out;
+}
+
+struct Case {
+  uint64_t seed;
+  size_t n, m, labels;
+  std::vector<LabelId> query;
+};
+
+class BidirectionalEquivalence : public ::testing::TestWithParam<Case> {};
+
+TEST_P(BidirectionalEquivalence, MatchesBackwardSearch) {
+  const Case& c = GetParam();
+  Graph g = RandomGraph(c.seed, c.n, c.m, c.labels);
+  auto bidi = BidirectionalSearch(g, c.query, {.d_max = 4, .top_k = 0});
+  auto bkws = BackwardKeywordSearch(g, c.query, {.d_max = 4});
+  EXPECT_EQ(RootScores(bidi), RootScores(bkws)) << "seed " << c.seed;
+}
+
+TEST_P(BidirectionalEquivalence, DecayDoesNotChangeResults) {
+  const Case& c = GetParam();
+  Graph g = RandomGraph(c.seed ^ 0x5555, c.n, c.m, c.labels);
+  std::set<RootScore> reference;
+  bool first = true;
+  for (double decay : {0.2, 0.5, 0.9}) {
+    auto r = BidirectionalSearch(g, c.query,
+                                 {.d_max = 4, .top_k = 0, .decay = decay});
+    if (first) {
+      reference = RootScores(r);
+      first = false;
+    } else {
+      EXPECT_EQ(RootScores(r), reference) << "decay " << decay;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Random, BidirectionalEquivalence,
+    ::testing::Values(Case{1, 80, 240, 4, {0, 1}},
+                      Case{2, 120, 360, 5, {0, 2, 3}},
+                      Case{3, 60, 300, 3, {1, 2}},
+                      Case{4, 150, 450, 6, {0, 4, 5}},
+                      Case{5, 40, 80, 2, {0, 1}}));
+
+TEST(BidirectionalTest, TopKPrefix) {
+  Graph g = RandomGraph(9, 100, 300, 4);
+  auto full = BidirectionalSearch(g, {0, 1}, {.d_max = 4, .top_k = 0});
+  auto top3 = BidirectionalSearch(g, {0, 1}, {.d_max = 4, .top_k = 3});
+  ASSERT_LE(top3.size(), 3u);
+  for (size_t i = 0; i < top3.size(); ++i) {
+    EXPECT_EQ(top3[i].root, full[i].root);
+    EXPECT_EQ(top3[i].score, full[i].score);
+  }
+}
+
+TEST(BidirectionalTest, StatsTrackBothPhases) {
+  Graph g = RandomGraph(10, 200, 800, 3);
+  BidirectionalStats stats;
+  auto r = BidirectionalSearch(g, {0, 1, 2}, {.d_max = 4}, &stats);
+  EXPECT_FALSE(r.empty());
+  EXPECT_GT(stats.backward_pops, 0u);
+  EXPECT_GT(stats.forward_pops, 0u);  // dense labels: overlap guaranteed
+}
+
+TEST(BidirectionalTest, MissingKeywordMeansNoAnswers) {
+  Graph g = RandomGraph(11, 30, 60, 2);
+  EXPECT_TRUE(BidirectionalSearch(g, {0, 9}, {}).empty());
+}
+
+TEST(BidirectionalTest, WorksThroughBigIndex) {
+  OntologyBuilder ob;
+  ob.AddSupertypeEdge(0, 6);
+  ob.AddSupertypeEdge(1, 6);
+  ob.AddSupertypeEdge(2, 6);
+  ob.AddSupertypeEdge(3, 7);
+  ob.AddSupertypeEdge(4, 7);
+  ob.AddSupertypeEdge(5, 8);
+  Ontology ont = std::move(ob.Build()).value();
+  Graph g = RandomGraph(12, 150, 450, 6);
+  auto index = BigIndex::Build(g, &ont, {.max_layers = 1});
+  ASSERT_TRUE(index.ok());
+
+  BidirectionalAlgorithm algo({.d_max = 4, .top_k = 0});
+  auto direct = algo.Evaluate(index->base(), {0, 3});
+  for (size_t m = 0; m <= index->NumLayers(); ++m) {
+    auto hier = EvaluateWithIndex(*index, algo, {0, 3},
+                                  {.forced_layer = static_cast<int>(m)});
+    EXPECT_EQ(RootScores(hier), RootScores(direct)) << "layer " << m;
+  }
+}
+
+}  // namespace
+}  // namespace bigindex

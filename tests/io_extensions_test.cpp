@@ -1,0 +1,172 @@
+// Tests for the binary graph format and the Appendix-A.2 typing utility.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/big_index.h"
+#include "graph/binary_io.h"
+#include "ontology/typing.h"
+#include "util/random.h"
+#include "workload/datasets.h"
+
+namespace bigindex {
+namespace {
+
+Graph RandomGraph(uint64_t seed, size_t n, size_t m, size_t labels,
+                  LabelDictionary& dict) {
+  Rng rng(seed);
+  GraphBuilder b;
+  for (size_t i = 0; i < n; ++i) {
+    b.AddVertex(dict.Intern("L" + std::to_string(rng.Uniform(labels))));
+  }
+  for (size_t i = 0; i < m; ++i) {
+    b.AddEdge(static_cast<VertexId>(rng.Uniform(n)),
+              static_cast<VertexId>(rng.Uniform(n)));
+  }
+  return std::move(b.Build()).value();
+}
+
+TEST(BinaryIoTest, RoundTripExact) {
+  LabelDictionary dict;
+  Graph g = RandomGraph(1, 200, 600, 10, dict);
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(WriteGraphBinary(g, dict, ss).ok());
+
+  LabelDictionary dict2;
+  auto g2 = ReadGraphBinary(ss, dict2);
+  ASSERT_TRUE(g2.ok()) << g2.status().ToString();
+  ASSERT_EQ(g2->NumVertices(), g.NumVertices());
+  ASSERT_EQ(g2->NumEdges(), g.NumEdges());
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    EXPECT_EQ(dict2.Name(g2->label(v)), dict.Name(g.label(v)));
+  }
+  EXPECT_EQ(g2->Edges(), g.Edges());
+}
+
+TEST(BinaryIoTest, RemapsIntoPopulatedDictionary) {
+  LabelDictionary dict;
+  Graph g = RandomGraph(2, 50, 100, 4, dict);
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(WriteGraphBinary(g, dict, ss).ok());
+
+  LabelDictionary dict2;
+  dict2.Intern("already");
+  dict2.Intern("present");
+  auto g2 = ReadGraphBinary(ss, dict2);
+  ASSERT_TRUE(g2.ok());
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    EXPECT_EQ(dict2.Name(g2->label(v)), dict.Name(g.label(v)));
+  }
+}
+
+TEST(BinaryIoTest, RejectsBadMagic) {
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  ss.write("NOPE0000", 8);
+  LabelDictionary dict;
+  auto g = ReadGraphBinary(ss, dict);
+  EXPECT_FALSE(g.ok());
+  EXPECT_EQ(g.status().code(), StatusCode::kCorruption);
+}
+
+TEST(BinaryIoTest, RejectsTruncation) {
+  LabelDictionary dict;
+  Graph g = RandomGraph(3, 40, 120, 3, dict);
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(WriteGraphBinary(g, dict, ss).ok());
+  std::string full = ss.str();
+  for (size_t frac = 1; frac <= 3; ++frac) {
+    std::stringstream cut(full.substr(0, full.size() * frac / 4),
+                          std::ios::in | std::ios::binary);
+    LabelDictionary d2;
+    EXPECT_FALSE(ReadGraphBinary(cut, d2).ok()) << "fraction " << frac;
+  }
+}
+
+TEST(BinaryIoTest, FileRoundTrip) {
+  LabelDictionary dict;
+  Graph g = RandomGraph(4, 100, 300, 5, dict);
+  std::string path = testing::TempDir() + "/bigindex_binary_test.big";
+  ASSERT_TRUE(SaveGraphBinaryFile(g, dict, path).ok());
+  LabelDictionary dict2;
+  auto g2 = LoadGraphBinaryFile(path, dict2);
+  ASSERT_TRUE(g2.ok());
+  EXPECT_EQ(g2->Edges(), g.Edges());
+  std::remove(path.c_str());
+}
+
+TEST(BinaryIoTest, MissingFileFails) {
+  LabelDictionary dict;
+  EXPECT_EQ(LoadGraphBinaryFile("/no/such/file.big", dict).status().code(),
+            StatusCode::kIOError);
+}
+
+// ---- Appendix A.2 typing ----
+
+TEST(TypingTest, AttachesUntypedLabelsUnderFallback) {
+  LabelDictionary dict;
+  // Ontology covers labels A, B only.
+  LabelId a = dict.Intern("A"), b = dict.Intern("B"),
+          thing = dict.Intern("Thing");
+  OntologyBuilder ob;
+  ob.AddSupertypeEdge(a, thing);
+  ob.AddSupertypeEdge(b, thing);
+  Ontology ont = std::move(ob.Build()).value();
+
+  // Graph uses A plus two labels the ontology does not know.
+  GraphBuilder gb;
+  gb.AddVertex(a);
+  gb.AddVertex(dict.Intern("X"));
+  gb.AddVertex(dict.Intern("Y"));
+  Graph g = std::move(gb.Build()).value();
+
+  auto typed = AttachUntypedLabels(g, ont, dict, "Entity");
+  ASSERT_TRUE(typed.ok());
+  EXPECT_EQ(typed->typed, 1u);     // A
+  EXPECT_EQ(typed->attached, 2u);  // X, Y
+  EXPECT_NEAR(typed->typed_fraction(), 1.0 / 3.0, 1e-9);
+  LabelId entity = dict.Find("Entity");
+  EXPECT_TRUE(typed->ontology.IsSupertype(entity, dict.Find("X")));
+  EXPECT_TRUE(typed->ontology.IsSupertype(entity, dict.Find("Y")));
+  // Pre-existing edges survive.
+  EXPECT_TRUE(typed->ontology.IsSupertype(thing, a));
+}
+
+TEST(TypingTest, MakesArbitraryGraphsIndexable) {
+  // A graph with labels entirely unknown to any ontology becomes indexable:
+  // one generalization step maps everything to the fallback, and the layer
+  // compresses.
+  LabelDictionary dict;
+  Rng rng(9);
+  GraphBuilder gb;
+  for (int i = 0; i < 300; ++i) {
+    gb.AddVertex(dict.Intern("name_" + std::to_string(i)));  // unique labels
+  }
+  VertexId hub = 0;
+  for (VertexId v = 1; v < 300; ++v) gb.AddEdge(v, hub);
+  Graph g = std::move(gb.Build()).value();
+
+  Ontology empty = std::move(OntologyBuilder().Build()).value();
+  auto typed = AttachUntypedLabels(g, empty, dict, "Entity");
+  ASSERT_TRUE(typed.ok());
+  EXPECT_EQ(typed->attached, 300u);
+
+  auto index = BigIndex::Build(g, &typed->ontology, {.max_layers = 1});
+  ASSERT_TRUE(index.ok());
+  ASSERT_EQ(index->NumLayers(), 1u);
+  // 299 identical spokes + hub collapse to a handful of supernodes.
+  EXPECT_LT(index->LayerCompressionRatio(1), 0.1);
+}
+
+TEST(TypingTest, IdempotentWhenAllTyped) {
+  auto ds = MakeDataset("yago3", 0.001);
+  ASSERT_TRUE(ds.ok());
+  auto typed = AttachUntypedLabels(ds->graph, ds->ontology.ontology,
+                                   *ds->dict, "Entity");
+  ASSERT_TRUE(typed.ok());
+  EXPECT_EQ(typed->attached, 0u);  // generator labels are all leaf types
+  EXPECT_DOUBLE_EQ(typed->typed_fraction(), 1.0);
+}
+
+}  // namespace
+}  // namespace bigindex

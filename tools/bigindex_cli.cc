@@ -1,0 +1,201 @@
+// bigindex_cli — command-line front end for the library.
+//
+// Subcommands:
+//   gen     <dataset> <scale> <graph.out> <ontology.out>
+//           Generate a stand-in dataset and write graph + ontology files.
+//   build   <graph.in> <ontology.in> <index.out> [max_layers]
+//           Build a BiG-index from files and serialize it.
+//   stats   <graph.in> <ontology.in> <index.in>
+//           Print per-layer statistics of a serialized index.
+//   query   <graph.in> <ontology.in> <index.in> <algo> <k1,k2,...> [top_k]
+//           Evaluate a keyword query through the index; algo is one of
+//           bkws | blinks | rclique | bidi.
+//
+// Exit status: 0 on success, 1 on any error (message on stderr).
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bigindex.h"
+#include "search/bidirectional.h"
+
+namespace bigindex {
+namespace {
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+// Local error-propagation helper for command bodies that return int.
+#define BIGINDEX_RETURN_IF_ERROR_CLI(expr) \
+  do {                                     \
+    Status _st = (expr);                   \
+    if (!_st.ok()) return Fail(_st);       \
+  } while (0)
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  bigindex_cli gen   <dataset> <scale> <graph> <ontology>\n"
+               "  bigindex_cli build <graph> <ontology> <index> [layers]\n"
+               "  bigindex_cli stats <graph> <ontology> <index>\n"
+               "  bigindex_cli query <graph> <ontology> <index> "
+               "<bkws|blinks|rclique|bidi> <kw1,kw2,...> [top_k]\n");
+  return 1;
+}
+
+int CmdGen(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  std::string name = argv[0];
+  double scale = std::atof(argv[1]);
+  auto ds = MakeDataset(name, scale);
+  if (!ds.ok()) return Fail(ds.status());
+  BIGINDEX_RETURN_IF_ERROR_CLI(SaveGraphFile(ds->graph, *ds->dict, argv[2]));
+  BIGINDEX_RETURN_IF_ERROR_CLI(
+      SaveOntologyFile(ds->ontology.ontology, *ds->dict, argv[3]));
+  std::printf("wrote %s (|V|=%zu |E|=%zu) and %s (%zu types)\n", argv[2],
+              ds->graph.NumVertices(), ds->graph.NumEdges(), argv[3],
+              ds->ontology.ontology.NumTypes());
+  return 0;
+}
+
+struct Loaded {
+  LabelDictionary dict;
+  Graph graph;
+  Ontology ontology;
+};
+
+StatusOr<Loaded> LoadGraphAndOntology(const char* graph_path,
+                                      const char* ontology_path) {
+  Loaded out;
+  auto g = LoadGraphFile(graph_path, out.dict);
+  if (!g.ok()) return g.status();
+  out.graph = std::move(g).value();
+  auto o = LoadOntologyFile(ontology_path, out.dict);
+  if (!o.ok()) return o.status();
+  out.ontology = std::move(o).value();
+  return out;
+}
+
+int CmdBuild(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  auto loaded = LoadGraphAndOntology(argv[0], argv[1]);
+  if (!loaded.ok()) return Fail(loaded.status());
+  BigIndexOptions opt;
+  if (argc > 3) opt.max_layers = static_cast<size_t>(std::atoi(argv[3]));
+  Timer t;
+  auto index =
+      BigIndex::Build(loaded->graph, &loaded->ontology, opt);
+  if (!index.ok()) return Fail(index.status());
+  Status s = SaveIndexFile(*index, loaded->dict, argv[2]);
+  if (!s.ok()) return Fail(s);
+  std::printf("built %zu layers in %.1f ms; layer-1 ratio %.4f; wrote %s\n",
+              index->NumLayers(), t.ElapsedMillis(),
+              index->NumLayers() ? index->LayerCompressionRatio(1) : 1.0,
+              argv[2]);
+  return 0;
+}
+
+int CmdStats(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  auto loaded = LoadGraphAndOntology(argv[0], argv[1]);
+  if (!loaded.ok()) return Fail(loaded.status());
+  auto index = LoadIndexFile(argv[2], loaded->dict, &loaded->ontology);
+  if (!index.ok()) return Fail(index.status());
+  std::printf("layer  |V|        |E|        |G|        ratio\n");
+  for (size_t m = 0; m <= index->NumLayers(); ++m) {
+    const Graph& g = index->LayerGraph(m);
+    std::printf("%-6zu %-10zu %-10zu %-10zu %.4f\n", m, g.NumVertices(),
+                g.NumEdges(), g.Size(), index->LayerCompressionRatio(m));
+  }
+  std::printf("total summary footprint: %zu\n", index->TotalSummarySize());
+  return 0;
+}
+
+int CmdQuery(int argc, char** argv) {
+  if (argc < 5) return Usage();
+  auto loaded = LoadGraphAndOntology(argv[0], argv[1]);
+  if (!loaded.ok()) return Fail(loaded.status());
+  auto index = LoadIndexFile(argv[2], loaded->dict, &loaded->ontology);
+  if (!index.ok()) return Fail(index.status());
+
+  std::string algo_name = argv[3];
+  size_t top_k = argc > 5 ? static_cast<size_t>(std::atoi(argv[5])) : 10;
+  std::unique_ptr<KeywordSearchAlgorithm> algo;
+  if (algo_name == "bkws") {
+    algo = std::make_unique<BkwsAlgorithm>(BkwsOptions{.d_max = 5});
+  } else if (algo_name == "blinks") {
+    algo = std::make_unique<BlinksAlgorithm>(
+        BlinksOptions{.d_max = 5, .top_k = 5 * top_k});
+  } else if (algo_name == "rclique") {
+    algo = std::make_unique<RCliqueAlgorithm>(
+        RCliqueOptions{.r = 4, .top_k = 2 * top_k});
+  } else if (algo_name == "bidi") {
+    algo = std::make_unique<BidirectionalAlgorithm>(
+        BidirectionalOptions{.d_max = 5});
+  } else {
+    return Usage();
+  }
+
+  std::vector<LabelId> keywords;
+  std::stringstream kws(argv[4]);
+  std::string kw;
+  while (std::getline(kws, kw, ',')) {
+    LabelId l = loaded->dict.Find(kw);
+    if (l == kInvalidLabel) {
+      std::fprintf(stderr, "error: keyword '%s' not in the graph's labels\n",
+                   kw.c_str());
+      return 1;
+    }
+    keywords.push_back(l);
+  }
+  if (keywords.empty()) return Usage();
+
+  EvalOptions opt;
+  opt.top_k = top_k;
+  EvalBreakdown bd;
+  Timer t;
+  auto answers = EvaluateWithIndex(*index, *algo, keywords, opt, &bd);
+  double ms = t.ElapsedMillis();
+
+  std::printf("%zu answer(s) in %.2f ms (layer %zu; explore %.2f / "
+              "specialize %.2f / generate %.2f / verify %.2f ms)\n",
+              answers.size(), ms, bd.layer, bd.explore_ms, bd.specialize_ms,
+              bd.generate_ms, bd.verify_ms);
+  for (const Answer& a : answers) {
+    if (a.root != kInvalidVertex) {
+      std::printf("  root=%s score=%u kw=[",
+                  loaded->dict.Name(loaded->graph.label(a.root)).c_str(),
+                  a.score);
+    } else {
+      std::printf("  score=%u kw=[", a.score);
+    }
+    for (size_t i = 0; i < a.keyword_vertices.size(); ++i) {
+      std::printf("%s%s", i ? ", " : "",
+                  loaded->dict.Name(
+                      loaded->graph.label(a.keyword_vertices[i])).c_str());
+    }
+    std::printf("]\n");
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bigindex
+
+int main(int argc, char** argv) {
+  using namespace bigindex;
+  if (argc < 2) return Usage();
+  const char* cmd = argv[1];
+  if (std::strcmp(cmd, "gen") == 0) return CmdGen(argc - 2, argv + 2);
+  if (std::strcmp(cmd, "build") == 0) return CmdBuild(argc - 2, argv + 2);
+  if (std::strcmp(cmd, "stats") == 0) return CmdStats(argc - 2, argv + 2);
+  if (std::strcmp(cmd, "query") == 0) return CmdQuery(argc - 2, argv + 2);
+  return Usage();
+}
