@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_blinks.dir/bench_blinks.cpp.o"
+  "CMakeFiles/bench_blinks.dir/bench_blinks.cpp.o.d"
+  "bench_blinks"
+  "bench_blinks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_blinks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_index_size.dir/bench_index_size.cpp.o"
+  "CMakeFiles/bench_index_size.dir/bench_index_size.cpp.o.d"
+  "bench_index_size"
+  "bench_index_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_index_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

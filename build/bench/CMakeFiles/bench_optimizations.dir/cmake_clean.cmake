@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_optimizations.dir/bench_optimizations.cpp.o"
+  "CMakeFiles/bench_optimizations.dir/bench_optimizations.cpp.o.d"
+  "bench_optimizations"
+  "bench_optimizations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_optimizations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

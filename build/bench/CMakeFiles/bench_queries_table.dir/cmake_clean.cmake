@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_queries_table.dir/bench_queries_table.cpp.o"
+  "CMakeFiles/bench_queries_table.dir/bench_queries_table.cpp.o.d"
+  "bench_queries_table"
+  "bench_queries_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_queries_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rclique.dir/bench_rclique.cpp.o"
+  "CMakeFiles/bench_rclique.dir/bench_rclique.cpp.o.d"
+  "bench_rclique"
+  "bench_rclique.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rclique.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/general_graph_search.dir/general_graph_search.cpp.o"
+  "CMakeFiles/general_graph_search.dir/general_graph_search.cpp.o.d"
+  "general_graph_search"
+  "general_graph_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/general_graph_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

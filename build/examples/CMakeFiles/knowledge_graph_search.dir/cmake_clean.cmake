@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/knowledge_graph_search.dir/knowledge_graph_search.cpp.o"
+  "CMakeFiles/knowledge_graph_search.dir/knowledge_graph_search.cpp.o.d"
+  "knowledge_graph_search"
+  "knowledge_graph_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/knowledge_graph_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/movie_search.dir/movie_search.cpp.o"
+  "CMakeFiles/movie_search.dir/movie_search.cpp.o.d"
+  "movie_search"
+  "movie_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/movie_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

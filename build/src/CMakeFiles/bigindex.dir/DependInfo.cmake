@@ -1,0 +1,49 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bisim/bisimulation.cc" "src/CMakeFiles/bigindex.dir/bisim/bisimulation.cc.o" "gcc" "src/CMakeFiles/bigindex.dir/bisim/bisimulation.cc.o.d"
+  "/root/repo/src/bisim/maintenance.cc" "src/CMakeFiles/bigindex.dir/bisim/maintenance.cc.o" "gcc" "src/CMakeFiles/bigindex.dir/bisim/maintenance.cc.o.d"
+  "/root/repo/src/core/answer_gen.cc" "src/CMakeFiles/bigindex.dir/core/answer_gen.cc.o" "gcc" "src/CMakeFiles/bigindex.dir/core/answer_gen.cc.o.d"
+  "/root/repo/src/core/big_index.cc" "src/CMakeFiles/bigindex.dir/core/big_index.cc.o" "gcc" "src/CMakeFiles/bigindex.dir/core/big_index.cc.o.d"
+  "/root/repo/src/core/config_search.cc" "src/CMakeFiles/bigindex.dir/core/config_search.cc.o" "gcc" "src/CMakeFiles/bigindex.dir/core/config_search.cc.o.d"
+  "/root/repo/src/core/cost_model.cc" "src/CMakeFiles/bigindex.dir/core/cost_model.cc.o" "gcc" "src/CMakeFiles/bigindex.dir/core/cost_model.cc.o.d"
+  "/root/repo/src/core/evaluator.cc" "src/CMakeFiles/bigindex.dir/core/evaluator.cc.o" "gcc" "src/CMakeFiles/bigindex.dir/core/evaluator.cc.o.d"
+  "/root/repo/src/core/index_io.cc" "src/CMakeFiles/bigindex.dir/core/index_io.cc.o" "gcc" "src/CMakeFiles/bigindex.dir/core/index_io.cc.o.d"
+  "/root/repo/src/core/query.cc" "src/CMakeFiles/bigindex.dir/core/query.cc.o" "gcc" "src/CMakeFiles/bigindex.dir/core/query.cc.o.d"
+  "/root/repo/src/graph/binary_io.cc" "src/CMakeFiles/bigindex.dir/graph/binary_io.cc.o" "gcc" "src/CMakeFiles/bigindex.dir/graph/binary_io.cc.o.d"
+  "/root/repo/src/graph/graph.cc" "src/CMakeFiles/bigindex.dir/graph/graph.cc.o" "gcc" "src/CMakeFiles/bigindex.dir/graph/graph.cc.o.d"
+  "/root/repo/src/graph/graph_io.cc" "src/CMakeFiles/bigindex.dir/graph/graph_io.cc.o" "gcc" "src/CMakeFiles/bigindex.dir/graph/graph_io.cc.o.d"
+  "/root/repo/src/graph/label_dictionary.cc" "src/CMakeFiles/bigindex.dir/graph/label_dictionary.cc.o" "gcc" "src/CMakeFiles/bigindex.dir/graph/label_dictionary.cc.o.d"
+  "/root/repo/src/graph/sampling.cc" "src/CMakeFiles/bigindex.dir/graph/sampling.cc.o" "gcc" "src/CMakeFiles/bigindex.dir/graph/sampling.cc.o.d"
+  "/root/repo/src/graph/traversal.cc" "src/CMakeFiles/bigindex.dir/graph/traversal.cc.o" "gcc" "src/CMakeFiles/bigindex.dir/graph/traversal.cc.o.d"
+  "/root/repo/src/ontology/config.cc" "src/CMakeFiles/bigindex.dir/ontology/config.cc.o" "gcc" "src/CMakeFiles/bigindex.dir/ontology/config.cc.o.d"
+  "/root/repo/src/ontology/ontology.cc" "src/CMakeFiles/bigindex.dir/ontology/ontology.cc.o" "gcc" "src/CMakeFiles/bigindex.dir/ontology/ontology.cc.o.d"
+  "/root/repo/src/ontology/ontology_io.cc" "src/CMakeFiles/bigindex.dir/ontology/ontology_io.cc.o" "gcc" "src/CMakeFiles/bigindex.dir/ontology/ontology_io.cc.o.d"
+  "/root/repo/src/ontology/typing.cc" "src/CMakeFiles/bigindex.dir/ontology/typing.cc.o" "gcc" "src/CMakeFiles/bigindex.dir/ontology/typing.cc.o.d"
+  "/root/repo/src/search/answer.cc" "src/CMakeFiles/bigindex.dir/search/answer.cc.o" "gcc" "src/CMakeFiles/bigindex.dir/search/answer.cc.o.d"
+  "/root/repo/src/search/bidirectional.cc" "src/CMakeFiles/bigindex.dir/search/bidirectional.cc.o" "gcc" "src/CMakeFiles/bigindex.dir/search/bidirectional.cc.o.d"
+  "/root/repo/src/search/bkws.cc" "src/CMakeFiles/bigindex.dir/search/bkws.cc.o" "gcc" "src/CMakeFiles/bigindex.dir/search/bkws.cc.o.d"
+  "/root/repo/src/search/blinks.cc" "src/CMakeFiles/bigindex.dir/search/blinks.cc.o" "gcc" "src/CMakeFiles/bigindex.dir/search/blinks.cc.o.d"
+  "/root/repo/src/search/partitioner.cc" "src/CMakeFiles/bigindex.dir/search/partitioner.cc.o" "gcc" "src/CMakeFiles/bigindex.dir/search/partitioner.cc.o.d"
+  "/root/repo/src/search/rclique.cc" "src/CMakeFiles/bigindex.dir/search/rclique.cc.o" "gcc" "src/CMakeFiles/bigindex.dir/search/rclique.cc.o.d"
+  "/root/repo/src/util/logging.cc" "src/CMakeFiles/bigindex.dir/util/logging.cc.o" "gcc" "src/CMakeFiles/bigindex.dir/util/logging.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/CMakeFiles/bigindex.dir/util/status.cc.o" "gcc" "src/CMakeFiles/bigindex.dir/util/status.cc.o.d"
+  "/root/repo/src/workload/datasets.cc" "src/CMakeFiles/bigindex.dir/workload/datasets.cc.o" "gcc" "src/CMakeFiles/bigindex.dir/workload/datasets.cc.o.d"
+  "/root/repo/src/workload/graph_gen.cc" "src/CMakeFiles/bigindex.dir/workload/graph_gen.cc.o" "gcc" "src/CMakeFiles/bigindex.dir/workload/graph_gen.cc.o.d"
+  "/root/repo/src/workload/ontology_gen.cc" "src/CMakeFiles/bigindex.dir/workload/ontology_gen.cc.o" "gcc" "src/CMakeFiles/bigindex.dir/workload/ontology_gen.cc.o.d"
+  "/root/repo/src/workload/query_gen.cc" "src/CMakeFiles/bigindex.dir/workload/query_gen.cc.o" "gcc" "src/CMakeFiles/bigindex.dir/workload/query_gen.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

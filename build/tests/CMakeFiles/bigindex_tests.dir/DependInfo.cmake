@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/bidirectional_test.cpp" "tests/CMakeFiles/bigindex_tests.dir/bidirectional_test.cpp.o" "gcc" "tests/CMakeFiles/bigindex_tests.dir/bidirectional_test.cpp.o.d"
+  "/root/repo/tests/bisim_test.cpp" "tests/CMakeFiles/bigindex_tests.dir/bisim_test.cpp.o" "gcc" "tests/CMakeFiles/bigindex_tests.dir/bisim_test.cpp.o.d"
+  "/root/repo/tests/consistency_test.cpp" "tests/CMakeFiles/bigindex_tests.dir/consistency_test.cpp.o" "gcc" "tests/CMakeFiles/bigindex_tests.dir/consistency_test.cpp.o.d"
+  "/root/repo/tests/core_test.cpp" "tests/CMakeFiles/bigindex_tests.dir/core_test.cpp.o" "gcc" "tests/CMakeFiles/bigindex_tests.dir/core_test.cpp.o.d"
+  "/root/repo/tests/evaluator_test.cpp" "tests/CMakeFiles/bigindex_tests.dir/evaluator_test.cpp.o" "gcc" "tests/CMakeFiles/bigindex_tests.dir/evaluator_test.cpp.o.d"
+  "/root/repo/tests/graph_test.cpp" "tests/CMakeFiles/bigindex_tests.dir/graph_test.cpp.o" "gcc" "tests/CMakeFiles/bigindex_tests.dir/graph_test.cpp.o.d"
+  "/root/repo/tests/integration_test.cpp" "tests/CMakeFiles/bigindex_tests.dir/integration_test.cpp.o" "gcc" "tests/CMakeFiles/bigindex_tests.dir/integration_test.cpp.o.d"
+  "/root/repo/tests/io_extensions_test.cpp" "tests/CMakeFiles/bigindex_tests.dir/io_extensions_test.cpp.o" "gcc" "tests/CMakeFiles/bigindex_tests.dir/io_extensions_test.cpp.o.d"
+  "/root/repo/tests/ontology_test.cpp" "tests/CMakeFiles/bigindex_tests.dir/ontology_test.cpp.o" "gcc" "tests/CMakeFiles/bigindex_tests.dir/ontology_test.cpp.o.d"
+  "/root/repo/tests/search_test.cpp" "tests/CMakeFiles/bigindex_tests.dir/search_test.cpp.o" "gcc" "tests/CMakeFiles/bigindex_tests.dir/search_test.cpp.o.d"
+  "/root/repo/tests/util_test.cpp" "tests/CMakeFiles/bigindex_tests.dir/util_test.cpp.o" "gcc" "tests/CMakeFiles/bigindex_tests.dir/util_test.cpp.o.d"
+  "/root/repo/tests/workload_test.cpp" "tests/CMakeFiles/bigindex_tests.dir/workload_test.cpp.o" "gcc" "tests/CMakeFiles/bigindex_tests.dir/workload_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/bigindex.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

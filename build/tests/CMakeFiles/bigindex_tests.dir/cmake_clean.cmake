@@ -1,0 +1,34 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bigindex_tests.dir/bidirectional_test.cpp.o"
+  "CMakeFiles/bigindex_tests.dir/bidirectional_test.cpp.o.d"
+  "CMakeFiles/bigindex_tests.dir/bisim_test.cpp.o"
+  "CMakeFiles/bigindex_tests.dir/bisim_test.cpp.o.d"
+  "CMakeFiles/bigindex_tests.dir/consistency_test.cpp.o"
+  "CMakeFiles/bigindex_tests.dir/consistency_test.cpp.o.d"
+  "CMakeFiles/bigindex_tests.dir/core_test.cpp.o"
+  "CMakeFiles/bigindex_tests.dir/core_test.cpp.o.d"
+  "CMakeFiles/bigindex_tests.dir/evaluator_test.cpp.o"
+  "CMakeFiles/bigindex_tests.dir/evaluator_test.cpp.o.d"
+  "CMakeFiles/bigindex_tests.dir/graph_test.cpp.o"
+  "CMakeFiles/bigindex_tests.dir/graph_test.cpp.o.d"
+  "CMakeFiles/bigindex_tests.dir/integration_test.cpp.o"
+  "CMakeFiles/bigindex_tests.dir/integration_test.cpp.o.d"
+  "CMakeFiles/bigindex_tests.dir/io_extensions_test.cpp.o"
+  "CMakeFiles/bigindex_tests.dir/io_extensions_test.cpp.o.d"
+  "CMakeFiles/bigindex_tests.dir/ontology_test.cpp.o"
+  "CMakeFiles/bigindex_tests.dir/ontology_test.cpp.o.d"
+  "CMakeFiles/bigindex_tests.dir/search_test.cpp.o"
+  "CMakeFiles/bigindex_tests.dir/search_test.cpp.o.d"
+  "CMakeFiles/bigindex_tests.dir/util_test.cpp.o"
+  "CMakeFiles/bigindex_tests.dir/util_test.cpp.o.d"
+  "CMakeFiles/bigindex_tests.dir/workload_test.cpp.o"
+  "CMakeFiles/bigindex_tests.dir/workload_test.cpp.o.d"
+  "bigindex_tests"
+  "bigindex_tests.pdb"
+  "bigindex_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bigindex_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

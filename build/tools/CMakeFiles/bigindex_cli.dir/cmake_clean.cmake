@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bigindex_cli.dir/bigindex_cli.cc.o"
+  "CMakeFiles/bigindex_cli.dir/bigindex_cli.cc.o.d"
+  "bigindex_cli"
+  "bigindex_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bigindex_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
