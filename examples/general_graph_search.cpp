@@ -5,6 +5,7 @@
 //   ./general_graph_search
 
 #include <cstdio>
+#include <memory>
 #include <string>
 
 #include "bigindex.h"
@@ -63,16 +64,23 @@ int main() {
 
   // Keyword query over concrete labels: "who connects user_42 and the
   // database forum?"
+  QueryEngine engine(std::move(index).value(),
+                     {.register_default_algorithms = false});
+  engine.Register(std::make_unique<BkwsAlgorithm>(
+      BkwsOptions{.d_max = 3, .top_k = 5}));
   std::vector<LabelId> q = {dict.Find("user_42"),
                             dict.Find("database_forum")};
-  BkwsAlgorithm bkws({.d_max = 3, .top_k = 5});
-  EvalBreakdown bd;
-  auto answers = EvaluateWithIndex(*index, bkws, q, {.top_k = 5}, &bd);
+  auto result = engine.Evaluate(
+      {.keywords = q, .algorithm = "bkws", .eval = {.top_k = 5}});
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 1;
+  }
   std::printf("query {user_42, database_forum}: %zu answer(s) at layer "
-              "%zu\n", answers.size(), bd.layer);
-  for (const Answer& a : answers) {
+              "%zu\n", result->answers.size(), result->breakdown.layer);
+  for (const Answer& a : result->answers) {
     std::printf("  root %-22s score %u\n",
                 dict.Name(g.label(a.root)).c_str(), a.score);
   }
-  return answers.empty() ? 1 : 0;
+  return result->answers.empty() ? 1 : 0;
 }

@@ -1,13 +1,14 @@
 // Quickstart: the paper's running example (Figs. 1-4) end to end.
 //
 // Builds the mini knowledge graph around "P. Graham" and its ontology,
-// constructs a BiG-index, and answers the keyword query
-// Q1 = {Massachusetts, Ivy League, California} (d_max = 3) with backward
-// keyword search, both directly and through the index.
+// constructs a BiG-index wrapped in a QueryEngine, and answers the keyword
+// query Q1 = {Massachusetts, Ivy League, California} (d_max = 3) with
+// backward keyword search, both directly and through the engine.
 //
 //   ./quickstart
 
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -97,33 +98,42 @@ int main() {
                 index->LayerGraph(m).Size(), index->LayerCompressionRatio(m));
   }
 
+  // --- Wrap the index in a QueryEngine; register bkws with d_max = 3. ---
+  QueryEngine engine(std::move(index).value(),
+                     {.register_default_algorithms = false});
+  engine.Register(std::make_unique<BkwsAlgorithm>(
+      BkwsOptions{.d_max = 3, .top_k = 0}));
+  const Graph& base = engine.index().base();
+
   // --- Query Q1 = {Massachusetts, Ivy League, California}, d_max = 3. ---
   std::vector<LabelId> q1 = {dict.Find("Massachusetts"),
                              dict.Find("Ivy League"),
                              dict.Find("California")};
-  BkwsAlgorithm bkws({.d_max = 3, .top_k = 0});
 
-  auto direct = bkws.Evaluate(index->base(), q1);
+  auto direct = engine.algorithm("bkws")->Evaluate(base, q1);
   std::printf("\nDirect evaluation: %zu answer(s)\n", direct.size());
 
-  EvalBreakdown bd;
-  auto hier = EvaluateWithIndex(*index, bkws, q1, {}, &bd);
-  std::printf("BiG-index evaluation (cost model chose layer %zu): %zu "
-              "answer(s)\n",
-              bd.layer, hier.size());
-  for (const Answer& a : hier) {
+  auto hier = engine.Evaluate({.keywords = q1, .algorithm = "bkws"});
+  if (!hier.ok()) {
+    std::fprintf(stderr, "query: %s\n", hier.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("QueryEngine evaluation (cost model chose layer %zu): %zu "
+              "answer(s) in %.2f ms\n",
+              hier->breakdown.layer, hier->answers.size(), hier->wall_ms);
+  for (const Answer& a : hier->answers) {
     std::printf("  root = %-12s score = %u  keyword vertices: ",
-                dict.Name(index->base().label(a.root)).c_str(), a.score);
+                dict.Name(base.label(a.root)).c_str(), a.score);
     for (VertexId kw : a.keyword_vertices) {
-      std::printf("[%s] ", dict.Name(index->base().label(kw)).c_str());
+      std::printf("[%s] ", dict.Name(base.label(kw)).c_str());
     }
     std::printf("\n");
   }
 
   // The answer of Fig. 1: the subtree rooted at P. Graham.
   bool found_graham = false;
-  for (const Answer& a : hier) found_graham |= a.root == graham;
+  for (const Answer& a : hier->answers) found_graham |= a.root == graham;
   std::printf("\nP. Graham is %sthe expected answer root.\n",
               found_graham ? "" : "NOT ");
-  return found_graham && hier.size() == direct.size() ? 0 : 1;
+  return found_graham && hier->answers.size() == direct.size() ? 0 : 1;
 }

@@ -15,9 +15,10 @@
 //   Ontology ont = ...;            // OntologyBuilder or ontology_io
 //   auto index = BigIndex::Build(std::move(g), &ont);
 //
-//   BlinksAlgorithm blinks({.d_max = 5, .top_k = 10});
-//   auto answers = EvaluateWithIndex(*index, blinks,
-//                                    {dict.Find("Club"), dict.Find("Player")});
+//   QueryEngine engine(std::move(index).value());
+//   auto result = engine.Evaluate(
+//       {.keywords = {dict.Find("Club"), dict.Find("Player")},
+//        .algorithm = "blinks"});
 
 #ifndef BIGINDEX_BIGINDEX_H_
 #define BIGINDEX_BIGINDEX_H_
@@ -32,6 +33,9 @@
 #include "core/index_io.h"          // IWYU pragma: export
 #include "core/query.h"             // IWYU pragma: export
 #include "core/search_algorithm.h"  // IWYU pragma: export
+#include "engine/executor.h"        // IWYU pragma: export
+#include "engine/query_context.h"   // IWYU pragma: export
+#include "engine/query_engine.h"    // IWYU pragma: export
 #include "graph/binary_io.h"        // IWYU pragma: export
 #include "graph/graph.h"            // IWYU pragma: export
 #include "graph/graph_io.h"         // IWYU pragma: export
@@ -43,6 +47,7 @@
 #include "ontology/ontology_io.h"   // IWYU pragma: export
 #include "ontology/typing.h"        // IWYU pragma: export
 #include "search/answer.h"          // IWYU pragma: export
+#include "search/bidirectional.h"   // IWYU pragma: export
 #include "search/bkws.h"            // IWYU pragma: export
 #include "search/blinks.h"          // IWYU pragma: export
 #include "search/partitioner.h"     // IWYU pragma: export

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "engine/query_context.h"
 #include "util/timer.h"
 
 namespace bigindex {
@@ -25,6 +26,7 @@ std::vector<Answer> EvaluateWithIndex(const BigIndex& index,
                                       const KeywordSearchAlgorithm& f,
                                       const std::vector<LabelId>& keywords,
                                       const EvalOptions& options,
+                                      QueryContext& ctx,
                                       EvalBreakdown* breakdown) {
   EvalBreakdown local;
   EvalBreakdown& bd = breakdown ? *breakdown : local;
@@ -38,7 +40,7 @@ std::vector<Answer> EvaluateWithIndex(const BigIndex& index,
   // Layer 0: hierarchical machinery degenerates to direct evaluation.
   if (m == 0) {
     Timer t;
-    final_answers = f.Evaluate(g0, keywords);
+    final_answers = f.Evaluate(g0, keywords, ctx);
     bd.explore_ms = t.ElapsedMillis();
     if (options.top_k != 0 && final_answers.size() > options.top_k) {
       final_answers.resize(options.top_k);
@@ -50,14 +52,15 @@ std::vector<Answer> EvaluateWithIndex(const BigIndex& index,
   // (3) Evaluate f on the summary graph with the generalized query.
   Timer timer;
   std::vector<LabelId> qm = index.GeneralizeKeywords(keywords, m);
-  std::vector<Answer> generalized = f.Evaluate(index.LayerGraph(m), qm);
+  std::vector<Answer> generalized = f.Evaluate(index.LayerGraph(m), qm, ctx);
   bd.explore_ms = timer.ElapsedMillis();
   bd.generalized_answers = generalized.size();
   SortAnswers(generalized);  // rank order drives progressive specialization
 
   const bool rooted = f.IsRooted();
-  std::unordered_set<VertexId> verified_roots;
-  std::unordered_set<std::string> emitted_keys;  // r-clique dedup
+  std::unordered_set<VertexId>& verified_roots = ctx.VertexSet();
+  std::unordered_set<std::string>& emitted_keys = ctx.KeySet();  // r-clique
+  std::string& key = ctx.KeyBuffer();
 
   // (4)+(5): progressive specialization in generalized rank order
   // (Sec. 4.3.4): with top-k we stop as soon as k answers are verified.
@@ -88,7 +91,7 @@ std::vector<Answer> EvaluateWithIndex(const BigIndex& index,
         if (rooted) {
           if (!verified_roots.insert(cand.root).second) continue;
         } else {
-          std::string key;
+          key.clear();
           for (VertexId v : cand.keyword_vertices) {
             key += std::to_string(v);
             key += ',';
@@ -113,7 +116,7 @@ std::vector<Answer> EvaluateWithIndex(const BigIndex& index,
           ++bd.candidate_roots;
           Answer candidate;
           candidate.root = r;
-          if (auto exact = f.VerifyCandidate(g0, keywords, candidate)) {
+          if (auto exact = f.VerifyCandidate(g0, keywords, candidate, ctx)) {
             final_answers.push_back(std::move(*exact));
           }
         }
@@ -127,14 +130,14 @@ std::vector<Answer> EvaluateWithIndex(const BigIndex& index,
         if (options.top_k != 0 && final_answers.size() >= options.top_k) {
           break;
         }
-        std::string key;
+        key.clear();
         for (VertexId v : cand.keyword_vertices) {
           key += std::to_string(v);
           key += ',';
         }
         if (!emitted_keys.insert(key).second) continue;
         ++bd.candidate_roots;
-        if (auto exact = f.VerifyCandidate(g0, keywords, cand)) {
+        if (auto exact = f.VerifyCandidate(g0, keywords, cand, ctx)) {
           final_answers.push_back(std::move(*exact));
         }
       }
@@ -150,6 +153,15 @@ std::vector<Answer> EvaluateWithIndex(const BigIndex& index,
   }
   bd.final_answers = final_answers.size();
   return final_answers;
+}
+
+std::vector<Answer> EvaluateWithIndex(const BigIndex& index,
+                                      const KeywordSearchAlgorithm& f,
+                                      const std::vector<LabelId>& keywords,
+                                      const EvalOptions& options,
+                                      EvalBreakdown* breakdown) {
+  QueryContext ctx;
+  return EvaluateWithIndex(index, f, keywords, options, ctx, breakdown);
 }
 
 }  // namespace bigindex

@@ -71,7 +71,17 @@ struct EvalBreakdown {
 };
 
 /// Evaluates `keywords` through the index with plugged-in algorithm `f`
-/// (eval_Ont(G, Q, f)). Both `index` and `f` are borrowed.
+/// (eval_Ont(G, Q, f)). `index`, `f`, and `ctx` are borrowed. Re-entrant:
+/// concurrent calls over the same index/algorithm are safe as long as each
+/// call gets its own QueryContext.
+std::vector<Answer> EvaluateWithIndex(const BigIndex& index,
+                                      const KeywordSearchAlgorithm& f,
+                                      const std::vector<LabelId>& keywords,
+                                      const EvalOptions& options,
+                                      QueryContext& ctx,
+                                      EvalBreakdown* breakdown = nullptr);
+
+/// Convenience overload running on a throwaway context.
 std::vector<Answer> EvaluateWithIndex(const BigIndex& index,
                                       const KeywordSearchAlgorithm& f,
                                       const std::vector<LabelId>& keywords,

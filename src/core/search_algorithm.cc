@@ -1,0 +1,20 @@
+#include "core/search_algorithm.h"
+
+#include "engine/query_context.h"
+
+namespace bigindex {
+
+std::vector<Answer> KeywordSearchAlgorithm::Evaluate(
+    const Graph& g, const std::vector<LabelId>& keywords) const {
+  QueryContext ctx;
+  return Evaluate(g, keywords, ctx);
+}
+
+std::optional<Answer> KeywordSearchAlgorithm::VerifyCandidate(
+    const Graph& g, const std::vector<LabelId>& keywords,
+    const Answer& candidate) const {
+  QueryContext ctx;
+  return VerifyCandidate(g, keywords, candidate, ctx);
+}
+
+}  // namespace bigindex

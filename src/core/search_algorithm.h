@@ -8,6 +8,13 @@
 // RCliqueAlgorithm (distance-bounded multi-center answers). They run
 // unchanged on data graphs and on summary layers — summaries are "yet another
 // set of graphs" (Sec. 1).
+//
+// Re-entrancy contract: implementations hold no per-query mutable state —
+// all scratch memory comes from the QueryContext threaded through every
+// call, so one algorithm object serves concurrent queries (each on its own
+// context) over shared graphs. Caches of derived per-graph structures
+// (Blinks bi-level index, r-clique neighbor lists) are allowed but must be
+// internally synchronized.
 
 #ifndef BIGINDEX_CORE_SEARCH_ALGORITHM_H_
 #define BIGINDEX_CORE_SEARCH_ALGORITHM_H_
@@ -21,12 +28,19 @@
 
 namespace bigindex {
 
+class QueryContext;
+
 /// Interface for a keyword search semantics (the paper's f).
 ///
 /// Evaluate() receives keywords as label ids valid for `g`'s dictionary and
 /// returns answers over `g`'s vertex ids. Implementations must be
 /// deterministic for a given (graph, keywords) pair — BiG-index's equivalence
 /// guarantee (Thm 4.2) is stated answer-set-wise and the tests compare sets.
+///
+/// Implementations override the QueryContext overloads; the context-free
+/// overloads are non-virtual conveniences that run on a private throwaway
+/// context. Derived classes should `using KeywordSearchAlgorithm::Evaluate;`
+/// (and likewise VerifyCandidate) so the conveniences stay visible.
 class KeywordSearchAlgorithm {
  public:
   virtual ~KeywordSearchAlgorithm() = default;
@@ -35,9 +49,10 @@ class KeywordSearchAlgorithm {
   virtual std::string_view Name() const = 0;
 
   /// Evaluates `keywords` on `g` and returns all (or top-k, per the
-  /// algorithm's own options) answers.
-  virtual std::vector<Answer> Evaluate(
-      const Graph& g, const std::vector<LabelId>& keywords) const = 0;
+  /// algorithm's own options) answers, drawing scratch memory from `ctx`.
+  virtual std::vector<Answer> Evaluate(const Graph& g,
+                                       const std::vector<LabelId>& keywords,
+                                       QueryContext& ctx) const = 0;
 
   /// True for rooted-tree semantics (bkws, Blinks): answers are identified
   /// by their root and BiG-index enumerates candidate roots during answer
@@ -53,7 +68,14 @@ class KeywordSearchAlgorithm {
   /// distance-verified and exactly scored. Returns nullopt otherwise.
   virtual std::optional<Answer> VerifyCandidate(
       const Graph& g, const std::vector<LabelId>& keywords,
-      const Answer& candidate) const = 0;
+      const Answer& candidate, QueryContext& ctx) const = 0;
+
+  /// Single-call conveniences: same results, throwaway context.
+  std::vector<Answer> Evaluate(const Graph& g,
+                               const std::vector<LabelId>& keywords) const;
+  std::optional<Answer> VerifyCandidate(const Graph& g,
+                                        const std::vector<LabelId>& keywords,
+                                        const Answer& candidate) const;
 };
 
 }  // namespace bigindex

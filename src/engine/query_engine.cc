@@ -1,0 +1,131 @@
+#include "engine/query_engine.h"
+
+#include <utility>
+
+#include "search/bidirectional.h"
+#include "search/bkws.h"
+#include "search/blinks.h"
+#include "search/rclique.h"
+#include "util/timer.h"
+
+namespace bigindex {
+
+/// RAII lease of a QueryContext from the engine's free list; creates a fresh
+/// context when the list is empty, returns it (warm) on destruction.
+class QueryEngine::ContextLease {
+ public:
+  explicit ContextLease(const QueryEngine& engine) : engine_(engine) {
+    std::lock_guard<std::mutex> lock(engine_.context_mutex_);
+    if (!engine_.free_contexts_.empty()) {
+      context_ = std::move(engine_.free_contexts_.back());
+      engine_.free_contexts_.pop_back();
+    }
+    if (!context_) context_ = std::make_unique<QueryContext>();
+  }
+
+  ~ContextLease() {
+    std::lock_guard<std::mutex> lock(engine_.context_mutex_);
+    engine_.free_contexts_.push_back(std::move(context_));
+  }
+
+  ContextLease(const ContextLease&) = delete;
+  ContextLease& operator=(const ContextLease&) = delete;
+
+  QueryContext& operator*() { return *context_; }
+
+ private:
+  const QueryEngine& engine_;
+  std::unique_ptr<QueryContext> context_;
+};
+
+QueryEngine::QueryEngine(BigIndex index, QueryEngineOptions options)
+    : QueryEngine(std::make_shared<const BigIndex>(std::move(index)),
+                  std::move(options)) {}
+
+QueryEngine::QueryEngine(std::shared_ptr<const BigIndex> index,
+                         QueryEngineOptions options)
+    : index_(std::move(index)),
+      options_(options),
+      pool_(options.num_threads) {
+  if (options_.register_default_algorithms) {
+    Register(std::make_unique<BkwsAlgorithm>());
+    Register(std::make_unique<BlinksAlgorithm>());
+    Register(std::make_unique<RCliqueAlgorithm>());
+    Register(std::make_unique<BidirectionalAlgorithm>());
+  }
+}
+
+void QueryEngine::Register(std::unique_ptr<KeywordSearchAlgorithm> algorithm) {
+  for (auto& existing : algorithms_) {
+    if (existing->Name() == algorithm->Name()) {
+      existing = std::move(algorithm);
+      return;
+    }
+  }
+  algorithms_.push_back(std::move(algorithm));
+}
+
+const KeywordSearchAlgorithm* QueryEngine::algorithm(
+    std::string_view name) const {
+  for (const auto& a : algorithms_) {
+    if (a->Name() == name) return a.get();
+  }
+  return nullptr;
+}
+
+std::vector<std::string_view> QueryEngine::AlgorithmNames() const {
+  std::vector<std::string_view> names;
+  names.reserve(algorithms_.size());
+  for (const auto& a : algorithms_) names.push_back(a->Name());
+  return names;
+}
+
+StatusOr<QueryResult> QueryEngine::Evaluate(const EngineQuery& query) const {
+  const KeywordSearchAlgorithm* f = algorithm(query.algorithm);
+  if (f == nullptr) {
+    return Status::NotFound("no algorithm registered as '" + query.algorithm +
+                            "'");
+  }
+  ContextLease lease(*this);
+  QueryResult result;
+  result.algorithm = query.algorithm;
+  Timer timer;
+  result.answers = EvaluateWithIndex(*index_, *f, query.keywords, query.eval,
+                                     *lease, &result.breakdown);
+  result.wall_ms = timer.ElapsedMillis();
+  return result;
+}
+
+StatusOr<std::vector<QueryResult>> QueryEngine::EvaluateBatch(
+    std::span<const EngineQuery> queries) const {
+  // Resolve every algorithm up front: the batch either runs fully or not at
+  // all, and workers then touch only read-only state plus their own slot.
+  std::vector<const KeywordSearchAlgorithm*> fs(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    fs[i] = algorithm(queries[i].algorithm);
+    if (fs[i] == nullptr) {
+      return Status::NotFound("no algorithm registered as '" +
+                              queries[i].algorithm + "'");
+    }
+  }
+
+  std::vector<std::unique_ptr<ContextLease>> leases;
+  leases.reserve(pool_.num_slots());
+  for (size_t s = 0; s < pool_.num_slots(); ++s) {
+    leases.push_back(std::make_unique<ContextLease>(*this));
+  }
+
+  std::vector<QueryResult> results(queries.size());
+  pool_.ParallelFor(queries.size(), [&](size_t slot, size_t i) {
+    const EngineQuery& q = queries[i];
+    QueryResult& r = results[i];
+    r.algorithm = q.algorithm;
+    Timer timer;
+    r.answers = EvaluateWithIndex(*index_, *fs[i], q.keywords, q.eval,
+                                  **leases[slot], &r.breakdown);
+    r.wall_ms = timer.ElapsedMillis();
+  });
+  return results;
+}
+
+}  // namespace bigindex

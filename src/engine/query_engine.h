@@ -1,0 +1,129 @@
+// QueryEngine — the re-entrant front door of the query path.
+//
+// The engine owns (or shares) one immutable BigIndex plus a registry of
+// KeywordSearchAlgorithm implementations keyed by Name(), and evaluates
+// keyword queries through the hierarchical evaluator (eval_Ont, Algorithm 2).
+// Two entry points:
+//
+//   Evaluate(query)        — one query, runs on the calling thread;
+//   EvaluateBatch(queries) — fans the batch out across the engine's
+//                            ExecutorPool, one QueryContext per worker slot.
+//
+// Re-entrancy: the index and the registered algorithms are shared read-only
+// state (algorithm-internal per-graph caches are mutex-guarded); every
+// in-flight evaluation draws its scratch from a QueryContext leased from an
+// internal pool, so Evaluate() may itself be called from many threads
+// concurrently. Contexts keep their capacity between queries — steady-state
+// evaluation allocates nothing per call in the hot search loops.
+
+#ifndef BIGINDEX_ENGINE_QUERY_ENGINE_H_
+#define BIGINDEX_ENGINE_QUERY_ENGINE_H_
+
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/big_index.h"
+#include "core/evaluator.h"
+#include "core/search_algorithm.h"
+#include "engine/executor.h"
+#include "engine/query_context.h"
+#include "search/answer.h"
+#include "util/status.h"
+
+namespace bigindex {
+
+/// Engine construction knobs.
+struct QueryEngineOptions {
+  /// Worker threads for EvaluateBatch; 0 = serial (no threads are created).
+  /// ExecutorPool::kHardwareConcurrency = one per hardware thread.
+  size_t num_threads = 0;
+
+  /// Register the four built-in algorithms (bkws, blinks, r-clique,
+  /// bidirectional) with default options at construction. Register() can
+  /// later replace any of them with differently-configured instances.
+  bool register_default_algorithms = true;
+};
+
+/// One query: what to search for, with which semantics, evaluated how.
+struct EngineQuery {
+  std::vector<LabelId> keywords;
+
+  /// Registered algorithm name; see QueryEngine::AlgorithmNames().
+  std::string algorithm = "bkws";
+
+  /// Hierarchical-evaluation options (layer choice, top-k, verification).
+  EvalOptions eval;
+};
+
+/// One query's outcome: the answers plus the per-query statistics the
+/// breakdown figures report (layer chosen, candidates generated/verified,
+/// per-phase and total wall time).
+struct QueryResult {
+  std::vector<Answer> answers;
+  EvalBreakdown breakdown;
+  double wall_ms = 0;
+  std::string algorithm;
+};
+
+class QueryEngine {
+ public:
+  /// Takes ownership of the index. The ontology the index borrows must
+  /// outlive the engine.
+  explicit QueryEngine(BigIndex index, QueryEngineOptions options = {});
+
+  /// Shares an index (e.g. several engines with different thread counts over
+  /// one index, as bench_engine does).
+  explicit QueryEngine(std::shared_ptr<const BigIndex> index,
+                       QueryEngineOptions options = {});
+
+  QueryEngine(const QueryEngine&) = delete;
+  QueryEngine& operator=(const QueryEngine&) = delete;
+
+  const BigIndex& index() const { return *index_; }
+  const QueryEngineOptions& options() const { return options_; }
+
+  /// Registers `algorithm` under its Name(), replacing any previous
+  /// registration of that name. Not thread-safe against concurrent
+  /// Evaluate()/EvaluateBatch() — register before serving queries.
+  void Register(std::unique_ptr<KeywordSearchAlgorithm> algorithm);
+
+  /// The registered algorithm of that name, or nullptr.
+  const KeywordSearchAlgorithm* algorithm(std::string_view name) const;
+
+  /// Registered names, in registration order.
+  std::vector<std::string_view> AlgorithmNames() const;
+
+  /// Evaluates one query on the calling thread. NotFound if the query names
+  /// an unregistered algorithm. Safe to call concurrently from many threads.
+  StatusOr<QueryResult> Evaluate(const EngineQuery& query) const;
+
+  /// Evaluates a batch, fanned out across the pool (serial when
+  /// num_threads = 0). Results are in input order. The whole batch fails
+  /// with NotFound if any query names an unregistered algorithm (checked
+  /// up front — no partial evaluation).
+  StatusOr<std::vector<QueryResult>> EvaluateBatch(
+      std::span<const EngineQuery> queries) const;
+
+  /// Slots the batch path fans out over (>= 1; 1 in serial mode).
+  size_t num_slots() const { return pool_.num_slots(); }
+
+ private:
+  class ContextLease;
+
+  std::shared_ptr<const BigIndex> index_;
+  QueryEngineOptions options_;
+  std::vector<std::unique_ptr<KeywordSearchAlgorithm>> algorithms_;
+  mutable ExecutorPool pool_;
+
+  // Free list of warm contexts; leased per evaluation, returned after.
+  mutable std::mutex context_mutex_;
+  mutable std::vector<std::unique_ptr<QueryContext>> free_contexts_;
+};
+
+}  // namespace bigindex
+
+#endif  // BIGINDEX_ENGINE_QUERY_ENGINE_H_

@@ -30,35 +30,42 @@ struct Frontier {
 std::vector<Answer> BidirectionalSearch(const Graph& g,
                                         const std::vector<LabelId>& keywords,
                                         const BidirectionalOptions& options,
+                                        QueryContext& ctx,
                                         BidirectionalStats* stats) {
   std::vector<Answer> answers;
   const size_t nq = keywords.size();
   if (nq == 0 || nq > 32 || g.NumVertices() == 0) return answers;
 
-  // Per-cone distance tables (exact distances emerge because expansion is
-  // monotone per cone: activation is a strictly decreasing function of
-  // distance within one cone, so pops happen in BFS order per cone).
-  std::vector<std::vector<uint32_t>> dist(
-      nq, std::vector<uint32_t>(g.NumVertices(), kInfDistance));
-  std::vector<std::vector<VertexId>> witness(
-      nq, std::vector<VertexId>(g.NumVertices(), kInvalidVertex));
-  std::vector<std::vector<VertexId>> next_hop(
-      nq, std::vector<VertexId>(g.NumVertices(), kInvalidVertex));
+  // Per-cone distance tables from context scratch (exact distances emerge
+  // because expansion is monotone per cone: activation is a strictly
+  // decreasing function of distance within one cone, so pops happen in BFS
+  // order per cone). The scratch queue records first-touched vertices so the
+  // invariant is restored in O(touched) on every exit path.
+  std::vector<ConeScratch*> cones(nq);
+  for (size_t i = 0; i < nq; ++i) cones[i] = &ctx.Cone(i, g.NumVertices());
+  struct ConeLease {
+    std::vector<ConeScratch*>& cones;
+    ~ConeLease() {
+      for (ConeScratch* s : cones) s->Release();
+    }
+  } lease{cones};
 
   std::priority_queue<Frontier> backward;
   for (size_t i = 0; i < nq; ++i) {
     auto origins = g.VerticesWithLabel(keywords[i]);
     if (origins.empty()) return answers;  // some keyword is unmatchable
     double base = 1.0 / static_cast<double>(origins.size());
+    ConeScratch& s = *cones[i];
     for (VertexId v : origins) {
-      dist[i][v] = 0;
-      witness[i][v] = v;
-      next_hop[i][v] = v;
+      s.queue.push_back(v);
+      s.dist[v] = 0;
+      s.witness[v] = v;
+      s.parent[v] = v;
       backward.push({base, 0, v, static_cast<uint32_t>(i)});
     }
   }
 
-  std::vector<uint32_t> covered(g.NumVertices(), 0);
+  std::vector<uint32_t>& covered = ctx.ZeroedVertexArray(0, g.NumVertices());
   const uint32_t full_mask = nq == 32 ? 0xFFFFFFFFu : ((1u << nq) - 1);
 
   // Backward spreading activation. A forward phase re-prioritizes vertices
@@ -69,7 +76,8 @@ std::vector<Answer> BidirectionalSearch(const Graph& g,
   while (!backward.empty()) {
     Frontier f = backward.top();
     backward.pop();
-    if (dist[f.cone][f.vertex] != f.dist) continue;  // stale entry
+    ConeScratch& s = *cones[f.cone];
+    if (s.dist[f.vertex] != f.dist) continue;  // stale entry
     if (stats) {
       if (covered[f.vertex] != 0) {
         ++stats->forward_pops;
@@ -86,31 +94,35 @@ std::vector<Answer> BidirectionalSearch(const Graph& g,
       // Dijkstra-style relaxation: activation order is not BFS order (the
       // forward boost can promote deeper entries), so shorter paths found
       // later must overwrite earlier tentative distances.
-      if (f.dist + 1 >= dist[f.cone][u]) continue;
-      dist[f.cone][u] = f.dist + 1;
-      witness[f.cone][u] = witness[f.cone][f.vertex];
-      next_hop[f.cone][u] = f.vertex;
+      if (f.dist + 1 >= s.dist[u]) continue;
+      if (s.dist[u] == kInfDistance) s.queue.push_back(u);  // first touch
+      s.dist[u] = f.dist + 1;
+      s.witness[u] = s.witness[f.vertex];
+      s.parent[u] = f.vertex;
       backward.push({f.activation * options.decay * boost, f.dist + 1, u,
                      f.cone});
     }
   }
 
-  for (VertexId r = 0; r < g.NumVertices(); ++r) {
+  // Every complete root was touched by cone 0, so its queue (the touched
+  // list) is a superset of the roots; answer order is normalized below.
+  for (VertexId r : cones[0]->queue) {
     if (covered[r] != full_mask) continue;
     Answer a;
     a.root = r;
     a.vertices.push_back(r);
     for (size_t i = 0; i < nq; ++i) {
-      a.score += dist[i][r];
-      a.keyword_vertices.push_back(witness[i][r]);
+      const ConeScratch& s = *cones[i];
+      a.score += s.dist[r];
+      a.keyword_vertices.push_back(s.witness[r]);
       if (options.materialize_paths) {
         VertexId v = r;
-        while (v != witness[i][v]) {
-          v = next_hop[i][v];
+        while (v != s.witness[v]) {
+          v = s.parent[v];
           a.vertices.push_back(v);
         }
       } else {
-        a.vertices.push_back(witness[i][r]);
+        a.vertices.push_back(s.witness[r]);
       }
     }
     CanonicalizeAnswer(a);
@@ -124,11 +136,19 @@ std::vector<Answer> BidirectionalSearch(const Graph& g,
   return answers;
 }
 
+std::vector<Answer> BidirectionalSearch(const Graph& g,
+                                        const std::vector<LabelId>& keywords,
+                                        const BidirectionalOptions& options,
+                                        BidirectionalStats* stats) {
+  QueryContext ctx;
+  return BidirectionalSearch(g, keywords, options, ctx, stats);
+}
+
 std::optional<Answer> BidirectionalAlgorithm::VerifyCandidate(
     const Graph& g, const std::vector<LabelId>& keywords,
-    const Answer& candidate) const {
+    const Answer& candidate, QueryContext& ctx) const {
   return CompleteRootedAnswer(g, keywords, candidate.root, options_.d_max,
-                              options_.materialize_paths);
+                              options_.materialize_paths, ctx);
 }
 
 }  // namespace bigindex

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "core/search_algorithm.h"
+#include "engine/query_context.h"
 #include "graph/graph.h"
 #include "search/answer.h"
 
@@ -49,7 +50,14 @@ struct BidirectionalStats {
   size_t forward_pops = 0;
 };
 
-/// Stand-alone entry point.
+/// Stand-alone entry point; per-cone distance tables come from `ctx`.
+std::vector<Answer> BidirectionalSearch(const Graph& g,
+                                        const std::vector<LabelId>& keywords,
+                                        const BidirectionalOptions& options,
+                                        QueryContext& ctx,
+                                        BidirectionalStats* stats = nullptr);
+
+/// Convenience overload running on a throwaway context.
 std::vector<Answer> BidirectionalSearch(const Graph& g,
                                         const std::vector<LabelId>& keywords,
                                         const BidirectionalOptions& options = {},
@@ -61,18 +69,23 @@ class BidirectionalAlgorithm final : public KeywordSearchAlgorithm {
   explicit BidirectionalAlgorithm(BidirectionalOptions options = {})
       : options_(options) {}
 
+  using KeywordSearchAlgorithm::Evaluate;
+  using KeywordSearchAlgorithm::VerifyCandidate;
+
   std::string_view Name() const override { return "bidirectional"; }
 
-  std::vector<Answer> Evaluate(
-      const Graph& g, const std::vector<LabelId>& keywords) const override {
-    return BidirectionalSearch(g, keywords, options_);
+  std::vector<Answer> Evaluate(const Graph& g,
+                               const std::vector<LabelId>& keywords,
+                               QueryContext& ctx) const override {
+    return BidirectionalSearch(g, keywords, options_, ctx);
   }
 
   bool IsRooted() const override { return true; }
 
-  std::optional<Answer> VerifyCandidate(
-      const Graph& g, const std::vector<LabelId>& keywords,
-      const Answer& candidate) const override;
+  std::optional<Answer> VerifyCandidate(const Graph& g,
+                                        const std::vector<LabelId>& keywords,
+                                        const Answer& candidate,
+                                        QueryContext& ctx) const override;
 
   const BidirectionalOptions& options() const { return options_; }
 

@@ -1,58 +1,50 @@
 #include "search/bkws.h"
 
 #include <algorithm>
-#include <unordered_map>
 
 namespace bigindex {
 namespace {
 
-/// Per-keyword backward BFS result: distance, witness keyword vertex, and
-/// the next hop on a shortest path toward the witness.
-struct BackwardCone {
-  std::vector<uint32_t> dist;       // kInfDistance if unreached
-  std::vector<VertexId> witness;    // keyword vertex this distance leads to
-  std::vector<VertexId> next_hop;   // successor on the path to witness
+/// Releases an acquired ConeScratch on scope exit (early returns included).
+struct ScratchLease {
+  ConeScratch& scratch;
+  ~ScratchLease() { scratch.Release(); }
 };
 
-BackwardCone ExpandBackward(const Graph& g, LabelId keyword,
-                            uint32_t d_max) {
-  const size_t n = g.NumVertices();
-  BackwardCone cone;
-  cone.dist.assign(n, kInfDistance);
-  cone.witness.assign(n, kInvalidVertex);
-  cone.next_hop.assign(n, kInvalidVertex);
-
-  std::vector<VertexId> queue;
+/// Bounded backward BFS for `keyword` into `scratch`: dist / witness /
+/// parent (= next hop toward the witness) per reached vertex; the scratch
+/// queue records exactly the touched vertices.
+void ExpandBackward(const Graph& g, LabelId keyword, uint32_t d_max,
+                    ConeScratch& s) {
   for (VertexId v : g.VerticesWithLabel(keyword)) {
-    cone.dist[v] = 0;
-    cone.witness[v] = v;
-    cone.next_hop[v] = v;
-    queue.push_back(v);
+    s.dist[v] = 0;
+    s.witness[v] = v;
+    s.parent[v] = v;
+    s.queue.push_back(v);
   }
   size_t head = 0;
-  while (head < queue.size()) {
-    VertexId v = queue[head++];
-    uint32_t d = cone.dist[v];
+  while (head < s.queue.size()) {
+    VertexId v = s.queue[head++];
+    uint32_t d = s.dist[v];
     if (d >= d_max) continue;
     // Backward expansion: u -> v means u reaches the keyword through v.
     for (VertexId u : g.InNeighbors(v)) {
-      if (cone.dist[u] != kInfDistance) continue;
-      cone.dist[u] = d + 1;
-      cone.witness[u] = cone.witness[v];
-      cone.next_hop[u] = v;
-      queue.push_back(u);
+      if (s.dist[u] != kInfDistance) continue;
+      s.dist[u] = d + 1;
+      s.witness[u] = s.witness[v];
+      s.parent[u] = v;
+      s.queue.push_back(u);
     }
   }
-  return cone;
 }
 
-// Appends the vertices of the shortest path root -> witness recorded in cone
-// (excluding the root itself, including the witness).
-void AppendPath(const BackwardCone& cone, VertexId root,
+// Appends the vertices of the shortest path root -> witness recorded in the
+// cone (excluding the root itself, including the witness).
+void AppendPath(const ConeScratch& cone, VertexId root,
                 std::vector<VertexId>& out) {
   VertexId v = root;
   while (v != cone.witness[v]) {
-    v = cone.next_hop[v];
+    v = cone.parent[v];
     out.push_back(v);
   }
 }
@@ -61,17 +53,19 @@ void AppendPath(const BackwardCone& cone, VertexId root,
 
 std::optional<Answer> CompleteRootedAnswer(
     const Graph& g, const std::vector<LabelId>& keywords, VertexId root,
-    uint32_t d_max, bool materialize_paths) {
+    uint32_t d_max, bool materialize_paths, QueryContext& ctx) {
   if (root >= g.NumVertices() || keywords.empty()) return std::nullopt;
   const size_t nq = keywords.size();
 
   // Forward bounded BFS from the root with parent tracking.
-  std::unordered_map<VertexId, std::pair<uint32_t, VertexId>> info;  // v -> (dist, parent)
-  std::vector<VertexId> queue{root};
-  info.emplace(root, std::make_pair(0u, root));
+  ConeScratch& s = ctx.Cone(0, g.NumVertices());
+  ScratchLease lease{s};
+  s.dist[root] = 0;
+  s.parent[root] = root;
+  s.queue.push_back(root);
   // Best (dist, vertex) per keyword, tie-broken by smallest vertex id.
-  std::vector<std::pair<uint32_t, VertexId>> best(
-      nq, {kInfDistance, kInvalidVertex});
+  auto& best = ctx.BestPerKeyword();
+  best.assign(nq, {kInfDistance, kInvalidVertex});
   auto consider = [&](VertexId v, uint32_t d) {
     LabelId l = g.label(v);
     for (size_t i = 0; i < nq; ++i) {
@@ -82,15 +76,16 @@ std::optional<Answer> CompleteRootedAnswer(
   };
   consider(root, 0);
   size_t head = 0;
-  while (head < queue.size()) {
-    VertexId v = queue[head++];
-    uint32_t d = info.at(v).first;
+  while (head < s.queue.size()) {
+    VertexId v = s.queue[head++];
+    uint32_t d = s.dist[v];
     if (d >= d_max) continue;
     for (VertexId w : g.OutNeighbors(v)) {
-      if (info.count(w)) continue;
-      info.emplace(w, std::make_pair(d + 1, v));
+      if (s.dist[w] != kInfDistance) continue;
+      s.dist[w] = d + 1;
+      s.parent[w] = v;
       consider(w, d + 1);
-      queue.push_back(w);
+      s.queue.push_back(w);
     }
   }
   for (const auto& [d, v] : best) {
@@ -107,7 +102,7 @@ std::optional<Answer> CompleteRootedAnswer(
       VertexId x = v;
       while (x != root) {
         a.vertices.push_back(x);
-        x = info.at(x).second;
+        x = s.parent[x];
       }
     } else {
       a.vertices.push_back(v);
@@ -117,31 +112,45 @@ std::optional<Answer> CompleteRootedAnswer(
   return a;
 }
 
+std::optional<Answer> CompleteRootedAnswer(
+    const Graph& g, const std::vector<LabelId>& keywords, VertexId root,
+    uint32_t d_max, bool materialize_paths) {
+  QueryContext ctx;
+  return CompleteRootedAnswer(g, keywords, root, d_max, materialize_paths,
+                              ctx);
+}
+
 std::vector<Answer> BackwardKeywordSearch(const Graph& g,
                                           const std::vector<LabelId>& keywords,
-                                          const BkwsOptions& options) {
+                                          const BkwsOptions& options,
+                                          QueryContext& ctx) {
   std::vector<Answer> answers;
   if (keywords.empty() || g.NumVertices() == 0) return answers;
+  const size_t nq = keywords.size();
 
-  // One backward cone per keyword. Expanding the smallest V_qi first (the
-  // classical heuristic) does not change the result set; we simply expand
-  // all — each cone is one bounded BFS.
-  std::vector<BackwardCone> cones;
-  cones.reserve(keywords.size());
-  for (LabelId q : keywords) {
-    cones.push_back(ExpandBackward(g, q, options.d_max));
+  // One backward cone per keyword, each on its own context slot. Expanding
+  // the smallest V_qi first (the classical heuristic) does not change the
+  // result set; we simply expand all — each cone is one bounded BFS.
+  std::vector<ConeScratch*> cones;
+  cones.reserve(nq);
+  for (size_t i = 0; i < nq; ++i) {
+    ConeScratch& s = ctx.Cone(i, g.NumVertices());
+    ExpandBackward(g, keywords[i], options.d_max, s);
+    cones.push_back(&s);
   }
 
-  // Answer discovery: roots reached by every cone.
-  for (VertexId r = 0; r < g.NumVertices(); ++r) {
+  // Answer discovery: roots reached by every cone. The first (arbitrary)
+  // cone's touched set is a superset of all roots, so scan it instead of
+  // every vertex of the graph.
+  for (VertexId r : cones[0]->queue) {
     uint32_t score = 0;
     bool covered = true;
-    for (const BackwardCone& cone : cones) {
-      if (cone.dist[r] == kInfDistance) {
+    for (const ConeScratch* cone : cones) {
+      if (cone->dist[r] == kInfDistance) {
         covered = false;
         break;
       }
-      score += cone.dist[r];
+      score += cone->dist[r];
     }
     if (!covered) continue;
 
@@ -149,23 +158,31 @@ std::vector<Answer> BackwardKeywordSearch(const Graph& g,
     a.root = r;
     a.score = score;
     a.vertices.push_back(r);
-    for (const BackwardCone& cone : cones) {
-      a.keyword_vertices.push_back(cone.witness[r]);
+    for (const ConeScratch* cone : cones) {
+      a.keyword_vertices.push_back(cone->witness[r]);
       if (options.materialize_paths) {
-        AppendPath(cone, r, a.vertices);
+        AppendPath(*cone, r, a.vertices);
       } else {
-        a.vertices.push_back(cone.witness[r]);
+        a.vertices.push_back(cone->witness[r]);
       }
     }
     CanonicalizeAnswer(a);
     answers.push_back(std::move(a));
   }
+  for (ConeScratch* cone : cones) cone->Release();
 
   SortAnswers(answers);
   if (options.top_k != 0 && answers.size() > options.top_k) {
     answers.resize(options.top_k);
   }
   return answers;
+}
+
+std::vector<Answer> BackwardKeywordSearch(const Graph& g,
+                                          const std::vector<LabelId>& keywords,
+                                          const BkwsOptions& options) {
+  QueryContext ctx;
+  return BackwardKeywordSearch(g, keywords, options, ctx);
 }
 
 }  // namespace bigindex

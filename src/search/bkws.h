@@ -10,7 +10,8 @@
 // BFS per keyword along *reversed* edges from the keyword's vertex set V_qi,
 // recording for every reached vertex its distance and a witness keyword
 // vertex + next hop (so answer trees can be materialized). Roots are vertices
-// reached by all keywords.
+// reached by all keywords. All per-vertex working arrays live in the
+// QueryContext, so repeated queries through one context allocate nothing.
 
 #ifndef BIGINDEX_SEARCH_BKWS_H_
 #define BIGINDEX_SEARCH_BKWS_H_
@@ -20,6 +21,7 @@
 #include <vector>
 
 #include "core/search_algorithm.h"
+#include "engine/query_context.h"
 #include "graph/graph.h"
 #include "search/answer.h"
 
@@ -40,7 +42,13 @@ struct BkwsOptions {
   bool materialize_paths = true;
 };
 
-/// Stand-alone entry point.
+/// Stand-alone entry point; scratch comes from `ctx` (cone slots [0, |Q|)).
+std::vector<Answer> BackwardKeywordSearch(const Graph& g,
+                                          const std::vector<LabelId>& keywords,
+                                          const BkwsOptions& options,
+                                          QueryContext& ctx);
+
+/// Convenience overload running on a throwaway context.
 std::vector<Answer> BackwardKeywordSearch(const Graph& g,
                                           const std::vector<LabelId>& keywords,
                                           const BkwsOptions& options = {});
@@ -48,7 +56,13 @@ std::vector<Answer> BackwardKeywordSearch(const Graph& g,
 /// Computes the exact best answer tree rooted at `root` (shared by bkws and
 /// Blinks verification): one forward bounded BFS from the root, nearest
 /// keyword vertex per keyword with deterministic tie-breaking (smallest id).
-/// Returns nullopt if some keyword is unreachable within d_max.
+/// Returns nullopt if some keyword is unreachable within d_max. Uses ctx
+/// BFS slot 0.
+std::optional<Answer> CompleteRootedAnswer(
+    const Graph& g, const std::vector<LabelId>& keywords, VertexId root,
+    uint32_t d_max, bool materialize_paths, QueryContext& ctx);
+
+/// Convenience overload running on a throwaway context.
 std::optional<Answer> CompleteRootedAnswer(
     const Graph& g, const std::vector<LabelId>& keywords, VertexId root,
     uint32_t d_max, bool materialize_paths);
@@ -58,20 +72,25 @@ class BkwsAlgorithm final : public KeywordSearchAlgorithm {
  public:
   explicit BkwsAlgorithm(BkwsOptions options = {}) : options_(options) {}
 
+  using KeywordSearchAlgorithm::Evaluate;
+  using KeywordSearchAlgorithm::VerifyCandidate;
+
   std::string_view Name() const override { return "bkws"; }
 
-  std::vector<Answer> Evaluate(
-      const Graph& g, const std::vector<LabelId>& keywords) const override {
-    return BackwardKeywordSearch(g, keywords, options_);
+  std::vector<Answer> Evaluate(const Graph& g,
+                               const std::vector<LabelId>& keywords,
+                               QueryContext& ctx) const override {
+    return BackwardKeywordSearch(g, keywords, options_, ctx);
   }
 
   bool IsRooted() const override { return true; }
 
-  std::optional<Answer> VerifyCandidate(
-      const Graph& g, const std::vector<LabelId>& keywords,
-      const Answer& candidate) const override {
+  std::optional<Answer> VerifyCandidate(const Graph& g,
+                                        const std::vector<LabelId>& keywords,
+                                        const Answer& candidate,
+                                        QueryContext& ctx) const override {
     return CompleteRootedAnswer(g, keywords, candidate.root, options_.d_max,
-                                options_.materialize_paths);
+                                options_.materialize_paths, ctx);
   }
 
   const BkwsOptions& options() const { return options_; }

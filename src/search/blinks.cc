@@ -11,66 +11,64 @@ namespace {
 /// A lazily expanded backward BFS cone for one keyword: level L is expanded
 /// on demand; after ExpandLevel() returns, every vertex at distance <=
 /// frontier_dist() from the keyword set is discovered with its exact
-/// distance, witness keyword vertex, and next hop.
+/// distance, witness keyword vertex, and next hop. Per-vertex arrays are
+/// borrowed from a context ConeScratch (clean on entry, released by the
+/// search when done).
 class LazyCone {
  public:
-  LazyCone(const Graph& g, LabelId keyword, uint32_t d_max)
-      : g_(g), d_max_(d_max) {
-    dist_.assign(g.NumVertices(), kInfDistance);
-    witness_.assign(g.NumVertices(), kInvalidVertex);
-    next_hop_.assign(g.NumVertices(), kInvalidVertex);
+  LazyCone(const Graph& g, LabelId keyword, uint32_t d_max, ConeScratch& s)
+      : g_(g), d_max_(d_max), s_(s) {
     for (VertexId v : g.VerticesWithLabel(keyword)) {
-      dist_[v] = 0;
-      witness_[v] = v;
-      next_hop_[v] = v;
-      queue_.push_back(v);
+      s_.dist[v] = 0;
+      s_.witness[v] = v;
+      s_.parent[v] = v;
+      s_.queue.push_back(v);
     }
-    level_end_ = queue_.size();
+    level_end_ = s_.queue.size();
   }
 
   uint32_t frontier_dist() const { return frontier_dist_; }
   bool Exhausted() const {
-    return frontier_dist_ >= d_max_ || head_ >= queue_.size();
+    return frontier_dist_ >= d_max_ || head_ >= s_.queue.size();
   }
 
   /// Expands one BFS level. Returns the vertices newly discovered.
   std::span<const VertexId> ExpandLevel(size_t* popped) {
-    size_t new_begin = queue_.size();
+    size_t new_begin = s_.queue.size();
     while (head_ < level_end_) {
-      VertexId v = queue_[head_++];
+      VertexId v = s_.queue[head_++];
       if (popped) ++(*popped);
       for (VertexId u : g_.InNeighbors(v)) {
-        if (dist_[u] != kInfDistance) continue;
-        dist_[u] = frontier_dist_ + 1;
-        witness_[u] = witness_[v];
-        next_hop_[u] = v;
-        queue_.push_back(u);
+        if (s_.dist[u] != kInfDistance) continue;
+        s_.dist[u] = frontier_dist_ + 1;
+        s_.witness[u] = s_.witness[v];
+        s_.parent[u] = v;
+        s_.queue.push_back(u);
       }
     }
     ++frontier_dist_;
-    level_end_ = queue_.size();
-    return {queue_.data() + new_begin, queue_.size() - new_begin};
+    level_end_ = s_.queue.size();
+    return {s_.queue.data() + new_begin, s_.queue.size() - new_begin};
   }
 
-  uint32_t dist(VertexId v) const { return dist_[v]; }
-  VertexId witness(VertexId v) const { return witness_[v]; }
+  uint32_t dist(VertexId v) const { return s_.dist[v]; }
+  VertexId witness(VertexId v) const { return s_.witness[v]; }
 
   /// Appends the path from root toward its witness (excludes root).
   void AppendPath(VertexId root, std::vector<VertexId>& out) const {
     VertexId v = root;
-    while (v != witness_[v]) {
-      v = next_hop_[v];
+    while (v != s_.witness[v]) {
+      v = s_.parent[v];
       out.push_back(v);
     }
   }
 
+  void Release() { s_.Release(); }
+
  private:
   const Graph& g_;
   uint32_t d_max_;
-  std::vector<uint32_t> dist_;
-  std::vector<VertexId> witness_;
-  std::vector<VertexId> next_hop_;
-  std::vector<VertexId> queue_;
+  ConeScratch& s_;
   size_t head_ = 0;
   size_t level_end_ = 0;
   uint32_t frontier_dist_ = 0;
@@ -155,7 +153,7 @@ size_t BlinksIndex::SingleLevelMemoryEstimate(const Graph& g) {
 std::vector<Answer> BlinksSearch(const Graph& g, const BlinksIndex& index,
                                  const std::vector<LabelId>& keywords,
                                  const BlinksOptions& options,
-                                 BlinksStats* stats) {
+                                 QueryContext& ctx, BlinksStats* stats) {
   std::vector<Answer> answers;
   const size_t nq = keywords.size();
   if (nq == 0 || g.NumVertices() == 0) return answers;
@@ -163,15 +161,18 @@ std::vector<Answer> BlinksSearch(const Graph& g, const BlinksIndex& index,
 
   std::vector<LazyCone> cones;
   cones.reserve(nq);
-  for (LabelId q : keywords) cones.emplace_back(g, q, options.d_max);
+  for (size_t i = 0; i < nq; ++i) {
+    cones.emplace_back(g, keywords[i], options.d_max,
+                       ctx.Cone(i, g.NumVertices()));
+  }
 
   // Per-vertex bookkeeping for partial roots.
-  std::vector<uint32_t> known_mask(g.NumVertices(), 0);
-  std::vector<uint32_t> sum_known(g.NumVertices(), 0);
+  std::vector<uint32_t>& known_mask = ctx.ZeroedVertexArray(0, g.NumVertices());
+  std::vector<uint32_t>& sum_known = ctx.ZeroedVertexArray(1, g.NumVertices());
   const uint32_t full_mask =
       nq == 32 ? 0xFFFFFFFFu : ((1u << nq) - 1);
-  std::vector<VertexId> partial;   // discovered by >=1 cone, not complete
-  std::vector<VertexId> complete;  // discovered by all cones (answer roots)
+  std::vector<VertexId>& partial = ctx.VertexScratch(0);   // >=1 cone, not complete
+  std::vector<VertexId>& complete = ctx.VertexScratch(1);  // all cones (answer roots)
 
   BlinksStats local_stats;
   BlinksStats& st = stats ? *stats : local_stats;
@@ -210,7 +211,7 @@ std::vector<Answer> BlinksSearch(const Graph& g, const BlinksIndex& index,
     // future or incomplete root.
     if (want_topk && complete.size() >= options.top_k) {
       // kth best score among complete roots.
-      std::vector<uint32_t> scores;
+      std::vector<uint32_t>& scores = ctx.VertexScratch(2);
       scores.reserve(complete.size());
       for (VertexId v : complete) scores.push_back(sum_known[v]);
       std::nth_element(scores.begin(), scores.begin() + options.top_k - 1,
@@ -274,6 +275,8 @@ std::vector<Answer> BlinksSearch(const Graph& g, const BlinksIndex& index,
     CanonicalizeAnswer(a);
     answers.push_back(std::move(a));
   }
+  for (LazyCone& cone : cones) cone.Release();
+
   SortAnswers(answers);
   if (want_topk && answers.size() > options.top_k) {
     answers.resize(options.top_k);
@@ -281,8 +284,17 @@ std::vector<Answer> BlinksSearch(const Graph& g, const BlinksIndex& index,
   return answers;
 }
 
+std::vector<Answer> BlinksSearch(const Graph& g, const BlinksIndex& index,
+                                 const std::vector<LabelId>& keywords,
+                                 const BlinksOptions& options,
+                                 BlinksStats* stats) {
+  QueryContext ctx;
+  return BlinksSearch(g, index, keywords, options, ctx, stats);
+}
+
 std::vector<Answer> BlinksAlgorithm::Evaluate(
-    const Graph& g, const std::vector<LabelId>& keywords) const {
+    const Graph& g, const std::vector<LabelId>& keywords,
+    QueryContext& ctx) const {
   const BlinksIndex* index = nullptr;
   {
     std::lock_guard<std::mutex> lock(cache_mutex_);
@@ -295,14 +307,14 @@ std::vector<Answer> BlinksAlgorithm::Evaluate(
     }
     index = it->second.get();
   }
-  return BlinksSearch(g, *index, keywords, options_);
+  return BlinksSearch(g, *index, keywords, options_, ctx);
 }
 
 std::optional<Answer> BlinksAlgorithm::VerifyCandidate(
     const Graph& g, const std::vector<LabelId>& keywords,
-    const Answer& candidate) const {
+    const Answer& candidate, QueryContext& ctx) const {
   return CompleteRootedAnswer(g, keywords, candidate.root, options_.d_max,
-                              options_.materialize_paths);
+                              options_.materialize_paths, ctx);
 }
 
 void BlinksAlgorithm::ClearCache() const {

@@ -18,7 +18,8 @@
 // in round-robin increasing-frontier order, candidate roots checked against
 // the node-keyword maps, and sound early termination once the k best complete
 // roots provably beat every incomplete or undiscovered root. Results are
-// exact — equal to exhaustive enumeration — which the tests verify.
+// exact — equal to exhaustive enumeration — which the tests verify. Search
+// scratch (cone arrays, masks, root lists) lives in the QueryContext.
 
 #ifndef BIGINDEX_SEARCH_BLINKS_H_
 #define BIGINDEX_SEARCH_BLINKS_H_
@@ -31,6 +32,7 @@
 #include <vector>
 
 #include "core/search_algorithm.h"
+#include "engine/query_context.h"
 #include "graph/graph.h"
 #include "search/answer.h"
 #include "search/partitioner.h"
@@ -97,7 +99,14 @@ struct BlinksStats {
   bool early_terminated = false;
 };
 
-/// Runs Blinks on `g` with a prebuilt index.
+/// Runs Blinks on `g` with a prebuilt index; scratch comes from `ctx`.
+std::vector<Answer> BlinksSearch(const Graph& g, const BlinksIndex& index,
+                                 const std::vector<LabelId>& keywords,
+                                 const BlinksOptions& options,
+                                 QueryContext& ctx,
+                                 BlinksStats* stats = nullptr);
+
+/// Convenience overload running on a throwaway context.
 std::vector<Answer> BlinksSearch(const Graph& g, const BlinksIndex& index,
                                  const std::vector<LabelId>& keywords,
                                  const BlinksOptions& options,
@@ -105,21 +114,27 @@ std::vector<Answer> BlinksSearch(const Graph& g, const BlinksIndex& index,
 
 /// Adapter implementing the pluggable `f` interface. Indexes are built lazily
 /// per graph and cached by graph identity (BiG-index evaluates the same
-/// layer graphs repeatedly).
+/// layer graphs repeatedly); the cache is mutex-guarded, so one algorithm
+/// object may serve concurrent queries.
 class BlinksAlgorithm final : public KeywordSearchAlgorithm {
  public:
   explicit BlinksAlgorithm(BlinksOptions options = {}) : options_(options) {}
 
+  using KeywordSearchAlgorithm::Evaluate;
+  using KeywordSearchAlgorithm::VerifyCandidate;
+
   std::string_view Name() const override { return "blinks"; }
 
-  std::vector<Answer> Evaluate(
-      const Graph& g, const std::vector<LabelId>& keywords) const override;
+  std::vector<Answer> Evaluate(const Graph& g,
+                               const std::vector<LabelId>& keywords,
+                               QueryContext& ctx) const override;
 
   bool IsRooted() const override { return true; }
 
-  std::optional<Answer> VerifyCandidate(
-      const Graph& g, const std::vector<LabelId>& keywords,
-      const Answer& candidate) const override;
+  std::optional<Answer> VerifyCandidate(const Graph& g,
+                                        const std::vector<LabelId>& keywords,
+                                        const Answer& candidate,
+                                        QueryContext& ctx) const override;
 
   const BlinksOptions& options() const { return options_; }
 

@@ -33,8 +33,12 @@ bool CandidateLess(const Candidate& a, const Candidate& b) {
 /// (all pairwise distances <= r).
 class BestAnswerFinder {
  public:
-  BestAnswerFinder(const Graph& g, const NeighborIndex& index, uint32_t r)
-      : index_(index), r_(r), position_mask_(g.NumVertices(), 0) {}
+  BestAnswerFinder(const Graph& g, const NeighborIndex& index, uint32_t r,
+                   QueryContext& ctx)
+      : index_(index),
+        r_(r),
+        position_mask_(ctx.ZeroedVertexArray(0, g.NumVertices())),
+        touched_(ctx.VertexScratch(0)) {}
 
   Candidate Find(const SearchSpace& space, RCliqueStats* stats) {
     const size_t nq = space.sets.size();
@@ -56,11 +60,11 @@ class BestAnswerFinder {
       }
     }
 
-    std::vector<VertexId> nearest(nq, kInvalidVertex);
-    std::vector<uint32_t> nearest_dist(nq, kInfDistance);
+    std::vector<VertexId>& nearest = nearest_;
+    std::vector<uint32_t>& nearest_dist = nearest_dist_;
     for (VertexId u : space.sets[anchor]) {
-      std::fill(nearest.begin(), nearest.end(), kInvalidVertex);
-      std::fill(nearest_dist.begin(), nearest_dist.end(), kInfDistance);
+      nearest.assign(nq, kInvalidVertex);
+      nearest_dist.assign(nq, kInfDistance);
       nearest[anchor] = u;
       nearest_dist[anchor] = 0;
       // One scan of u's r-neighborhood covers every other position.
@@ -111,8 +115,12 @@ class BestAnswerFinder {
  private:
   const NeighborIndex& index_;
   uint32_t r_;
-  std::vector<uint32_t> position_mask_;
-  std::vector<VertexId> touched_;
+  // Per-vertex mask and its touched list, borrowed from the QueryContext
+  // (zeroed at acquisition; Find() restores the zeros via touched_).
+  std::vector<uint32_t>& position_mask_;
+  std::vector<VertexId>& touched_;
+  std::vector<VertexId> nearest_;
+  std::vector<uint32_t> nearest_dist_;
 };
 
 Answer CandidateToAnswer(const Candidate& c) {
@@ -220,7 +228,7 @@ size_t NeighborIndex::EstimateMemoryBytes(const Graph& g, uint32_t r,
 std::vector<Answer> RCliqueSearch(const Graph& g, const NeighborIndex& index,
                                   const std::vector<LabelId>& keywords,
                                   const RCliqueOptions& options,
-                                  RCliqueStats* stats) {
+                                  QueryContext& ctx, RCliqueStats* stats) {
   std::vector<Answer> answers;
   const size_t nq = keywords.size();
   if (nq == 0 || nq > 32 || g.NumVertices() == 0) return answers;
@@ -233,7 +241,7 @@ std::vector<Answer> RCliqueSearch(const Graph& g, const NeighborIndex& index,
     root_space.sets.emplace_back(vs.begin(), vs.end());
   }
 
-  BestAnswerFinder finder(g, index, options.r);
+  BestAnswerFinder finder(g, index, options.r, ctx);
 
   struct QueueEntry {
     Candidate best;
@@ -283,6 +291,14 @@ std::vector<Answer> RCliqueSearch(const Graph& g, const NeighborIndex& index,
   return answers;
 }
 
+std::vector<Answer> RCliqueSearch(const Graph& g, const NeighborIndex& index,
+                                  const std::vector<LabelId>& keywords,
+                                  const RCliqueOptions& options,
+                                  RCliqueStats* stats) {
+  QueryContext ctx;
+  return RCliqueSearch(g, index, keywords, options, ctx, stats);
+}
+
 std::vector<Answer> RCliqueEnumerateAll(const Graph& g,
                                         const NeighborIndex& index,
                                         const std::vector<LabelId>& keywords,
@@ -328,8 +344,9 @@ std::vector<Answer> RCliqueEnumerateAll(const Graph& g,
   return answers;
 }
 
-std::vector<Answer> RCliqueAlgorithm::Evaluate(
-    const Graph& g, const std::vector<LabelId>& keywords) const {
+std::vector<Answer> RCliqueAlgorithm::Evaluate(const Graph& g,
+                                               const std::vector<LabelId>& keywords,
+                                               QueryContext& ctx) const {
   const NeighborIndex* index = nullptr;
   {
     std::lock_guard<std::mutex> lock(cache_mutex_);
@@ -345,12 +362,12 @@ std::vector<Answer> RCliqueAlgorithm::Evaluate(
     }
     index = it->second.get();
   }
-  return RCliqueSearch(g, *index, keywords, options_);
+  return RCliqueSearch(g, *index, keywords, options_, ctx);
 }
 
 std::optional<Answer> RCliqueAlgorithm::VerifyCandidate(
     const Graph& g, const std::vector<LabelId>& keywords,
-    const Answer& candidate) const {
+    const Answer& candidate, QueryContext& ctx) const {
   const size_t nq = keywords.size();
   if (candidate.keyword_vertices.size() != nq) return std::nullopt;
   for (size_t i = 0; i < nq; ++i) {
@@ -359,20 +376,19 @@ std::optional<Answer> RCliqueAlgorithm::VerifyCandidate(
     }
   }
 
-  std::lock_guard<std::mutex> lock(cache_mutex_);
-  if (ball_graph_ != &g) {
-    ball_cache_.clear();
-    ball_graph_ = &g;
-  }
-  if (ball_cache_.size() > 2048) ball_cache_.clear();
+  BallCache& cache = ctx.Balls();
+  cache.SwitchTo(&g, options_.r);
+  if (cache.balls.size() > 2048) cache.balls.clear();
+  std::vector<VertexId>& queue = ctx.VertexScratch(0);
   auto ball_of = [&](VertexId u)
       -> const std::unordered_map<VertexId, uint32_t>& {
-    auto it = ball_cache_.find(u);
-    if (it != ball_cache_.end()) return it->second;
+    auto it = cache.balls.find(u);
+    if (it != cache.balls.end()) return it->second;
     // One bounded undirected BFS per distinct keyword vertex; every pairwise
     // check against it becomes a hash lookup.
     std::unordered_map<VertexId, uint32_t> ball;
-    std::vector<VertexId> queue{u};
+    queue.clear();
+    queue.push_back(u);
     ball.emplace(u, 0);
     size_t head = 0;
     while (head < queue.size()) {
@@ -385,7 +401,7 @@ std::optional<Answer> RCliqueAlgorithm::VerifyCandidate(
       for (VertexId w : g.OutNeighbors(x)) visit(w);
       for (VertexId w : g.InNeighbors(x)) visit(w);
     }
-    return ball_cache_.emplace(u, std::move(ball)).first->second;
+    return cache.balls.emplace(u, std::move(ball)).first->second;
   };
 
   Answer a;

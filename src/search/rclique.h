@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "core/search_algorithm.h"
+#include "engine/query_context.h"
 #include "graph/graph.h"
 #include "search/answer.h"
 #include "util/random.h"
@@ -89,7 +90,14 @@ struct RCliqueStats {
   size_t candidates_scored = 0;
 };
 
-/// Runs r-clique with a prebuilt neighbor index.
+/// Runs r-clique with a prebuilt neighbor index; scratch comes from `ctx`.
+std::vector<Answer> RCliqueSearch(const Graph& g, const NeighborIndex& index,
+                                  const std::vector<LabelId>& keywords,
+                                  const RCliqueOptions& options,
+                                  QueryContext& ctx,
+                                  RCliqueStats* stats = nullptr);
+
+/// Convenience overload running on a throwaway context.
 std::vector<Answer> RCliqueSearch(const Graph& g, const NeighborIndex& index,
                                   const std::vector<LabelId>& keywords,
                                   const RCliqueOptions& options,
@@ -104,16 +112,22 @@ std::vector<Answer> RCliqueEnumerateAll(const Graph& g,
                                         uint32_t r);
 
 /// Adapter implementing the pluggable `f` interface; neighbor indexes are
-/// built lazily per graph and cached by graph identity.
+/// built lazily per graph and cached by graph identity (mutex-guarded, so
+/// one algorithm object may serve concurrent queries). The verification
+/// ball cache lives in the QueryContext — per query strand, lock-free.
 class RCliqueAlgorithm final : public KeywordSearchAlgorithm {
  public:
   explicit RCliqueAlgorithm(RCliqueOptions options = {})
       : options_(options) {}
 
+  using KeywordSearchAlgorithm::Evaluate;
+  using KeywordSearchAlgorithm::VerifyCandidate;
+
   std::string_view Name() const override { return "r-clique"; }
 
-  std::vector<Answer> Evaluate(
-      const Graph& g, const std::vector<LabelId>& keywords) const override;
+  std::vector<Answer> Evaluate(const Graph& g,
+                               const std::vector<LabelId>& keywords,
+                               QueryContext& ctx) const override;
 
   bool IsRooted() const override { return false; }
 
@@ -121,9 +135,13 @@ class RCliqueAlgorithm final : public KeywordSearchAlgorithm {
   /// and all pairwise undirected distances must be <= r (verified by bounded
   /// BFS on `g` — no neighbor index needed at the data layer, mirroring
   /// boost-dkws which only builds the neighbor list on the query layer).
-  std::optional<Answer> VerifyCandidate(
-      const Graph& g, const std::vector<LabelId>& keywords,
-      const Answer& candidate) const override;
+  /// The bounded undirected r-balls around keyword vertices are cached in
+  /// `ctx` and shared across the many candidates one query verifies
+  /// (candidates draw from small vertex pools, so hit rates are high).
+  std::optional<Answer> VerifyCandidate(const Graph& g,
+                                        const std::vector<LabelId>& keywords,
+                                        const Answer& candidate,
+                                        QueryContext& ctx) const override;
 
   const RCliqueOptions& options() const { return options_; }
 
@@ -134,13 +152,6 @@ class RCliqueAlgorithm final : public KeywordSearchAlgorithm {
   mutable std::mutex cache_mutex_;
   mutable std::unordered_map<const Graph*, std::unique_ptr<NeighborIndex>>
       cache_;
-  // Verification ball cache: bounded undirected r-balls of keyword vertices,
-  // shared across the many candidates one query verifies (candidates draw
-  // from small vertex pools, so hit rates are high).
-  mutable const Graph* ball_graph_ = nullptr;
-  mutable std::unordered_map<VertexId,
-                             std::unordered_map<VertexId, uint32_t>>
-      ball_cache_;
 };
 
 }  // namespace bigindex

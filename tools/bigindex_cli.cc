@@ -10,19 +10,27 @@
 //   query   <graph.in> <ontology.in> <index.in> <algo> <k1,k2,...> [top_k]
 //           Evaluate a keyword query through the index; algo is one of
 //           bkws | blinks | rclique | bidi.
+//   batch   <graph.in> <ontology.in> <index.in> <algo> <queries.txt>
+//           [threads] [top_k]
+//           Evaluate a batch of queries (one comma-separated keyword list
+//           per line) through the QueryEngine's thread pool.
+//
+// Query evaluation goes through the QueryEngine: the CLI registers the
+// selected algorithm with its configured options and submits EngineQuery
+// records, so single-shot `query` and pooled `batch` share one code path.
 //
 // Exit status: 0 on success, 1 on any error (message on stderr).
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "bigindex.h"
-#include "search/bidirectional.h"
 
 namespace bigindex {
 namespace {
@@ -46,8 +54,50 @@ int Usage() {
                "  bigindex_cli build <graph> <ontology> <index> [layers]\n"
                "  bigindex_cli stats <graph> <ontology> <index>\n"
                "  bigindex_cli query <graph> <ontology> <index> "
-               "<bkws|blinks|rclique|bidi> <kw1,kw2,...> [top_k]\n");
+               "<bkws|blinks|rclique|bidi> <kw1,kw2,...> [top_k]\n"
+               "  bigindex_cli batch <graph> <ontology> <index> "
+               "<bkws|blinks|rclique|bidi> <queries.txt> [threads] [top_k]\n");
   return 1;
+}
+
+/// Maps a CLI algorithm name to a configured instance (nullptr = unknown).
+std::unique_ptr<KeywordSearchAlgorithm> MakeAlgorithm(
+    const std::string& name, size_t top_k) {
+  if (name == "bkws") {
+    return std::make_unique<BkwsAlgorithm>(BkwsOptions{.d_max = 5});
+  }
+  if (name == "blinks") {
+    return std::make_unique<BlinksAlgorithm>(
+        BlinksOptions{.d_max = 5, .top_k = 5 * top_k});
+  }
+  if (name == "rclique") {
+    return std::make_unique<RCliqueAlgorithm>(
+        RCliqueOptions{.r = 4, .top_k = 2 * top_k});
+  }
+  if (name == "bidi") {
+    return std::make_unique<BidirectionalAlgorithm>(
+        BidirectionalOptions{.d_max = 5});
+  }
+  return nullptr;
+}
+
+/// Parses "kw1,kw2,..." against the dictionary; empty result = parse error
+/// (message already printed).
+std::vector<LabelId> ParseKeywords(const std::string& spec,
+                                   const LabelDictionary& dict) {
+  std::vector<LabelId> keywords;
+  std::stringstream kws(spec);
+  std::string kw;
+  while (std::getline(kws, kw, ',')) {
+    LabelId l = dict.Find(kw);
+    if (l == kInvalidLabel) {
+      std::fprintf(stderr, "error: keyword '%s' not in the graph's labels\n",
+                   kw.c_str());
+      return {};
+    }
+    keywords.push_back(l);
+  }
+  return keywords;
 }
 
 int CmdGen(int argc, char** argv) {
@@ -127,48 +177,29 @@ int CmdQuery(int argc, char** argv) {
 
   std::string algo_name = argv[3];
   size_t top_k = argc > 5 ? static_cast<size_t>(std::atoi(argv[5])) : 10;
-  std::unique_ptr<KeywordSearchAlgorithm> algo;
-  if (algo_name == "bkws") {
-    algo = std::make_unique<BkwsAlgorithm>(BkwsOptions{.d_max = 5});
-  } else if (algo_name == "blinks") {
-    algo = std::make_unique<BlinksAlgorithm>(
-        BlinksOptions{.d_max = 5, .top_k = 5 * top_k});
-  } else if (algo_name == "rclique") {
-    algo = std::make_unique<RCliqueAlgorithm>(
-        RCliqueOptions{.r = 4, .top_k = 2 * top_k});
-  } else if (algo_name == "bidi") {
-    algo = std::make_unique<BidirectionalAlgorithm>(
-        BidirectionalOptions{.d_max = 5});
-  } else {
-    return Usage();
-  }
+  std::unique_ptr<KeywordSearchAlgorithm> algo = MakeAlgorithm(algo_name,
+                                                               top_k);
+  if (!algo) return Usage();
 
-  std::vector<LabelId> keywords;
-  std::stringstream kws(argv[4]);
-  std::string kw;
-  while (std::getline(kws, kw, ',')) {
-    LabelId l = loaded->dict.Find(kw);
-    if (l == kInvalidLabel) {
-      std::fprintf(stderr, "error: keyword '%s' not in the graph's labels\n",
-                   kw.c_str());
-      return 1;
-    }
-    keywords.push_back(l);
-  }
+  std::vector<LabelId> keywords = ParseKeywords(argv[4], loaded->dict);
   if (keywords.empty()) return Usage();
 
-  EvalOptions opt;
-  opt.top_k = top_k;
-  EvalBreakdown bd;
-  Timer t;
-  auto answers = EvaluateWithIndex(*index, *algo, keywords, opt, &bd);
-  double ms = t.ElapsedMillis();
+  QueryEngine engine(std::move(index).value(),
+                     {.register_default_algorithms = false});
+  EngineQuery q;
+  q.algorithm = algo->Name();
+  engine.Register(std::move(algo));
+  q.keywords = std::move(keywords);
+  q.eval.top_k = top_k;
+  auto result = engine.Evaluate(q);
+  if (!result.ok()) return Fail(result.status());
+  const EvalBreakdown& bd = result->breakdown;
 
   std::printf("%zu answer(s) in %.2f ms (layer %zu; explore %.2f / "
               "specialize %.2f / generate %.2f / verify %.2f ms)\n",
-              answers.size(), ms, bd.layer, bd.explore_ms, bd.specialize_ms,
-              bd.generate_ms, bd.verify_ms);
-  for (const Answer& a : answers) {
+              result->answers.size(), result->wall_ms, bd.layer,
+              bd.explore_ms, bd.specialize_ms, bd.generate_ms, bd.verify_ms);
+  for (const Answer& a : result->answers) {
     if (a.root != kInvalidVertex) {
       std::printf("  root=%s score=%u kw=[",
                   loaded->dict.Name(loaded->graph.label(a.root)).c_str(),
@@ -186,6 +217,67 @@ int CmdQuery(int argc, char** argv) {
   return 0;
 }
 
+int CmdBatch(int argc, char** argv) {
+  if (argc < 5) return Usage();
+  auto loaded = LoadGraphAndOntology(argv[0], argv[1]);
+  if (!loaded.ok()) return Fail(loaded.status());
+  auto index = LoadIndexFile(argv[2], loaded->dict, &loaded->ontology);
+  if (!index.ok()) return Fail(index.status());
+
+  std::string algo_name = argv[3];
+  size_t threads = argc > 5 ? static_cast<size_t>(std::atoi(argv[5])) : 0;
+  size_t top_k = argc > 6 ? static_cast<size_t>(std::atoi(argv[6])) : 10;
+  std::unique_ptr<KeywordSearchAlgorithm> algo = MakeAlgorithm(algo_name,
+                                                               top_k);
+  if (!algo) return Usage();
+
+  std::ifstream in(argv[4]);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot open queries file %s\n", argv[4]);
+    return 1;
+  }
+  std::vector<EngineQuery> queries;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    EngineQuery q;
+    q.algorithm = algo->Name();
+    q.keywords = ParseKeywords(line, loaded->dict);
+    if (q.keywords.empty()) return 1;
+    q.eval.top_k = top_k;
+    queries.push_back(std::move(q));
+  }
+  if (queries.empty()) {
+    std::fprintf(stderr, "error: no queries in %s\n", argv[4]);
+    return 1;
+  }
+
+  QueryEngine engine(std::move(index).value(),
+                     {.num_threads = threads,
+                      .register_default_algorithms = false});
+  engine.Register(std::move(algo));
+  Timer t;
+  auto results = engine.EvaluateBatch(queries);
+  double total_ms = t.ElapsedMillis();
+  if (!results.ok()) return Fail(results.status());
+
+  double sum_ms = 0;
+  size_t total_answers = 0;
+  for (size_t i = 0; i < results->size(); ++i) {
+    const QueryResult& r = (*results)[i];
+    sum_ms += r.wall_ms;
+    total_answers += r.answers.size();
+    std::printf("query %zu: %zu answer(s) in %.2f ms (layer %zu)\n", i,
+                r.answers.size(), r.wall_ms, r.breakdown.layer);
+  }
+  std::printf(
+      "batch of %zu queries: %.2f ms wall (%.1f q/s) with %zu thread(s); "
+      "%.2f ms summed per-query; %zu answers\n",
+      queries.size(), total_ms, 1000.0 * queries.size() / total_ms, threads,
+      sum_ms, total_answers);
+  return 0;
+}
+
 }  // namespace
 }  // namespace bigindex
 
@@ -197,5 +289,6 @@ int main(int argc, char** argv) {
   if (std::strcmp(cmd, "build") == 0) return CmdBuild(argc - 2, argv + 2);
   if (std::strcmp(cmd, "stats") == 0) return CmdStats(argc - 2, argv + 2);
   if (std::strcmp(cmd, "query") == 0) return CmdQuery(argc - 2, argv + 2);
+  if (std::strcmp(cmd, "batch") == 0) return CmdBatch(argc - 2, argv + 2);
   return Usage();
 }

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# CI entry point: tier-1 correctness, then a ThreadSanitizer pass over the
+# engine tests (the only suite that exercises cross-thread sharing).
+#
+#   tools/ci.sh [jobs]
+#
+# Uses separate build trees so the sanitized build never dirties the main one.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${1:-$(nproc)}"
+
+echo "=== tier-1: build + ctest (build/) ==="
+cmake -B build -S . >/dev/null
+cmake --build build -j"$JOBS"
+ctest --test-dir build --output-on-failure -j"$JOBS"
+
+echo
+echo "=== tsan: engine tests (build-tsan/) ==="
+cmake -B build-tsan -S . -DBIGINDEX_SANITIZE=thread >/dev/null
+cmake --build build-tsan -j"$JOBS" --target bigindex_tests
+# halt_on_error makes any race a hard failure rather than a log line.
+TSAN_OPTIONS="halt_on_error=1" \
+  ./build-tsan/tests/bigindex_tests --gtest_filter='ExecutorPool*:QueryContext*:QueryEngine*'
+
+echo
+echo "CI OK"
