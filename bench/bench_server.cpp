@@ -1,0 +1,202 @@
+// Serving-layer load generator: drives an in-process SearchService with
+// closed-loop clients (each waits for its answer before sending the next)
+// and an open-loop burst (submit-all-at-once), reporting throughput, tail
+// latency, cache ratios, and the overload/deadline counters.
+//
+// Comparisons reported (ISSUE 3 acceptance):
+//   1. answer cache ON vs OFF on a repeated-query workload — the cache
+//      should win by >= 2x;
+//   2. micro-batched dispatch (max_batch=64) vs one-query-per-Evaluate
+//      serial dispatch (max_batch=1) over the same 8-thread engine pool;
+//   3. an open-loop burst against a small admission queue with tight
+//      deadlines — demonstrates non-blocking backpressure (rejections and
+//      deadline misses, no hangs, no partial answers).
+//
+// `bench_server --smoke` shrinks every phase for CI (tools/ci.sh runs it on
+// every pass).
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+
+using namespace bigindex;
+using namespace bigindex::bench;
+
+namespace {
+
+struct LoadReport {
+  double qps = 0;
+  uint64_t ok = 0;
+  uint64_t errors = 0;
+  ServiceStats stats;
+};
+
+/// `clients` closed-loop threads hammer the service for `seconds`, each
+/// cycling through `queries` from its own offset.
+LoadReport RunClosedLoop(SearchService& service,
+                         const std::vector<EngineQuery>& queries,
+                         size_t clients, double seconds) {
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> ok{0}, errors{0};
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      size_t i = c * 3;  // de-phase the clients
+      while (!stop.load(std::memory_order_relaxed)) {
+        auto r = service.Query(queries[i++ % queries.size()]);
+        if (r.ok()) {
+          ok.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          errors.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  Timer t;
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  stop = true;
+  for (auto& th : threads) th.join();
+  LoadReport report;
+  report.ok = ok.load();
+  report.errors = errors.load();
+  report.qps = report.ok / t.ElapsedSeconds();
+  report.stats = service.Snapshot();
+  return report;
+}
+
+void PrintReport(const char* name, const LoadReport& r) {
+  std::printf("%-22s %10.1f q/s  ok=%-8llu err=%-6llu p50=%.3fms "
+              "p95=%.3fms p99=%.3fms hit=%.2f mean_batch=%.1f\n",
+              name, r.qps, static_cast<unsigned long long>(r.ok),
+              static_cast<unsigned long long>(r.errors), r.stats.p50_ms,
+              r.stats.p95_ms, r.stats.p99_ms, r.stats.cache_hit_ratio,
+              r.stats.mean_batch_size);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  const double duration = smoke ? 0.25 : 2.0;
+  // More clients than pool slots: micro-batches then exceed the slot count,
+  // so the pool's dynamic scheduling amortizes per-query cost variance
+  // (a batch of exactly num_slots is bounded by its slowest member).
+  const size_t clients = 32;
+
+  PrintHeader("SearchService load generator",
+              "serving layer (no paper figure; ISSUE 3 acceptance)");
+  double scale = BenchScale();
+  BenchInstance inst = MakeInstance("yago3", scale, /*max_layers=*/4);
+  auto index =
+      std::make_shared<const BigIndex>(std::move(inst.index).value());
+  auto engine = std::make_shared<const QueryEngine>(
+      index, QueryEngineOptions{.num_threads = 8});
+
+  // Repeated-query workload: a bounded set of distinct queries the clients
+  // cycle over — cache-friendly by construction, like real head traffic.
+  std::vector<EngineQuery> queries;
+  for (const QuerySpec& q : inst.workload) {
+    queries.push_back({.keywords = q.keywords,
+                       .algorithm = "bkws",
+                       .eval = {.top_k = 10}});
+    queries.push_back({.keywords = q.keywords,
+                       .algorithm = "blinks",
+                       .eval = {.top_k = 10, .exact_verification = false}});
+    if (queries.size() >= 24) break;
+  }
+  std::printf("workload: %zu distinct queries, %zu closed-loop clients, "
+              "%.2fs per config, 8-thread engine pool "
+              "(hardware concurrency: %u)\n\n",
+              queries.size(), clients, duration,
+              std::thread::hardware_concurrency());
+
+  // --- 1. cache ON vs OFF ------------------------------------------------
+  double cached_qps = 0, uncached_qps = 0;
+  {
+    SearchService service(engine, {.max_linger_ms = 0.2});
+    for (const EngineQuery& q : queries) (void)service.Query(q);  // warm
+    LoadReport r = RunClosedLoop(service, queries, clients, duration);
+    PrintReport("cache on", r);
+    cached_qps = r.qps;
+  }
+  {
+    SearchService service(engine,
+                          {.max_linger_ms = 0.2, .enable_cache = false});
+    for (const EngineQuery& q : queries) (void)service.Query(q);  // warm
+    LoadReport r = RunClosedLoop(service, queries, clients, duration);
+    PrintReport("cache off", r);
+    uncached_qps = r.qps;
+  }
+  std::printf("  -> cache speedup: %.2fx (target >= 2x on repeated "
+              "queries)\n\n",
+              uncached_qps > 0 ? cached_qps / uncached_qps : 0.0);
+
+  // --- 2. micro-batched vs serial dispatch (cache off for both) ----------
+  double batched_qps = 0, serial_qps = 0;
+  {
+    SearchService service(engine, {.max_batch_size = 64,
+                                   .max_linger_ms = 0.5,
+                                   .enable_cache = false});
+    for (const EngineQuery& q : queries) (void)service.Query(q);
+    LoadReport r = RunClosedLoop(service, queries, clients, duration);
+    PrintReport("batched dispatch", r);
+    batched_qps = r.qps;
+  }
+  {
+    SearchService service(engine, {.max_batch_size = 1,
+                                   .max_linger_ms = 0,
+                                   .enable_cache = false});
+    for (const EngineQuery& q : queries) (void)service.Query(q);
+    LoadReport r = RunClosedLoop(service, queries, clients, duration);
+    PrintReport("serial dispatch", r);
+    serial_qps = r.qps;
+  }
+  std::printf("  -> batching speedup: %.2fx (micro-batches fan out over "
+              "the pool; serial dispatch evaluates one query per "
+              "EvaluateBatch; ~1.0x expected on single-core hosts)\n\n",
+              serial_qps > 0 ? batched_qps / serial_qps : 0.0);
+
+  // --- 3. open-loop burst: backpressure + deadlines ----------------------
+  {
+    SearchService service(engine, {.queue_capacity = 64,
+                                   .max_linger_ms = 0.2,
+                                   .enable_cache = false,
+                                   .default_deadline_ms = 25});
+    const size_t burst = smoke ? 400 : 4000;
+    std::vector<std::future<StatusOr<QueryResult>>> futures;
+    futures.reserve(burst);
+    Timer t;
+    for (size_t i = 0; i < burst; ++i) {
+      futures.push_back(service.SubmitAsync(queries[i % queries.size()]));
+    }
+    double submit_ms = t.ElapsedMillis();
+    uint64_t ok = 0, overload = 0, deadline = 0, other = 0;
+    for (auto& f : futures) {
+      auto r = f.get();
+      if (r.ok()) {
+        ++ok;
+      } else if (r.status().code() == StatusCode::kUnavailable) {
+        ++overload;
+      } else if (r.status().code() == StatusCode::kDeadlineExceeded) {
+        ++deadline;
+      } else {
+        ++other;
+      }
+    }
+    std::printf("open-loop burst: %zu submits in %.1fms (admission never "
+                "blocks); ok=%llu overload=%llu deadline=%llu other=%llu\n",
+                burst, submit_ms, static_cast<unsigned long long>(ok),
+                static_cast<unsigned long long>(overload),
+                static_cast<unsigned long long>(deadline),
+                static_cast<unsigned long long>(other));
+    std::printf("final: %s\n", service.Snapshot().ToString().c_str());
+  }
+  return 0;
+}

@@ -52,6 +52,11 @@
 #include "search/blinks.h"          // IWYU pragma: export
 #include "search/partitioner.h"     // IWYU pragma: export
 #include "search/rclique.h"         // IWYU pragma: export
+#include "server/answer_cache.h"    // IWYU pragma: export
+#include "server/line_protocol.h"   // IWYU pragma: export
+#include "server/search_service.h"  // IWYU pragma: export
+#include "server/service_stats.h"   // IWYU pragma: export
+#include "server/tcp_server.h"      // IWYU pragma: export
 #include "util/random.h"            // IWYU pragma: export
 #include "util/status.h"            // IWYU pragma: export
 #include "util/timer.h"             // IWYU pragma: export

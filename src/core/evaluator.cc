@@ -33,6 +33,17 @@ std::vector<Answer> EvaluateWithIndex(const BigIndex& index,
   std::vector<Answer> final_answers;
   if (keywords.empty()) return final_answers;
 
+  // Deadline checkpoint: expiry abandons the evaluation with *no* answers
+  // (callers must never see a partial set) and flags the breakdown. Free when
+  // no deadline was set (Expired() is branch-only for Never()).
+  auto expired = [&]() {
+    if (!options.deadline.Expired()) return false;
+    bd.deadline_expired = true;
+    final_answers.clear();
+    return true;
+  };
+  if (expired()) return final_answers;
+
   const size_t m = ResolveLayer(index, keywords, options);
   bd.layer = m;
   const Graph& g0 = index.base();
@@ -65,6 +76,7 @@ std::vector<Answer> EvaluateWithIndex(const BigIndex& index,
   // (4)+(5): progressive specialization in generalized rank order
   // (Sec. 4.3.4): with top-k we stop as soon as k answers are verified.
   for (const Answer& am : generalized) {
+    if (expired()) return final_answers;
     timer.Restart();
     SpecializedAnswer spec = SpecializeAnswer(index, am, m, keywords);
     bd.specialize_ms += timer.ElapsedMillis();
@@ -113,6 +125,7 @@ std::vector<Answer> EvaluateWithIndex(const BigIndex& index,
       if (spec.root_position >= 0) {
         for (VertexId r : spec.root_candidates) {
           if (!verified_roots.insert(r).second) continue;
+          if (expired()) return final_answers;
           ++bd.candidate_roots;
           Answer candidate;
           candidate.root = r;
@@ -136,6 +149,7 @@ std::vector<Answer> EvaluateWithIndex(const BigIndex& index,
           key += ',';
         }
         if (!emitted_keys.insert(key).second) continue;
+        if (expired()) return final_answers;
         ++bd.candidate_roots;
         if (auto exact = f.VerifyCandidate(g0, keywords, cand, ctx)) {
           final_answers.push_back(std::move(*exact));

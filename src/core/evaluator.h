@@ -25,6 +25,7 @@
 #include "core/query.h"
 #include "core/search_algorithm.h"
 #include "search/answer.h"
+#include "util/timer.h"
 
 namespace bigindex {
 
@@ -54,6 +55,16 @@ struct EvalOptions {
   /// work; it is faster but inherits Prop 5.3's corner cases (a realized
   /// answer's true score can be lower than its generalized path lengths).
   bool exact_verification = true;
+
+  /// Cooperative cancellation: the evaluator polls this deadline at its
+  /// checkpoints (before the summary-graph exploration, per generalized
+  /// answer, and per candidate verification) and gives up at the first
+  /// expired check. An evaluation that expires returns *no* answers — never
+  /// a partial set — and raises EvalBreakdown::deadline_expired so callers
+  /// (QueryEngine, the serving layer) can map it to DeadlineExceeded.
+  /// Default: never expires. Not part of the query's semantic identity —
+  /// the answer cache excludes it from its key.
+  Deadline deadline;
 };
 
 /// Per-phase timing and counters — the breakdown reported in Figs. 10–14.
@@ -67,6 +78,7 @@ struct EvalBreakdown {
   size_t pruned_answers = 0;         // dropped by candidate filtering
   size_t candidate_roots = 0;        // roots sent to verification
   size_t final_answers = 0;
+  bool deadline_expired = false;     // gave up at a deadline checkpoint
   AnswerGenStats gen_stats;
 };
 

@@ -1,5 +1,6 @@
 #include "engine/query_engine.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "search/bidirectional.h"
@@ -37,6 +38,12 @@ class QueryEngine::ContextLease {
   const QueryEngine& engine_;
   std::unique_ptr<QueryContext> context_;
 };
+
+void EngineQuery::NormalizeKeywords() {
+  std::sort(keywords.begin(), keywords.end());
+  keywords.erase(std::unique(keywords.begin(), keywords.end()),
+                 keywords.end());
+}
 
 QueryEngine::QueryEngine(BigIndex index, QueryEngineOptions options)
     : QueryEngine(std::make_shared<const BigIndex>(std::move(index)),
@@ -80,12 +87,23 @@ std::vector<std::string_view> QueryEngine::AlgorithmNames() const {
   return names;
 }
 
-StatusOr<QueryResult> QueryEngine::Evaluate(const EngineQuery& query) const {
-  const KeywordSearchAlgorithm* f = algorithm(query.algorithm);
-  if (f == nullptr) {
+Status QueryEngine::Validate(const EngineQuery& query) const {
+  if (query.keywords.empty()) {
+    return Status::InvalidArgument("query has an empty keyword list");
+  }
+  if (algorithm(query.algorithm) == nullptr) {
     return Status::NotFound("no algorithm registered as '" + query.algorithm +
                             "'");
   }
+  return Status::OK();
+}
+
+StatusOr<QueryResult> QueryEngine::Evaluate(const EngineQuery& query) const {
+  BIGINDEX_RETURN_IF_ERROR(Validate(query));
+  if (query.eval.deadline.Expired()) {
+    return Status::DeadlineExceeded("deadline expired before evaluation");
+  }
+  const KeywordSearchAlgorithm* f = algorithm(query.algorithm);
   ContextLease lease(*this);
   QueryResult result;
   result.algorithm = query.algorithm;
@@ -93,20 +111,20 @@ StatusOr<QueryResult> QueryEngine::Evaluate(const EngineQuery& query) const {
   result.answers = EvaluateWithIndex(*index_, *f, query.keywords, query.eval,
                                      *lease, &result.breakdown);
   result.wall_ms = timer.ElapsedMillis();
+  if (result.breakdown.deadline_expired) {
+    return Status::DeadlineExceeded("deadline expired during evaluation");
+  }
   return result;
 }
 
 StatusOr<std::vector<QueryResult>> QueryEngine::EvaluateBatch(
     std::span<const EngineQuery> queries) const {
-  // Resolve every algorithm up front: the batch either runs fully or not at
+  // Validate everything up front: the batch either runs fully or not at
   // all, and workers then touch only read-only state plus their own slot.
   std::vector<const KeywordSearchAlgorithm*> fs(queries.size());
   for (size_t i = 0; i < queries.size(); ++i) {
+    BIGINDEX_RETURN_IF_ERROR(Validate(queries[i]));
     fs[i] = algorithm(queries[i].algorithm);
-    if (fs[i] == nullptr) {
-      return Status::NotFound("no algorithm registered as '" +
-                              queries[i].algorithm + "'");
-    }
   }
 
   std::vector<std::unique_ptr<ContextLease>> leases;

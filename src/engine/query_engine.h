@@ -55,8 +55,15 @@ struct EngineQuery {
   /// Registered algorithm name; see QueryEngine::AlgorithmNames().
   std::string algorithm = "bkws";
 
-  /// Hierarchical-evaluation options (layer choice, top-k, verification).
+  /// Hierarchical-evaluation options (layer choice, top-k, verification,
+  /// per-request deadline).
   EvalOptions eval;
+
+  /// Canonicalizes the keyword list to a sorted, duplicate-free set. Keyword
+  /// queries are sets (Def 2.3), so this never changes which answers exist —
+  /// only the order of Answer::keyword_vertices slots. The serving layer
+  /// normalizes at admission so syntactic variants share one cache entry.
+  void NormalizeKeywords();
 };
 
 /// One query's outcome: the answers plus the per-query statistics the
@@ -97,14 +104,25 @@ class QueryEngine {
   /// Registered names, in registration order.
   std::vector<std::string_view> AlgorithmNames() const;
 
-  /// Evaluates one query on the calling thread. NotFound if the query names
-  /// an unregistered algorithm. Safe to call concurrently from many threads.
+  /// Cheap admission-time validation: InvalidArgument for an empty keyword
+  /// list, NotFound for an unregistered algorithm name, OK otherwise. The
+  /// serving layer calls this before enqueueing so malformed requests are
+  /// rejected at the door instead of failing deep inside Evaluate.
+  Status Validate(const EngineQuery& query) const;
+
+  /// Evaluates one query on the calling thread. Fails with Validate()'s
+  /// status for malformed queries and DeadlineExceeded when
+  /// query.eval.deadline expired before or during evaluation (an expired
+  /// query returns no answers, never a partial set). Safe to call
+  /// concurrently from many threads.
   StatusOr<QueryResult> Evaluate(const EngineQuery& query) const;
 
   /// Evaluates a batch, fanned out across the pool (serial when
   /// num_threads = 0). Results are in input order. The whole batch fails
-  /// with NotFound if any query names an unregistered algorithm (checked
-  /// up front — no partial evaluation).
+  /// with Validate()'s status if any query is malformed (checked up front —
+  /// no partial evaluation). Per-query deadlines do NOT fail the batch:
+  /// an expired query yields an empty result whose
+  /// breakdown.deadline_expired is set; callers decide how to surface it.
   StatusOr<std::vector<QueryResult>> EvaluateBatch(
       std::span<const EngineQuery> queries) const;
 

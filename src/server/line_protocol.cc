@@ -1,0 +1,167 @@
+#include "server/line_protocol.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace bigindex {
+namespace {
+
+std::vector<std::string> Tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream in(line);
+  std::string tok;
+  while (in >> tok) tokens.push_back(tok);
+  return tokens;
+}
+
+bool AllDigits(const std::string& s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+std::string ErrBlock(const Status& status) {
+  return "ERR " + status.ToString() + "\n.\n";
+}
+
+std::string ErrBlock(const std::string& message) {
+  return ErrBlock(Status::InvalidArgument(message));
+}
+
+/// Parses "kw1,kw2,..." into label ids — by dictionary name when available,
+/// numeric fallback either way.
+Status ParseKeywords(const std::string& spec, const LabelDictionary* dict,
+                     std::vector<LabelId>* out) {
+  std::stringstream kws(spec);
+  std::string kw;
+  while (std::getline(kws, kw, ',')) {
+    if (kw.empty()) continue;
+    if (dict != nullptr) {
+      LabelId l = dict->Find(kw);
+      if (l != kInvalidLabel) {
+        out->push_back(l);
+        continue;
+      }
+    }
+    if (!AllDigits(kw)) {
+      return Status::InvalidArgument("unknown keyword '" + kw + "'");
+    }
+    out->push_back(static_cast<LabelId>(std::strtoul(kw.c_str(), nullptr,
+                                                     10)));
+  }
+  if (out->empty()) {
+    return Status::InvalidArgument("no keywords in '" + spec + "'");
+  }
+  return Status::OK();
+}
+
+/// Applies one "key=value" option token to the query; false = unknown key
+/// or bad value.
+bool ApplyOption(const std::string& token, EngineQuery* q,
+                 std::string* error) {
+  size_t eq = token.find('=');
+  if (eq == std::string::npos) {
+    *error = "malformed option '" + token + "' (want key=value)";
+    return false;
+  }
+  std::string key = token.substr(0, eq);
+  std::string value = token.substr(eq + 1);
+  if (key == "top_k") {
+    q->eval.top_k = static_cast<size_t>(std::strtoul(value.c_str(), nullptr,
+                                                     10));
+  } else if (key == "layer") {
+    q->eval.forced_layer = std::atoi(value.c_str());
+  } else if (key == "deadline_ms") {
+    q->eval.deadline = Deadline::After(std::atof(value.c_str()));
+  } else if (key == "exact") {
+    q->eval.exact_verification = value != "0";
+  } else if (key == "beta") {
+    q->eval.beta = std::atof(value.c_str());
+  } else {
+    *error = "unknown option '" + key + "'";
+    return false;
+  }
+  return true;
+}
+
+std::string HandleQuery(SearchService& service, const LabelDictionary* dict,
+                        const std::vector<std::string>& tokens) {
+  if (tokens.size() < 3) {
+    return ErrBlock("usage: query <algo> <kw1,kw2,...> [top_k=N] [layer=M] "
+                    "[deadline_ms=D] [exact=0|1] [beta=F]");
+  }
+  EngineQuery q;
+  q.algorithm = tokens[1];
+  Status parsed = ParseKeywords(tokens[2], dict, &q.keywords);
+  if (!parsed.ok()) return ErrBlock(parsed);
+  for (size_t i = 3; i < tokens.size(); ++i) {
+    std::string error;
+    if (!ApplyOption(tokens[i], &q, &error)) return ErrBlock(error);
+  }
+
+  StatusOr<QueryResult> result = service.Query(std::move(q));
+  if (!result.ok()) return ErrBlock(result.status());
+
+  std::ostringstream out;
+  out << "OK n=" << result->answers.size() << " ms=" << result->wall_ms
+      << " layer=" << result->breakdown.layer << "\n";
+  for (const Answer& a : result->answers) {
+    out << "A root=";
+    if (a.root == kInvalidVertex) {
+      out << '-';
+    } else {
+      out << a.root;
+    }
+    out << " score=" << a.score << " kw=";
+    for (size_t i = 0; i < a.keyword_vertices.size(); ++i) {
+      if (i) out << ',';
+      out << a.keyword_vertices[i];
+    }
+    out << "\n";
+  }
+  out << ".\n";
+  return out.str();
+}
+
+}  // namespace
+
+LineHandler::Result LineHandler::Handle(const std::string& line) {
+  std::vector<std::string> tokens = Tokenize(line);
+  if (tokens.empty()) return {ErrBlock("empty request"), false};
+  const std::string& cmd = tokens[0];
+
+  if (cmd == "query") {
+    return {HandleQuery(*service_, dict_, tokens), false};
+  }
+  if (cmd == "stats") {
+    return {"OK " + service_->Snapshot().ToString() + "\n.\n", false};
+  }
+  if (cmd == "bump") {
+    return {"OK epoch=" + std::to_string(service_->BumpEpoch()) + "\n.\n",
+            false};
+  }
+  if (cmd == "algos") {
+    std::string out = "OK";
+    for (std::string_view name : service_->engine().AlgorithmNames()) {
+      out += ' ';
+      out += name;
+    }
+    return {out + "\n.\n", false};
+  }
+  if (cmd == "ping") {
+    return {"OK pong\n.\n", false};
+  }
+  if (cmd == "quit") {
+    return {"OK bye\n.\n", true};
+  }
+  return {ErrBlock("unknown command '" + cmd + "'"), false};
+}
+
+}  // namespace bigindex

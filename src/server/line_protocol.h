@@ -1,0 +1,60 @@
+// The daemon's wire format: one request per line, one dot-terminated
+// response block per request. Shared by the TCP server, the in-process
+// client, and the protocol tests — the transport only moves lines.
+//
+// Requests:
+//   query <algo> <kw1,kw2,...> [top_k=N] [layer=M] [deadline_ms=D]
+//         [exact=0|1] [beta=F]
+//   stats            service counters snapshot
+//   bump             bump the index epoch (invalidates the answer cache)
+//   algos            registered algorithm names
+//   ping             liveness probe
+//   quit             close the session
+//
+// Keywords are label *names* when the handler has a dictionary, with a
+// fallback to numeric label ids; always numeric ids without one.
+//
+// Responses (every block ends with a line holding a single '.'):
+//   OK ...head...          then, for query, one answer per line:
+//   A root=<v|-> score=<s> kw=<v1,v2,...>
+//   .
+// or
+//   ERR <StatusCode> <message>
+//   .
+
+#ifndef BIGINDEX_SERVER_LINE_PROTOCOL_H_
+#define BIGINDEX_SERVER_LINE_PROTOCOL_H_
+
+#include <string>
+
+#include "graph/label_dictionary.h"
+#include "server/search_service.h"
+
+namespace bigindex {
+
+/// Stateless per-session request dispatcher over one SearchService.
+class LineHandler {
+ public:
+  struct Result {
+    std::string response;  // complete dot-terminated block, '\n' included
+    bool close = false;    // session should end (quit command)
+  };
+
+  /// `service` is borrowed and must outlive the handler; `dict` (optional)
+  /// enables name-based keywords.
+  explicit LineHandler(SearchService* service,
+                       const LabelDictionary* dict = nullptr)
+      : service_(service), dict_(dict) {}
+
+  /// Handles one request line (no trailing newline) and returns the full
+  /// response block. Never throws; malformed input yields an ERR block.
+  Result Handle(const std::string& line);
+
+ private:
+  SearchService* service_;
+  const LabelDictionary* dict_;
+};
+
+}  // namespace bigindex
+
+#endif  // BIGINDEX_SERVER_LINE_PROTOCOL_H_

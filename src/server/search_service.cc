@@ -1,0 +1,317 @@
+#include "server/search_service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <unordered_map>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace bigindex {
+
+SearchService::SearchService(std::shared_ptr<const QueryEngine> engine,
+                             SearchServiceOptions options)
+    : engine_(std::move(engine)),
+      options_(options),
+      cache_(options.enable_cache ? options.cache
+                                  : AnswerCacheOptions{.capacity = 0}) {
+  // Started here, not in the init list: the batcher touches counters
+  // declared after it.
+  batcher_ = std::thread([this] { BatcherLoop(); });
+}
+
+SearchService::~SearchService() { Shutdown(); }
+
+std::string SearchService::CacheKeyFor(uint64_t epoch,
+                                       const EngineQuery& query) {
+  // epoch | algorithm | keywords | semantic eval options. The deadline is
+  // deliberately excluded: it bounds *when* the answer arrives, not *what*
+  // the answer is.
+  std::string key;
+  key.reserve(64 + query.algorithm.size() + 8 * query.keywords.size());
+  key += std::to_string(epoch);
+  key += '|';
+  key += query.algorithm;
+  key += '|';
+  for (LabelId k : query.keywords) {
+    key += std::to_string(k);
+    key += ',';
+  }
+  const EvalOptions& e = query.eval;
+  key += '|';
+  key += std::to_string(e.beta);
+  key += '|';
+  key += std::to_string(e.forced_layer);
+  key += '|';
+  key += std::to_string(e.top_k);
+  key += '|';
+  key += e.exact_verification ? '1' : '0';
+  key += e.answer_gen.use_path_based ? '1' : '0';
+  key += e.answer_gen.use_specialization_order ? '1' : '0';
+  key += '|';
+  key += std::to_string(e.answer_gen.max_partial_answers);
+  return key;
+}
+
+std::future<StatusOr<QueryResult>> SearchService::SubmitAsync(
+    EngineQuery query) {
+  std::promise<StatusOr<QueryResult>> promise;
+  std::future<StatusOr<QueryResult>> future = promise.get_future();
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+
+  Status valid = engine_->Validate(query);
+  if (!valid.ok()) {
+    rejected_invalid_.fetch_add(1, std::memory_order_relaxed);
+    promise.set_value(std::move(valid));
+    return future;
+  }
+  query.NormalizeKeywords();
+  if (options_.default_deadline_ms > 0 && query.eval.deadline.IsNever()) {
+    query.eval.deadline = Deadline::After(options_.default_deadline_ms);
+  }
+
+  Pending pending;
+  pending.query = std::move(query);
+  pending.promise = std::move(promise);
+
+  // A dead-on-arrival request is resolved here — it never reaches the
+  // engine, so it can never produce (or cost) anything.
+  if (pending.query.eval.deadline.Expired()) {
+    CompleteDeadline(pending, "before admission");
+    return future;
+  }
+
+  if (options_.enable_cache) {
+    pending.cache_key =
+        CacheKeyFor(epoch_.load(std::memory_order_acquire), pending.query);
+    if (std::shared_ptr<const QueryResult> hit =
+            cache_.Lookup(pending.cache_key)) {
+      CompleteOk(pending, QueryResult(*hit));
+      return future;
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stop_) {
+      pending.promise.set_value(
+          Status::Unavailable("search service is shut down"));
+      return future;
+    }
+    if (queue_.size() >= options_.queue_capacity) {
+      rejected_overload_.fetch_add(1, std::memory_order_relaxed);
+      BIGINDEX_LOG_EVERY_N(kWarning, 1024)
+          << "admission queue full (" << queue_.size() << "/"
+          << options_.queue_capacity << "), shedding load ("
+          << rejected_overload_.load(std::memory_order_relaxed)
+          << " rejected so far)";
+      if (options_.overload_policy == OverloadPolicy::kRejectNewest) {
+        pending.promise.set_value(Status::Unavailable(
+            "admission queue full (reject-newest overload policy)"));
+        return future;
+      }
+      Pending oldest = std::move(queue_.front());
+      queue_.pop_front();
+      oldest.promise.set_value(Status::Unavailable(
+          "displaced by a newer request (reject-oldest overload policy)"));
+    }
+    queue_.push_back(std::move(pending));
+  }
+  work_available_.notify_one();
+  return future;
+}
+
+StatusOr<QueryResult> SearchService::Query(EngineQuery query) {
+  return SubmitAsync(std::move(query)).get();
+}
+
+uint64_t SearchService::BumpEpoch() {
+  return epoch_.fetch_add(1, std::memory_order_acq_rel) + 1;
+}
+
+void SearchService::CompleteOk(Pending& p, QueryResult result) {
+  latency_.Record(p.queued.ElapsedMillis());
+  completed_.fetch_add(1, std::memory_order_relaxed);
+  p.promise.set_value(std::move(result));
+}
+
+void SearchService::CompleteDeadline(Pending& p, const char* stage) {
+  deadline_misses_.fetch_add(1, std::memory_order_relaxed);
+  BIGINDEX_LOG_EVERY_N(kWarning, 1024)
+      << "deadline miss " << stage << " ("
+      << deadline_misses_.load(std::memory_order_relaxed) << " total)";
+  p.promise.set_value(Status::DeadlineExceeded(
+      std::string("deadline expired ") + stage));
+}
+
+void SearchService::BatcherLoop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  // Moves up to n requests off the queue front into `batch`.
+  auto take = [&](size_t n, std::vector<Pending>& batch) {
+    n = std::min(n, queue_.size());
+    for (size_t i = 0; i < n; ++i) {
+      batch.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+  };
+
+  while (true) {
+    work_available_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+    if (stop_) break;  // Shutdown() resolves whatever is still queued
+
+    std::vector<Pending> batch;
+    take(options_.max_batch_size, batch);
+
+    // Linger only when the drained batch cannot occupy the pool by itself —
+    // and only *until* it can: once there is one query per pool slot the
+    // dispatch gains nothing from waiting longer, while a deep queue
+    // dispatches immediately at full size without entering the loop.
+    const size_t target =
+        std::min(options_.max_batch_size, engine_->num_slots());
+    if (batch.size() < target && options_.max_linger_ms > 0) {
+      auto linger_until =
+          std::chrono::steady_clock::now() +
+          std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+              std::chrono::duration<double, std::milli>(
+                  options_.max_linger_ms));
+      while (batch.size() < target) {
+        if (!work_available_.wait_until(
+                lock, linger_until,
+                [&] { return stop_ || !queue_.empty(); })) {
+          break;  // linger budget spent
+        }
+        if (stop_) break;  // dispatch what we have, then exit above
+        take(options_.max_batch_size - batch.size(), batch);
+      }
+    }
+
+    lock.unlock();
+    ProcessBatch(std::move(batch));
+    lock.lock();
+  }
+}
+
+void SearchService::ProcessBatch(std::vector<Pending> batch) {
+  // Deadline sweep: anything that expired while queued is resolved without
+  // touching the engine.
+  std::vector<Pending> live;
+  live.reserve(batch.size());
+  for (Pending& p : batch) {
+    if (p.query.eval.deadline.Expired()) {
+      CompleteDeadline(p, "while queued");
+    } else {
+      live.push_back(std::move(p));
+    }
+  }
+  if (live.empty()) return;
+
+  // In-batch dedup: requests sharing a cache key are one evaluation. The
+  // leader runs with the *loosest* deadline of its group so a tight follower
+  // can never cancel work a looser member still wants.
+  std::vector<size_t> leader_of(live.size());
+  std::vector<size_t> leaders;
+  if (options_.enable_cache) {
+    std::unordered_map<std::string, size_t> first_with_key;
+    for (size_t i = 0; i < live.size(); ++i) {
+      auto [it, inserted] =
+          first_with_key.emplace(live[i].cache_key, leaders.size());
+      leader_of[i] = it->second;
+      if (inserted) {
+        leaders.push_back(i);
+      } else {
+        Deadline& lead = live[leaders[it->second]].query.eval.deadline;
+        const Deadline& mine = live[i].query.eval.deadline;
+        if (mine.RemainingMillis() > lead.RemainingMillis()) lead = mine;
+      }
+    }
+  } else {
+    leaders.resize(live.size());
+    for (size_t i = 0; i < live.size(); ++i) {
+      leaders[i] = i;
+      leader_of[i] = i;
+    }
+  }
+
+  std::vector<EngineQuery> queries;
+  queries.reserve(leaders.size());
+  for (size_t li : leaders) queries.push_back(live[li].query);
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  batched_queries_.fetch_add(queries.size(), std::memory_order_relaxed);
+
+  StatusOr<std::vector<QueryResult>> results =
+      engine_->EvaluateBatch(queries);
+  if (!results.ok()) {
+    // Unreachable after per-request Validate(); resolve rather than wedge.
+    for (Pending& p : live) p.promise.set_value(results.status());
+    return;
+  }
+
+  for (size_t i = 0; i < live.size(); ++i) {
+    QueryResult& r = (*results)[leader_of[i]];
+    if (r.breakdown.deadline_expired) {
+      CompleteDeadline(live[i], "during evaluation");
+      continue;
+    }
+    if (options_.enable_cache && i == leaders[leader_of[i]]) {
+      cache_.Insert(live[i].cache_key, r);
+    }
+    CompleteOk(live[i], r);  // copies; the last copy could move, not worth it
+  }
+}
+
+ServiceStats SearchService::Snapshot() const {
+  ServiceStats s;
+  s.submitted = submitted_.load(std::memory_order_relaxed);
+  s.rejected_invalid = rejected_invalid_.load(std::memory_order_relaxed);
+  s.rejected_overload = rejected_overload_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    s.queue_depth = queue_.size();
+  }
+  s.queue_capacity = options_.queue_capacity;
+  s.completed = completed_.load(std::memory_order_relaxed);
+  s.deadline_misses = deadline_misses_.load(std::memory_order_relaxed);
+  s.batches = batches_.load(std::memory_order_relaxed);
+  s.batched_queries = batched_queries_.load(std::memory_order_relaxed);
+  s.mean_batch_size =
+      s.batches ? static_cast<double>(s.batched_queries) / s.batches : 0;
+  AnswerCacheStats cs = cache_.stats();
+  s.cache_hits = cs.hits;
+  s.cache_misses = cs.misses;
+  s.cache_evictions = cs.evictions;
+  s.cache_entries = cs.entries;
+  s.cache_hit_ratio = (cs.hits + cs.misses)
+                          ? static_cast<double>(cs.hits) /
+                                static_cast<double>(cs.hits + cs.misses)
+                          : 0;
+  s.p50_ms = latency_.Quantile(0.50);
+  s.p95_ms = latency_.Quantile(0.95);
+  s.p99_ms = latency_.Quantile(0.99);
+  s.uptime_s = uptime_.ElapsedSeconds();
+  s.throughput_qps =
+      s.uptime_s > 0 ? static_cast<double>(s.completed) / s.uptime_s : 0;
+  s.epoch = epoch_.load(std::memory_order_acquire);
+  return s;
+}
+
+void SearchService::Shutdown() {
+  std::call_once(shutdown_once_, [this] {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = true;
+    }
+    work_available_.notify_all();
+    batcher_.join();
+    std::deque<Pending> drained;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      drained.swap(queue_);
+    }
+    for (Pending& p : drained) {
+      p.promise.set_value(
+          Status::Unavailable("search service shut down before evaluation"));
+    }
+  });
+}
+
+}  // namespace bigindex

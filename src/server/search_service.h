@@ -1,0 +1,173 @@
+// SearchService — the admission-controlled, micro-batching front of the
+// query path. It turns a (re-entrant but call-shaped) QueryEngine into a
+// traffic-shaped component:
+//
+//   client → [validate + normalize + cache probe]          (caller's thread)
+//          → bounded admission queue                        (backpressure)
+//          → dynamic micro-batcher                          (batcher thread)
+//          → QueryEngine::EvaluateBatch over the ExecutorPool
+//          → answer cache fill + promise completion
+//
+// Contracts:
+//   * Admission never blocks. A full queue resolves the request immediately
+//     with Unavailable (kRejectNewest) or displaces the oldest queued
+//     request (kRejectOldest) — the configurable overload policy.
+//   * Malformed requests (empty keywords, unknown algorithm) are rejected at
+//     the door with QueryEngine::Validate()'s status, before consuming queue
+//     space.
+//   * Deadlines are enforced cooperatively at every stage: an expired
+//     request is dropped at admission, at batch assembly, or at the
+//     evaluator's next candidate-verification checkpoint — and always
+//     resolves to DeadlineExceeded with no partial answers.
+//   * The answer cache is keyed on (index epoch, algorithm, normalized
+//     keywords, semantic eval options). BumpEpoch() invalidates the whole
+//     cache in O(1) by making every live key unreachable. Requests that
+//     share a key inside one batch are evaluated once (in-batch dedup).
+//
+// The batcher sizes each EvaluateBatch call dynamically: it drains whatever
+// is queued (up to max_batch_size) and, only when that is too little to
+// occupy the engine's pool slots, lingers up to max_linger_ms for more
+// arrivals — deep queues get big batches with zero added latency, trickle
+// traffic pays at most the linger.
+
+#ifndef BIGINDEX_SERVER_SEARCH_SERVICE_H_
+#define BIGINDEX_SERVER_SEARCH_SERVICE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/query_engine.h"
+#include "server/answer_cache.h"
+#include "server/service_stats.h"
+#include "util/status.h"
+#include "util/timer.h"
+
+namespace bigindex {
+
+/// What to do with a request that arrives while the admission queue is full.
+enum class OverloadPolicy {
+  /// Resolve the *arriving* request with Unavailable (classic backpressure;
+  /// the default).
+  kRejectNewest,
+  /// Admit the arriving request and resolve the *oldest queued* request with
+  /// Unavailable (freshness-first, for workloads where stale requests lose
+  /// value while queued).
+  kRejectOldest,
+};
+
+struct SearchServiceOptions {
+  /// Admission queue bound; arrivals beyond it trigger overload_policy.
+  size_t queue_capacity = 1024;
+
+  /// Largest EvaluateBatch dispatch the micro-batcher assembles.
+  size_t max_batch_size = 64;
+
+  /// Longest the batcher waits for more arrivals when the queue alone cannot
+  /// fill the engine's pool slots. 0 disables lingering entirely.
+  double max_linger_ms = 1.0;
+
+  OverloadPolicy overload_policy = OverloadPolicy::kRejectNewest;
+
+  /// Answer cache switch + sizing. Disabling also disables in-batch dedup
+  /// (requests lose their cache-key identity).
+  bool enable_cache = true;
+  AnswerCacheOptions cache;
+
+  /// Deadline applied to requests that arrive without one; 0 = none.
+  double default_deadline_ms = 0;
+};
+
+class SearchService {
+ public:
+  /// The engine must have its algorithm registry finalized before serving
+  /// starts (Register() is not thread-safe against evaluation).
+  SearchService(std::shared_ptr<const QueryEngine> engine,
+                SearchServiceOptions options = {});
+
+  /// Shuts down: in-flight batches complete, queued requests resolve with
+  /// Unavailable.
+  ~SearchService();
+
+  SearchService(const SearchService&) = delete;
+  SearchService& operator=(const SearchService&) = delete;
+
+  /// Submits one request; never blocks. The future resolves with the result,
+  /// or with Unavailable (overload / shutdown), DeadlineExceeded,
+  /// InvalidArgument, or NotFound per the contracts above. The per-request
+  /// deadline rides in query.eval.deadline.
+  std::future<StatusOr<QueryResult>> SubmitAsync(EngineQuery query);
+
+  /// Synchronous convenience: SubmitAsync + wait. Do not call from the
+  /// batcher's own threads.
+  StatusOr<QueryResult> Query(EngineQuery query);
+
+  /// Current index epoch (starts at 1).
+  uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
+
+  /// Invalidates the entire answer cache (e.g. after the underlying index
+  /// is rebuilt or the registry's algorithm options change) and returns the
+  /// new epoch. Already-cached hits handed out before the bump are
+  /// unaffected.
+  uint64_t BumpEpoch();
+
+  /// Coherent-enough snapshot of all counters (individual counters are
+  /// exact; cross-counter relations may be mid-update).
+  ServiceStats Snapshot() const;
+
+  /// Idempotent; also run by the destructor.
+  void Shutdown();
+
+  const SearchServiceOptions& options() const { return options_; }
+  const QueryEngine& engine() const { return *engine_; }
+
+  /// The cache key for `query` at `epoch` — the query's semantic identity.
+  /// Exposed for tests; keywords must already be normalized.
+  static std::string CacheKeyFor(uint64_t epoch, const EngineQuery& query);
+
+ private:
+  struct Pending {
+    EngineQuery query;      // keywords normalized, deadline resolved
+    std::string cache_key;  // empty when the cache is disabled
+    Timer queued;           // admission → completion latency
+    std::promise<StatusOr<QueryResult>> promise;
+  };
+
+  void BatcherLoop();
+  void ProcessBatch(std::vector<Pending> batch);
+  void CompleteOk(Pending& p, QueryResult result);
+  void CompleteDeadline(Pending& p, const char* stage);
+
+  std::shared_ptr<const QueryEngine> engine_;
+  SearchServiceOptions options_;
+  AnswerCache cache_;
+  Timer uptime_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::deque<Pending> queue_;
+  bool stop_ = false;
+  std::once_flag shutdown_once_;
+  std::thread batcher_;  // started last in the constructor body
+
+  std::atomic<uint64_t> epoch_{1};
+  std::atomic<uint64_t> submitted_{0};
+  std::atomic<uint64_t> rejected_invalid_{0};
+  std::atomic<uint64_t> rejected_overload_{0};
+  std::atomic<uint64_t> completed_{0};
+  std::atomic<uint64_t> deadline_misses_{0};
+  std::atomic<uint64_t> batches_{0};
+  std::atomic<uint64_t> batched_queries_{0};
+  LatencyHistogram latency_;
+};
+
+}  // namespace bigindex
+
+#endif  // BIGINDEX_SERVER_SEARCH_SERVICE_H_

@@ -1,0 +1,73 @@
+#include "server/service_stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace bigindex {
+
+size_t LatencyHistogram::BucketFor(double ms) {
+  double us = ms * 1e3;
+  if (!(us > kBaseUs)) return 0;  // also catches NaN and negatives
+  double idx = std::log(us / kBaseUs) / std::log(kGrowth);
+  return std::min(kBuckets - 1, static_cast<size_t>(idx));
+}
+
+double LatencyHistogram::BucketUpperMs(size_t bucket) {
+  return kBaseUs * std::pow(kGrowth, static_cast<double>(bucket + 1)) / 1e3;
+}
+
+void LatencyHistogram::Record(double ms) {
+  buckets_[BucketFor(ms)].fetch_add(1, std::memory_order_relaxed);
+}
+
+uint64_t LatencyHistogram::count() const {
+  uint64_t total = 0;
+  for (const auto& b : buckets_) total += b.load(std::memory_order_relaxed);
+  return total;
+}
+
+double LatencyHistogram::Quantile(double q) const {
+  std::array<uint64_t, kBuckets> snap;
+  uint64_t total = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    snap[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += snap[i];
+  }
+  if (total == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the quantile observation, 1-based, ceiling (p50 of 2 obs = #1).
+  uint64_t rank = std::max<uint64_t>(
+      1, static_cast<uint64_t>(std::ceil(q * static_cast<double>(total))));
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    seen += snap[i];
+    if (seen >= rank) return BucketUpperMs(i);
+  }
+  return BucketUpperMs(kBuckets - 1);
+}
+
+std::string ServiceStats::ToString() const {
+  char buf[1024];
+  std::snprintf(
+      buf, sizeof(buf),
+      "submitted=%llu rejected_invalid=%llu rejected_overload=%llu "
+      "queue_depth=%zu/%zu completed=%llu deadline_misses=%llu "
+      "batches=%llu mean_batch=%.2f cache_hits=%llu cache_misses=%llu "
+      "cache_evictions=%llu cache_entries=%zu hit_ratio=%.3f "
+      "p50_ms=%.3f p95_ms=%.3f p99_ms=%.3f qps=%.1f uptime_s=%.1f epoch=%llu",
+      static_cast<unsigned long long>(submitted),
+      static_cast<unsigned long long>(rejected_invalid),
+      static_cast<unsigned long long>(rejected_overload), queue_depth,
+      queue_capacity, static_cast<unsigned long long>(completed),
+      static_cast<unsigned long long>(deadline_misses),
+      static_cast<unsigned long long>(batches), mean_batch_size,
+      static_cast<unsigned long long>(cache_hits),
+      static_cast<unsigned long long>(cache_misses),
+      static_cast<unsigned long long>(cache_evictions), cache_entries,
+      cache_hit_ratio, p50_ms, p95_ms, p99_ms, throughput_qps, uptime_s,
+      static_cast<unsigned long long>(epoch));
+  return buf;
+}
+
+}  // namespace bigindex

@@ -1,0 +1,85 @@
+// Serving-layer observability: a lock-free latency histogram plus the
+// ServiceStats snapshot the daemon's `stats` command and the load generator
+// report.
+//
+// The histogram is log-bucketed (geometric bucket bounds from 1 µs up, ~25%
+// resolution), recorded with one relaxed atomic increment per request, so it
+// adds nothing measurable to the request path. Percentiles are read by
+// snapshotting the buckets and returning the upper bound of the bucket the
+// requested rank falls in — an upper estimate within one bucket's width.
+
+#ifndef BIGINDEX_SERVER_SERVICE_STATS_H_
+#define BIGINDEX_SERVER_SERVICE_STATS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace bigindex {
+
+class LatencyHistogram {
+ public:
+  /// Records one observation. Thread-safe, wait-free.
+  void Record(double ms);
+
+  /// Latency (ms) at quantile `q` in [0, 1]: the upper bound of the bucket
+  /// containing the q-th ranked observation. 0 when empty.
+  double Quantile(double q) const;
+
+  uint64_t count() const;
+
+ private:
+  // Bucket i covers [kBaseUs * kGrowth^i, kBaseUs * kGrowth^(i+1)) µs; the
+  // last bucket absorbs everything above (~1.6e6 µs with these constants).
+  static constexpr size_t kBuckets = 64;
+  static constexpr double kBaseUs = 1.0;
+  static constexpr double kGrowth = 1.25;
+
+  static size_t BucketFor(double ms);
+  static double BucketUpperMs(size_t bucket);
+
+  std::array<std::atomic<uint64_t>, kBuckets> buckets_{};
+};
+
+/// One coherent snapshot of the service's counters. All counts are
+/// cumulative since service construction.
+struct ServiceStats {
+  // Admission.
+  uint64_t submitted = 0;          // SubmitAsync calls
+  uint64_t rejected_invalid = 0;   // failed Validate() at the door
+  uint64_t rejected_overload = 0;  // bounced by the full admission queue
+  size_t queue_depth = 0;          // queued right now
+  size_t queue_capacity = 0;
+
+  // Completion.
+  uint64_t completed = 0;          // answered OK (cache hits included)
+  uint64_t deadline_misses = 0;    // expired before or during evaluation
+  uint64_t batches = 0;            // EvaluateBatch dispatches
+  uint64_t batched_queries = 0;    // unique queries across those dispatches
+  double mean_batch_size = 0;      // batched_queries / batches
+
+  // Answer cache.
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t cache_evictions = 0;
+  size_t cache_entries = 0;
+  double cache_hit_ratio = 0;      // hits / (hits + misses)
+
+  // Latency of completed requests, admission to completion.
+  double p50_ms = 0;
+  double p95_ms = 0;
+  double p99_ms = 0;
+
+  double uptime_s = 0;
+  double throughput_qps = 0;       // completed / uptime
+  uint64_t epoch = 0;              // current cache epoch
+
+  /// One key=value line per field, for the daemon's `stats` command and
+  /// human logs.
+  std::string ToString() const;
+};
+
+}  // namespace bigindex
+
+#endif  // BIGINDEX_SERVER_SERVICE_STATS_H_

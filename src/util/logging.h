@@ -4,6 +4,8 @@
 #ifndef BIGINDEX_UTIL_LOGGING_H_
 #define BIGINDEX_UTIL_LOGGING_H_
 
+#include <atomic>
+#include <cstdint>
 #include <sstream>
 #include <string>
 
@@ -38,10 +40,34 @@ class LogLine {
   std::ostringstream stream_;
 };
 
+/// Returns true on the 1st, (n+1)th, (2n+1)th… bump of `counter` — the
+/// occurrences BIGINDEX_LOG_EVERY_N actually emits. Relaxed ordering: the
+/// counter is advisory and races only cost (or save) a log line.
+inline bool LogEveryNShouldLog(std::atomic<uint64_t>& counter, uint64_t n) {
+  if (n == 0) return true;
+  return counter.fetch_add(1, std::memory_order_relaxed) % n == 0;
+}
+
 }  // namespace internal
 }  // namespace bigindex
 
 #define BIGINDEX_LOG(level) \
   ::bigindex::internal::LogLine(::bigindex::LogLevel::level)
+
+/// Rate-limited logging: emits only every n-th execution of this call site
+/// (the 1st, (n+1)th, …), so per-request warnings — overload rejections,
+/// deadline misses — cannot flood stderr under load. The counter is per call
+/// site and thread-safe. Usable exactly like BIGINDEX_LOG:
+///
+///   BIGINDEX_LOG_EVERY_N(kWarning, 1024) << "queue full, rejecting";
+#define BIGINDEX_LOG_EVERY_N(level, n)                               \
+  for (bool bigindex_log_now = ::bigindex::internal::LogEveryNShouldLog( \
+           []() -> ::std::atomic<uint64_t>& {                        \
+             static ::std::atomic<uint64_t> counter{0};              \
+             return counter;                                         \
+           }(),                                                      \
+           (n));                                                     \
+       bigindex_log_now; bigindex_log_now = false)                   \
+  BIGINDEX_LOG(level)
 
 #endif  // BIGINDEX_UTIL_LOGGING_H_

@@ -23,6 +23,8 @@ enum class StatusCode {
   kFailedPrecondition,
   kOutOfRange,
   kUnimplemented,
+  kDeadlineExceeded,
+  kUnavailable,
 };
 
 /// Result of a fallible operation: an error code plus human-readable message.
@@ -54,6 +56,16 @@ class Status {
   }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  /// A per-request deadline expired before (or while) the work ran. The
+  /// request produced no partial results.
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  /// Transient overload / shutdown: the caller may retry later, ideally with
+  /// backoff. This is the serving layer's backpressure signal.
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,10 +1,12 @@
-// Wall-clock timing helpers used by benchmarks and the query-cost breakdowns.
+// Wall-clock timing helpers used by benchmarks, the query-cost breakdowns,
+// and the serving layer's per-request deadlines.
 
 #ifndef BIGINDEX_UTIL_TIMER_H_
 #define BIGINDEX_UTIL_TIMER_H_
 
 #include <chrono>
 #include <cstdint>
+#include <limits>
 
 namespace bigindex {
 
@@ -29,6 +31,49 @@ class Timer {
  private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
+};
+
+/// A monotonic point in time a piece of work must finish by. Value type,
+/// cheap to copy; the default-constructed deadline never expires, so code can
+/// thread a Deadline unconditionally and pay nothing when none was requested
+/// (Expired() on a never-deadline is branch-only, no clock read).
+///
+/// Cancellation here is cooperative: holders poll Expired() at checkpoints
+/// (the evaluator checks between candidate verifications, the serving layer
+/// at admission and batch assembly) rather than being interrupted.
+class Deadline {
+ public:
+  /// Never expires.
+  Deadline() : deadline_(Clock::time_point::max()) {}
+
+  /// Expires `budget_ms` from now. A non-positive budget is already expired.
+  static Deadline After(double budget_ms) {
+    Deadline d;
+    d.deadline_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                     std::chrono::duration<double, std::milli>(
+                                         budget_ms));
+    return d;
+  }
+
+  /// The never-expiring deadline, spelled out.
+  static Deadline Never() { return Deadline(); }
+
+  bool IsNever() const { return deadline_ == Clock::time_point::max(); }
+
+  bool Expired() const {
+    return !IsNever() && Clock::now() >= deadline_;
+  }
+
+  /// Milliseconds until expiry: negative once expired, +infinity for Never().
+  double RemainingMillis() const {
+    if (IsNever()) return std::numeric_limits<double>::infinity();
+    return std::chrono::duration<double, std::milli>(deadline_ - Clock::now())
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point deadline_;
 };
 
 }  // namespace bigindex

@@ -289,6 +289,59 @@ TEST(QueryEngineTest, UnknownAlgorithmIsNotFound) {
       << batch.status().ToString();
 }
 
+TEST(QueryEngineTest, ValidateRejectsBadQueriesBeforeEvaluation) {
+  EngineFixture fx;
+  QueryEngine engine(fx.index);
+
+  EngineQuery empty;
+  empty.algorithm = "bkws";
+  EXPECT_EQ(engine.Validate(empty).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(engine.Evaluate(empty).status().code(),
+            StatusCode::kInvalidArgument);
+
+  EngineQuery unknown;
+  unknown.keywords = {0, 1};
+  unknown.algorithm = "no-such-semantics";
+  EXPECT_EQ(engine.Validate(unknown).code(), StatusCode::kNotFound);
+
+  EngineQuery good;
+  good.keywords = {0, 1};
+  good.algorithm = "bkws";
+  EXPECT_TRUE(engine.Validate(good).ok());
+
+  // A batch containing one invalid query fails whole before any evaluation.
+  auto batch = engine.EvaluateBatch(std::vector<EngineQuery>{good, empty});
+  EXPECT_EQ(batch.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(QueryEngineTest, NormalizeKeywordsSortsAndDeduplicates) {
+  EngineQuery q;
+  q.keywords = {4, 1, 4, 0, 1};
+  q.NormalizeKeywords();
+  EXPECT_EQ(q.keywords, (std::vector<LabelId>{0, 1, 4}));
+
+  // Normalization never changes the answer set: keyword queries have set
+  // semantics (Def 2.3).
+  EngineFixture fx;
+  QueryEngine engine(fx.index);
+  auto messy = engine.Evaluate({.keywords = {1, 0, 1}, .algorithm = "bkws"});
+  auto clean = engine.Evaluate({.keywords = {0, 1}, .algorithm = "bkws"});
+  ASSERT_TRUE(messy.ok());
+  ASSERT_TRUE(clean.ok());
+  EXPECT_EQ(messy->answers.size(), clean->answers.size());
+}
+
+TEST(QueryEngineTest, ExpiredDeadlineMapsToDeadlineExceeded) {
+  EngineFixture fx;
+  QueryEngine engine(fx.index);
+  EngineQuery q;
+  q.keywords = {0, 1};
+  q.eval.deadline = Deadline::After(-1);
+  auto r = engine.Evaluate(q);
+  EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded)
+      << r.status().ToString();
+}
+
 TEST(QueryEngineTest, RegistryListsAndReplacesByName) {
   EngineFixture fx;
   QueryEngine engine(fx.index);

@@ -1,0 +1,161 @@
+// bigindex_client — line-protocol client for bigindex_serverd.
+//
+// Two modes:
+//   bigindex_client --connect <host> <port>
+//       Connects over TCP, forwards stdin lines, prints response blocks.
+//   bigindex_client --inprocess [dataset] [scale] [layers]
+//       Spins up the whole serving stack (dataset → index → engine →
+//       SearchService) inside this process and feeds stdin lines straight
+//       to the LineHandler — the same protocol with no sockets, handy for
+//       scripted smoke tests and for exploring a dataset interactively.
+//
+// Reads requests from stdin (one per line; '#' comments and blank lines are
+// skipped) until EOF or a `quit` command.
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "bigindex.h"
+
+namespace bigindex {
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  bigindex_client --connect <host> <port>\n"
+               "  bigindex_client --inprocess [dataset] [scale] [layers]\n");
+  return 1;
+}
+
+bool SkippableLine(const std::string& line) {
+  return line.empty() || line[0] == '#';
+}
+
+int RunInProcess(int argc, char** argv) {
+  std::string dataset_name = argc > 0 ? argv[0] : "yago3";
+  double scale = argc > 1 ? std::atof(argv[1]) : 0.01;
+  size_t layers = argc > 2 ? static_cast<size_t>(std::atoi(argv[2])) : 4;
+
+  auto ds = MakeDataset(dataset_name, scale);
+  if (!ds.ok()) {
+    std::fprintf(stderr, "error: %s\n", ds.status().ToString().c_str());
+    return 1;
+  }
+  auto index = BigIndex::Build(ds->graph, &ds->ontology.ontology,
+                               {.max_layers = layers});
+  if (!index.ok()) {
+    std::fprintf(stderr, "error: %s\n", index.status().ToString().c_str());
+    return 1;
+  }
+  auto engine = std::make_shared<const QueryEngine>(
+      std::move(index).value(),
+      QueryEngineOptions{.num_threads = ExecutorPool::kHardwareConcurrency});
+  SearchService service(engine);
+  LineHandler handler(&service, ds->dict.get());
+  std::fprintf(stderr, "in-process %s (|V|=%zu); type requests:\n",
+               dataset_name.c_str(), ds->graph.NumVertices());
+
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (SkippableLine(line)) continue;
+    LineHandler::Result result = handler.Handle(line);
+    std::fputs(result.response.c_str(), stdout);
+    std::fflush(stdout);
+    if (result.close) break;
+  }
+  return 0;
+}
+
+int RunConnect(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const char* host = argv[0];
+  const char* port = argv[1];
+
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* addrs = nullptr;
+  int rc = ::getaddrinfo(host, port, &hints, &addrs);
+  if (rc != 0) {
+    std::fprintf(stderr, "error: resolve %s: %s\n", host, gai_strerror(rc));
+    return 1;
+  }
+  int fd = -1;
+  for (addrinfo* a = addrs; a != nullptr; a = a->ai_next) {
+    fd = ::socket(a->ai_family, a->ai_socktype, a->ai_protocol);
+    if (fd < 0) continue;
+    if (::connect(fd, a->ai_addr, a->ai_addrlen) == 0) break;
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(addrs);
+  if (fd < 0) {
+    std::fprintf(stderr, "error: cannot connect to %s:%s\n", host, port);
+    return 1;
+  }
+
+  // Request/response lockstep: send a line, then read blocks until the
+  // terminating '.' line before sending the next.
+  std::string line;
+  std::string buffer;
+  char chunk[4096];
+  while (std::getline(std::cin, line)) {
+    if (SkippableLine(line)) continue;
+    line += '\n';
+    if (::write(fd, line.data(), line.size()) !=
+        static_cast<ssize_t>(line.size())) {
+      std::fprintf(stderr, "error: connection lost\n");
+      break;
+    }
+    bool block_done = false;
+    while (!block_done) {
+      size_t nl;
+      while ((nl = buffer.find('\n')) != std::string::npos) {
+        std::string resp = buffer.substr(0, nl);
+        buffer.erase(0, nl + 1);
+        std::printf("%s\n", resp.c_str());
+        if (resp == ".") {
+          block_done = true;
+          break;
+        }
+      }
+      if (block_done) break;
+      ssize_t n = ::read(fd, chunk, sizeof(chunk));
+      if (n <= 0) {
+        std::fprintf(stderr, "error: connection closed by server\n");
+        ::close(fd);
+        return 1;
+      }
+      buffer.append(chunk, static_cast<size_t>(n));
+    }
+    std::fflush(stdout);
+    if (line == "quit\n") break;
+  }
+  ::close(fd);
+  return 0;
+}
+
+}  // namespace
+}  // namespace bigindex
+
+int main(int argc, char** argv) {
+  using namespace bigindex;
+  if (argc < 2) return Usage();
+  if (std::strcmp(argv[1], "--inprocess") == 0) {
+    return RunInProcess(argc - 2, argv + 2);
+  }
+  if (std::strcmp(argv[1], "--connect") == 0) {
+    return RunConnect(argc - 2, argv + 2);
+  }
+  return Usage();
+}

@@ -1,0 +1,147 @@
+// bigindex_serverd — long-lived keyword-search daemon.
+//
+// Builds (or loads) a dataset + BiG-index, wraps it in a QueryEngine and an
+// admission-controlled SearchService, and serves the line protocol over TCP
+// until SIGINT/SIGTERM. See DESIGN.md "Serving layer" for the pipeline and
+// src/server/line_protocol.h for the wire format; `tools/bigindex_client`
+// is the matching client.
+//
+//   bigindex_serverd [--dataset yago3] [--scale 0.01] [--layers 4]
+//                    [--port 7419] [--threads N] [--queue N]
+//                    [--max-batch N] [--linger-ms F] [--cache N]
+//                    [--deadline-ms F] [--reject-oldest]
+//
+//   --threads 0  = serial engine (no pool);  --cache 0 disables the cache.
+//
+// On shutdown the final ServiceStats snapshot is printed to stderr.
+
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "bigindex.h"
+
+namespace bigindex {
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void HandleSignal(int) { g_stop = 1; }
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: bigindex_serverd [--dataset NAME] [--scale F] [--layers N]\n"
+      "                        [--port N] [--threads N] [--queue N]\n"
+      "                        [--max-batch N] [--linger-ms F] [--cache N]\n"
+      "                        [--deadline-ms F] [--reject-oldest]\n");
+  return 1;
+}
+
+int Run(int argc, char** argv) {
+  std::string dataset_name = "yago3";
+  double scale = 0.01;
+  size_t layers = 4;
+  TcpServerOptions tcp;
+  QueryEngineOptions engine_opts{.num_threads =
+                                     ExecutorPool::kHardwareConcurrency};
+  SearchServiceOptions service_opts;
+
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: %s needs a value\n", flag);
+        std::exit(Usage());
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--dataset") == 0) {
+      dataset_name = next("--dataset");
+    } else if (std::strcmp(argv[i], "--scale") == 0) {
+      scale = std::atof(next("--scale"));
+    } else if (std::strcmp(argv[i], "--layers") == 0) {
+      layers = static_cast<size_t>(std::atoi(next("--layers")));
+    } else if (std::strcmp(argv[i], "--port") == 0) {
+      tcp.port = static_cast<uint16_t>(std::atoi(next("--port")));
+    } else if (std::strcmp(argv[i], "--threads") == 0) {
+      engine_opts.num_threads =
+          static_cast<size_t>(std::atoi(next("--threads")));
+    } else if (std::strcmp(argv[i], "--queue") == 0) {
+      service_opts.queue_capacity =
+          static_cast<size_t>(std::atoi(next("--queue")));
+    } else if (std::strcmp(argv[i], "--max-batch") == 0) {
+      service_opts.max_batch_size =
+          static_cast<size_t>(std::atoi(next("--max-batch")));
+    } else if (std::strcmp(argv[i], "--linger-ms") == 0) {
+      service_opts.max_linger_ms = std::atof(next("--linger-ms"));
+    } else if (std::strcmp(argv[i], "--cache") == 0) {
+      service_opts.cache.capacity =
+          static_cast<size_t>(std::atoi(next("--cache")));
+      service_opts.enable_cache = service_opts.cache.capacity > 0;
+    } else if (std::strcmp(argv[i], "--deadline-ms") == 0) {
+      service_opts.default_deadline_ms = std::atof(next("--deadline-ms"));
+    } else if (std::strcmp(argv[i], "--reject-oldest") == 0) {
+      service_opts.overload_policy = OverloadPolicy::kRejectOldest;
+    } else {
+      std::fprintf(stderr, "error: unknown flag %s\n", argv[i]);
+      return Usage();
+    }
+  }
+
+  std::fprintf(stderr, "building dataset %s at scale %.4f...\n",
+               dataset_name.c_str(), scale);
+  auto ds = MakeDataset(dataset_name, scale);
+  if (!ds.ok()) {
+    std::fprintf(stderr, "error: %s\n", ds.status().ToString().c_str());
+    return 1;
+  }
+  Timer build_timer;
+  auto index = BigIndex::Build(ds->graph, &ds->ontology.ontology,
+                               {.max_layers = layers});
+  if (!index.ok()) {
+    std::fprintf(stderr, "error: %s\n", index.status().ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "index: |V|=%zu |E|=%zu, %zu layers, %.1f ms build\n",
+               ds->graph.NumVertices(), ds->graph.NumEdges(),
+               index->NumLayers(), build_timer.ElapsedMillis());
+
+  auto engine = std::make_shared<const QueryEngine>(std::move(index).value(),
+                                                    engine_opts);
+  SearchService service(engine, service_opts);
+  TcpServer server(&service, ds->dict.get(), tcp);
+  Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "error: %s\n", started.ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr,
+               "bigindex_serverd listening on port %u "
+               "(threads=%zu queue=%zu max_batch=%zu cache=%zu)\n",
+               server.port(), engine->num_slots(),
+               service_opts.queue_capacity, service_opts.max_batch_size,
+               service_opts.enable_cache ? service_opts.cache.capacity : 0);
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  while (!g_stop) {
+    pause();  // wake on any signal; g_stop decides whether to exit
+  }
+
+  std::fprintf(stderr, "shutting down...\n");
+  server.Stop();
+  service.Shutdown();
+  std::fprintf(stderr, "final stats: %s\n",
+               service.Snapshot().ToString().c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace bigindex
+
+int main(int argc, char** argv) { return bigindex::Run(argc, argv); }

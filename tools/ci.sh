@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # CI entry point: tier-1 correctness, then a ThreadSanitizer pass over the
-# engine tests (the only suite that exercises cross-thread sharing).
+# engine + serving tests (the suites that exercise cross-thread sharing),
+# then a short serving-layer load smoke.
 #
 #   tools/ci.sh [jobs]
 #
@@ -16,12 +17,20 @@ cmake --build build -j"$JOBS"
 ctest --test-dir build --output-on-failure -j"$JOBS"
 
 echo
-echo "=== tsan: engine tests (build-tsan/) ==="
+echo "=== tsan: engine + server tests (build-tsan/) ==="
 cmake -B build-tsan -S . -DBIGINDEX_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j"$JOBS" --target bigindex_tests
 # halt_on_error makes any race a hard failure rather than a log line.
 TSAN_OPTIONS="halt_on_error=1" \
-  ./build-tsan/tests/bigindex_tests --gtest_filter='ExecutorPool*:QueryContext*:QueryEngine*'
+  ./build-tsan/tests/bigindex_tests \
+  --gtest_filter='ExecutorPool*:QueryContext*:QueryEngine*:Deadline*:AnswerCache*:SearchService*:LineProtocol*:TcpServer*'
+
+echo
+echo "=== smoke: serving-layer load generator (~2s) ==="
+# Tiny instance; exercises the full service pipeline (admission, batching,
+# cache, deadlines, backpressure) end to end without benchmarking anything.
+BIGINDEX_BENCH_SCALE="${BIGINDEX_BENCH_SCALE:-0.002}" \
+  ./build/bench/bench_server --smoke
 
 echo
 echo "CI OK"
