@@ -42,6 +42,8 @@
 #include "graph/label_dictionary.h" // IWYU pragma: export
 #include "graph/sampling.h"         // IWYU pragma: export
 #include "graph/traversal.h"        // IWYU pragma: export
+#include "obs/metrics.h"            // IWYU pragma: export
+#include "obs/trace.h"              // IWYU pragma: export
 #include "ontology/config.h"        // IWYU pragma: export
 #include "ontology/ontology.h"      // IWYU pragma: export
 #include "ontology/ontology_io.h"   // IWYU pragma: export
@@ -54,6 +56,7 @@
 #include "search/rclique.h"         // IWYU pragma: export
 #include "server/answer_cache.h"    // IWYU pragma: export
 #include "server/line_protocol.h"   // IWYU pragma: export
+#include "server/metrics_http.h"    // IWYU pragma: export
 #include "server/search_service.h"  // IWYU pragma: export
 #include "server/service_stats.h"   // IWYU pragma: export
 #include "server/tcp_server.h"      // IWYU pragma: export

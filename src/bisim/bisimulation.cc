@@ -6,6 +6,9 @@
 #include <numeric>
 #include <unordered_map>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace bigindex {
 namespace {
 
@@ -59,6 +62,17 @@ BisimMapping::BisimMapping(std::vector<VertexId> vertex_to_super,
 }
 
 BisimResult ComputeBisimulation(const Graph& g, const BisimOptions& options) {
+  TRACE_SPAN("bisim/compute");
+  static Counter& runs = MetricsRegistry::Global().GetCounter(
+      "bigindex_bisim_runs_total", "Bisimulation summarizations computed");
+  static Counter& rounds_total = MetricsRegistry::Global().GetCounter(
+      "bigindex_bisim_rounds_total",
+      "Signature-refinement rounds across all runs");
+  static Counter& signatures = MetricsRegistry::Global().GetCounter(
+      "bigindex_bisim_signatures_total",
+      "Vertex signatures computed (vertices x rounds)");
+  runs.Inc();
+
   const size_t n = g.NumVertices();
   BisimResult result;
 
@@ -80,6 +94,7 @@ BisimResult ComputeBisimulation(const Graph& g, const BisimOptions& options) {
   size_t rounds = 0;
   while (true) {
     if (options.max_rounds != 0 && rounds >= options.max_rounds) break;
+    TRACE_SPAN("bisim/round");
     interner.Reset();
     std::vector<uint32_t> sig;
     const bool use_out = options.direction != BisimDirection::kPredecessor;
@@ -111,6 +126,8 @@ BisimResult ComputeBisimulation(const Graph& g, const BisimOptions& options) {
     if (stable) break;
   }
   result.refinement_rounds = rounds;
+  rounds_total.Inc(rounds);
+  signatures.Inc(static_cast<uint64_t>(rounds) * n);
 
   // The interner's ids are dense but arbitrary; keep them (supernode ids are
   // layer-local anyway).
@@ -119,6 +136,7 @@ BisimResult ComputeBisimulation(const Graph& g, const BisimOptions& options) {
 
   // Materialize the quotient graph. Supernode label = label of any member
   // (identical within a block by construction).
+  TRACE_SPAN("bisim/materialize");
   GraphBuilder builder;
   builder.Reserve(num_blocks, g.NumEdges());
   {

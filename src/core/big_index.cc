@@ -2,10 +2,24 @@
 
 #include <cassert>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/timer.h"
+
 namespace bigindex {
 
 StatusOr<BigIndex> BigIndex::Build(Graph base, const Ontology* ontology,
                                    const BigIndexOptions& options) {
+  TRACE_SPAN("build/index");
+  static Counter& builds = MetricsRegistry::Global().GetCounter(
+      "bigindex_build_runs_total", "BigIndex::Build invocations");
+  static Counter& layers_built = MetricsRegistry::Global().GetCounter(
+      "bigindex_build_layers_total", "Summary layers constructed");
+  static Histogram& layer_ms = MetricsRegistry::Global().GetHistogram(
+      "bigindex_build_layer_ms",
+      "Wall time per summary layer (config + Gen + Bisim), ms");
+  builds.Inc();
+
   if (ontology == nullptr) {
     return Status::InvalidArgument("ontology must not be null");
   }
@@ -13,14 +27,25 @@ StatusOr<BigIndex> BigIndex::Build(Graph base, const Ontology* ontology,
 
   const Graph* current = &index.base_;
   for (size_t i = 1; i <= options.max_layers; ++i) {
-    GeneralizationConfig config =
-        options.use_greedy_config
-            ? FindConfiguration(*current, *ontology, options.config_search)
-            : FullOneStepConfiguration(*current, *ontology);
+    TRACE_SPAN("build/layer");
+    Timer layer_timer;
+    GeneralizationConfig config;
+    {
+      TRACE_SPAN("build/config");
+      config = options.use_greedy_config
+                   ? FindConfiguration(*current, *ontology,
+                                       options.config_search)
+                   : FullOneStepConfiguration(*current, *ontology);
+    }
     BIGINDEX_RETURN_IF_ERROR(config.Validate(*ontology));
 
-    Graph generalized = Generalize(*current, config);
+    Graph generalized;
+    {
+      TRACE_SPAN("build/generalize");
+      generalized = Generalize(*current, config);
+    }
     BisimResult bisim = ComputeBisimulation(generalized);
+    layer_ms.Record(layer_timer.ElapsedMillis());
 
     double ratio = current->Size() == 0
                        ? 1.0
@@ -34,6 +59,7 @@ StatusOr<BigIndex> BigIndex::Build(Graph base, const Ontology* ontology,
     layer.graph = std::move(bisim.summary);
     layer.mapping = std::move(bisim.mapping);
     index.layers_.push_back(std::move(layer));
+    layers_built.Inc();
     current = &index.layers_.back().graph;
   }
   return index;
@@ -88,6 +114,14 @@ size_t BigIndex::TotalSummarySize() const {
 }
 
 StatusOr<size_t> BigIndex::ApplyUpdates(std::span<const GraphUpdate> updates) {
+  TRACE_SPAN("build/maintain");
+  static Counter& maintained = MetricsRegistry::Global().GetCounter(
+      "bigindex_maintain_updates_total",
+      "Graph updates applied through BigIndex::ApplyUpdates");
+  static Counter& relayered = MetricsRegistry::Global().GetCounter(
+      "bigindex_maintain_layers_rebuilt_total",
+      "Layers re-summarized by maintenance");
+  maintained.Inc(updates.size());
   auto updated = bigindex::ApplyUpdates(base_, updates);
   if (!updated.ok()) return updated.status();
   base_ = std::move(updated).value();
@@ -108,6 +142,7 @@ StatusOr<size_t> BigIndex::ApplyUpdates(std::span<const GraphUpdate> updates) {
     ++rebuilt;
     current = &layer.graph;
   }
+  relayered.Inc(rebuilt);
   return rebuilt;
 }
 

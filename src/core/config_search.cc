@@ -3,11 +3,21 @@
 #include <algorithm>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace bigindex {
 
 GeneralizationConfig FindConfiguration(const Graph& g,
                                        const Ontology& ontology,
                                        const ConfigSearchOptions& options) {
+  TRACE_SPAN("build/config_search");
+  static Counter& candidates_scored = MetricsRegistry::Global().GetCounter(
+      "bigindex_configsearch_candidates_total",
+      "Single-generalization candidates scored by Algorithm 1");
+  static Counter& committed = MetricsRegistry::Global().GetCounter(
+      "bigindex_configsearch_committed_total",
+      "Generalizations admitted into a configuration by Algorithm 1");
   CostModel model(g, options.cost);
   IncrementalCost tracker(model);
 
@@ -25,6 +35,7 @@ GeneralizationConfig FindConfiguration(const Graph& g,
       queue.push_back({single.CostWith({l, super}), {l, super}});
     }
   }
+  candidates_scored.Inc(queue.size());
   // Ascending estimated cost; deterministic tie-break on the mapping.
   std::sort(queue.begin(), queue.end(),
             [](const ScoredCandidate& a, const ScoredCandidate& b) {
@@ -41,6 +52,7 @@ GeneralizationConfig FindConfiguration(const Graph& g,
 
     if (tracker.CostWith(cand.mapping) <= options.theta) {
       tracker.Commit(cand.mapping);
+      committed.Inc();
     } else {
       // Algorithm 1 line 10: the queue is cost-ordered, so stop at the first
       // candidate that would exceed θ.

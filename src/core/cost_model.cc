@@ -4,12 +4,24 @@
 #include <unordered_set>
 
 #include "bisim/bisimulation.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace bigindex {
 namespace {
 
+/// Per-sample Gen+Bisim runs — the inner hot spot of Algorithm 1's
+/// sampling-based estimator.
+Counter& SampleBisimsCounter() {
+  static Counter& c = MetricsRegistry::Global().GetCounter(
+      "bigindex_costmodel_sample_bisims_total",
+      "Bisimulations computed on sampled subgraphs by the cost model");
+  return c;
+}
+
 double SummaryRatio(const Graph& g) {
   if (g.Size() == 0) return 1.0;
+  SampleBisimsCounter().Inc();
   BisimResult r = ComputeBisimulation(g);
   return static_cast<double>(r.summary.Size()) / g.Size();
 }
@@ -18,10 +30,15 @@ double SummaryRatio(const Graph& g) {
 
 CostModel::CostModel(const Graph& g, const CostModelOptions& options)
     : graph_(g), options_(options) {
+  TRACE_SPAN("cost_model/sample");
+  static Counter& sampled = MetricsRegistry::Global().GetCounter(
+      "bigindex_costmodel_samples_total",
+      "Radius-r subgraphs sampled for cost estimation");
   Rng rng(options_.seed);
   samples_ = SampleRadiusSubgraphs(g, options_.sample_radius,
                                    options_.sample_count, rng,
                                    options_.max_sample_vertices);
+  sampled.Inc(samples_.size());
   baseline_ratio_.assign(samples_.size(), -1.0);
 
   // Label -> samples containing it (for incremental estimation).
@@ -47,6 +64,7 @@ double CostModel::BaselineRatio(size_t sample_index) const {
 
 double CostModel::EstimateCompress(
     const GeneralizationConfig& config) const {
+  TRACE_SPAN("cost_model/estimate");
   if (samples_.empty()) return 1.0;
 
   // Samples whose labels the config touches need a real Gen+Bisim run; the

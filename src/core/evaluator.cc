@@ -4,6 +4,7 @@
 #include <unordered_set>
 
 #include "engine/query_context.h"
+#include "obs/trace.h"
 #include "util/timer.h"
 
 namespace bigindex {
@@ -50,6 +51,7 @@ std::vector<Answer> EvaluateWithIndex(const BigIndex& index,
 
   // Layer 0: hierarchical machinery degenerates to direct evaluation.
   if (m == 0) {
+    TRACE_SPAN("eval/explore");
     Timer t;
     final_answers = f.Evaluate(g0, keywords, ctx);
     bd.explore_ms = t.ElapsedMillis();
@@ -63,7 +65,11 @@ std::vector<Answer> EvaluateWithIndex(const BigIndex& index,
   // (3) Evaluate f on the summary graph with the generalized query.
   Timer timer;
   std::vector<LabelId> qm = index.GeneralizeKeywords(keywords, m);
-  std::vector<Answer> generalized = f.Evaluate(index.LayerGraph(m), qm, ctx);
+  std::vector<Answer> generalized;
+  {
+    TRACE_SPAN("eval/explore");
+    generalized = f.Evaluate(index.LayerGraph(m), qm, ctx);
+  }
   bd.explore_ms = timer.ElapsedMillis();
   bd.generalized_answers = generalized.size();
   SortAnswers(generalized);  // rank order drives progressive specialization
@@ -78,7 +84,10 @@ std::vector<Answer> EvaluateWithIndex(const BigIndex& index,
   for (const Answer& am : generalized) {
     if (expired()) return final_answers;
     timer.Restart();
-    SpecializedAnswer spec = SpecializeAnswer(index, am, m, keywords);
+    SpecializedAnswer spec = [&] {
+      TRACE_SPAN("eval/specialize");
+      return SpecializeAnswer(index, am, m, keywords);
+    }();
     bd.specialize_ms += timer.ElapsedMillis();
     if (spec.pruned_empty && !rooted) {
       ++bd.pruned_answers;
@@ -86,12 +95,14 @@ std::vector<Answer> EvaluateWithIndex(const BigIndex& index,
     }
 
     timer.Restart();
-    std::vector<Answer> realized =
-        options.answer_gen.use_path_based
-            ? GenerateAnswersPathBased(index, spec, options.answer_gen,
-                                       &bd.gen_stats)
-            : GenerateAnswersVertexBased(index, spec, options.answer_gen,
-                                         &bd.gen_stats);
+    std::vector<Answer> realized = [&] {
+      TRACE_SPAN("eval/generate");
+      return options.answer_gen.use_path_based
+                 ? GenerateAnswersPathBased(index, spec, options.answer_gen,
+                                            &bd.gen_stats)
+                 : GenerateAnswersVertexBased(index, spec, options.answer_gen,
+                                              &bd.gen_stats);
+    }();
     bd.generate_ms += timer.ElapsedMillis();
 
     timer.Restart();
@@ -117,6 +128,7 @@ std::vector<Answer> EvaluateWithIndex(const BigIndex& index,
       if (options.top_k != 0 && final_answers.size() >= options.top_k) break;
       continue;
     }
+    TRACE_SPAN("eval/verify");
     if (rooted) {
       // Candidate roots: every layer-0 specialization of the generalized
       // root (root candidates are never label-pruned — this is what makes

@@ -5,7 +5,21 @@
 #include <exception>
 #include <memory>
 
+#include "obs/metrics.h"
+
 namespace bigindex {
+namespace {
+
+/// Tasks sitting in the pool's queue right now. One gauge for all pools in
+/// the process — the daemon runs one.
+Gauge& QueueDepthGauge() {
+  static Gauge& g = MetricsRegistry::Global().GetGauge(
+      "bigindex_executor_queue_depth",
+      "Tasks waiting in executor pool queues");
+  return g;
+}
+
+}  // namespace
 
 ExecutorPool::ExecutorPool(size_t num_threads) {
   if (num_threads == kHardwareConcurrency) {
@@ -36,11 +50,15 @@ void ExecutorPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
+    QueueDepthGauge().Sub(1);
     task();
   }
 }
 
 void ExecutorPool::Submit(std::function<void()> task) {
+  static Counter& tasks = MetricsRegistry::Global().GetCounter(
+      "bigindex_executor_tasks_total", "Tasks submitted to executor pools");
+  tasks.Inc();
   if (workers_.empty()) {
     task();
     return;
@@ -49,6 +67,7 @@ void ExecutorPool::Submit(std::function<void()> task) {
     std::lock_guard<std::mutex> lock(mutex_);
     queue_.push_back(std::move(task));
   }
+  QueueDepthGauge().Add(1);
   work_available_.notify_one();
 }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "search/bidirectional.h"
 #include "search/bkws.h"
 #include "search/blinks.h"
@@ -10,6 +12,63 @@
 #include "util/timer.h"
 
 namespace bigindex {
+namespace {
+
+/// Once-per-query metric recording from the finished result — all counter
+/// bumps and histogram records, so the cost is a handful of relaxed atomics
+/// plus two labeled-series lookups per query.
+void RecordQueryMetrics(const std::string& algorithm, const QueryResult& r) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  std::string label = "algorithm=\"" + algorithm + "\"";
+  reg.GetCounter("bigindex_engine_queries_total",
+                 "Queries evaluated by the engine", label)
+      .Inc();
+  reg.GetHistogram("bigindex_engine_eval_ms",
+                   "End-to-end evaluation latency per query, ms", label)
+      .Record(r.wall_ms);
+
+  static Counter& deadline_expired = reg.GetCounter(
+      "bigindex_engine_deadline_expired_total",
+      "Evaluations abandoned at a deadline checkpoint");
+  if (r.breakdown.deadline_expired) deadline_expired.Inc();
+
+  // Algorithm 2 phase times and specialization fan-out (EvalBreakdown).
+  static Histogram& explore_ms = reg.GetHistogram(
+      "bigindex_eval_explore_ms", "Summary-graph exploration time, ms");
+  static Histogram& specialize_ms = reg.GetHistogram(
+      "bigindex_eval_specialize_ms", "Answer specialization time, ms");
+  static Histogram& generate_ms = reg.GetHistogram(
+      "bigindex_eval_generate_ms", "Answer generation time (Algos 3/4), ms");
+  static Histogram& verify_ms = reg.GetHistogram(
+      "bigindex_eval_verify_ms", "Data-graph verification time, ms");
+  explore_ms.Record(r.breakdown.explore_ms);
+  specialize_ms.Record(r.breakdown.specialize_ms);
+  generate_ms.Record(r.breakdown.generate_ms);
+  verify_ms.Record(r.breakdown.verify_ms);
+
+  static Counter& generalized = reg.GetCounter(
+      "bigindex_eval_generalized_answers_total",
+      "Generalized answers produced on summary graphs");
+  static Counter& pruned = reg.GetCounter(
+      "bigindex_eval_pruned_answers_total",
+      "Generalized answers pruned during specialization");
+  static Counter& roots = reg.GetCounter(
+      "bigindex_eval_candidate_roots_total",
+      "Candidates sent to data-graph verification (specialization fan-out)");
+  static Counter& finals = reg.GetCounter(
+      "bigindex_eval_final_answers_total", "Answers returned to callers");
+  generalized.Inc(r.breakdown.generalized_answers);
+  pruned.Inc(r.breakdown.pruned_answers);
+  roots.Inc(r.breakdown.candidate_roots);
+  finals.Inc(r.breakdown.final_answers);
+
+  reg.GetCounter("bigindex_engine_layer_selected_total",
+                 "Queries evaluated at each index layer",
+                 "layer=\"" + std::to_string(r.breakdown.layer) + "\"")
+      .Inc();
+}
+
+}  // namespace
 
 /// RAII lease of a QueryContext from the engine's free list; creates a fresh
 /// context when the list is empty, returns it (warm) on destruction.
@@ -108,9 +167,13 @@ StatusOr<QueryResult> QueryEngine::Evaluate(const EngineQuery& query) const {
   QueryResult result;
   result.algorithm = query.algorithm;
   Timer timer;
-  result.answers = EvaluateWithIndex(*index_, *f, query.keywords, query.eval,
-                                     *lease, &result.breakdown);
+  {
+    TRACE_SPAN("engine/evaluate");
+    result.answers = EvaluateWithIndex(*index_, *f, query.keywords,
+                                       query.eval, *lease, &result.breakdown);
+  }
   result.wall_ms = timer.ElapsedMillis();
+  RecordQueryMetrics(query.algorithm, result);
   if (result.breakdown.deadline_expired) {
     return Status::DeadlineExceeded("deadline expired during evaluation");
   }
@@ -133,8 +196,16 @@ StatusOr<std::vector<QueryResult>> QueryEngine::EvaluateBatch(
     leases.push_back(std::make_unique<ContextLease>(*this));
   }
 
+  static Counter& batches = MetricsRegistry::Global().GetCounter(
+      "bigindex_engine_batches_total", "EvaluateBatch dispatches");
+  static Histogram& batch_size = MetricsRegistry::Global().GetHistogram(
+      "bigindex_engine_batch_size", "Queries per EvaluateBatch dispatch");
+  batches.Inc();
+  batch_size.Record(static_cast<double>(queries.size()));
+
   std::vector<QueryResult> results(queries.size());
   pool_.ParallelFor(queries.size(), [&](size_t slot, size_t i) {
+    TRACE_SPAN("engine/evaluate");
     const EngineQuery& q = queries[i];
     QueryResult& r = results[i];
     r.algorithm = q.algorithm;
@@ -142,6 +213,7 @@ StatusOr<std::vector<QueryResult>> QueryEngine::EvaluateBatch(
     r.answers = EvaluateWithIndex(*index_, *fs[i], q.keywords, q.eval,
                                   **leases[slot], &r.breakdown);
     r.wall_ms = timer.ElapsedMillis();
+    RecordQueryMetrics(q.algorithm, r);
   });
   return results;
 }

@@ -1,0 +1,200 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace bigindex {
+namespace {
+
+/// One Prometheus sample line: name, optional label block, value.
+void AppendSample(std::string& out, std::string_view name,
+                  std::string_view labels, std::string_view extra_label,
+                  double value) {
+  out += name;
+  if (!labels.empty() || !extra_label.empty()) {
+    out += '{';
+    out += labels;
+    if (!labels.empty() && !extra_label.empty()) out += ',';
+    out += extra_label;
+    out += '}';
+  }
+  char buf[48];
+  // %.17g round-trips doubles; integral values still print bare.
+  double rounded = std::nearbyint(value);
+  if (value == rounded && std::abs(value) < 1e15) {
+    std::snprintf(buf, sizeof(buf), " %.0f\n", value);
+  } else {
+    std::snprintf(buf, sizeof(buf), " %.9g\n", value);
+  }
+  out += buf;
+}
+
+}  // namespace
+
+size_t Histogram::BucketFor(double v) {
+  if (!(v > kBase)) return 0;  // also catches NaN and negatives
+  double idx = std::log(v / kBase) / std::log(kGrowth);
+  return std::min(kBuckets - 1, static_cast<size_t>(idx));
+}
+
+double Histogram::BucketUpper(size_t bucket) {
+  return kBase * std::pow(kGrowth, static_cast<double>(bucket + 1));
+}
+
+uint64_t Histogram::count() const {
+  uint64_t total = 0;
+  for (const auto& b : buckets_) total += b.load(std::memory_order_relaxed);
+  return total;
+}
+
+double Histogram::Quantile(double q) const {
+  std::array<uint64_t, kBuckets> snap;
+  uint64_t total = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    snap[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += snap[i];
+  }
+  if (total == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the quantile observation, 1-based, ceiling (p50 of 2 obs = #1).
+  uint64_t rank = std::max<uint64_t>(
+      1, static_cast<uint64_t>(std::ceil(q * static_cast<double>(total))));
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    seen += snap[i];
+    if (seen >= rank) return BucketUpper(i);
+  }
+  return BucketUpper(kBuckets - 1);
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // never destroyed
+  return *registry;
+}
+
+MetricsRegistry::Series& MetricsRegistry::GetSeries(std::string_view name,
+                                                    std::string_view help,
+                                                    std::string_view labels,
+                                                    Kind kind) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = families_.find(name);
+  if (it == families_.end()) {
+    Family family;
+    family.help = help;
+    family.kind = kind;
+    it = families_.emplace(std::string(name), std::move(family)).first;
+  }
+  Family& family = it->second;
+  auto make_series = [&] {
+    auto series = std::make_unique<Series>();
+    series->labels = labels;
+    switch (kind) {
+      case Kind::kCounter: series->counter = std::make_unique<Counter>(); break;
+      case Kind::kGauge: series->gauge = std::make_unique<Gauge>(); break;
+      case Kind::kHistogram:
+        series->histogram = std::make_unique<Histogram>();
+        break;
+    }
+    return series;
+  };
+  if (family.kind != kind) {
+    // Same name, different kind: park the metric off to the side so the
+    // caller's reference is valid, and count the programming error.
+    detached_.push_back(make_series());
+    Series& s = *detached_.back();
+    auto self = families_.find("bigindex_obs_detached_total");
+    if (self == families_.end()) {
+      Family fam;
+      fam.help = "Metric registrations whose kind conflicted with the name";
+      fam.kind = Kind::kCounter;
+      self = families_
+                 .emplace(std::string("bigindex_obs_detached_total"),
+                          std::move(fam))
+                 .first;
+      auto counter_series = std::make_unique<Series>();
+      counter_series->counter = std::make_unique<Counter>();
+      self->second.series.push_back(std::move(counter_series));
+    }
+    self->second.series.front()->counter->Inc();
+    return s;
+  }
+  for (auto& series : family.series) {
+    if (series->labels == labels) return *series;
+  }
+  family.series.push_back(make_series());
+  return *family.series.back();
+}
+
+Counter& MetricsRegistry::GetCounter(std::string_view name,
+                                     std::string_view help,
+                                     std::string_view labels) {
+  return *GetSeries(name, help, labels, Kind::kCounter).counter;
+}
+
+Gauge& MetricsRegistry::GetGauge(std::string_view name, std::string_view help,
+                                 std::string_view labels) {
+  return *GetSeries(name, help, labels, Kind::kGauge).gauge;
+}
+
+Histogram& MetricsRegistry::GetHistogram(std::string_view name,
+                                         std::string_view help,
+                                         std::string_view labels) {
+  return *GetSeries(name, help, labels, Kind::kHistogram).histogram;
+}
+
+size_t MetricsRegistry::NumSeries() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  size_t n = 0;
+  for (const auto& [name, family] : families_) n += family.series.size();
+  return n;
+}
+
+std::string MetricsRegistry::RenderPrometheus() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  out.reserve(4096);
+  for (const auto& [name, family] : families_) {
+    out += "# HELP ";
+    out += name;
+    out += ' ';
+    out += family.help;
+    out += '\n';
+    out += "# TYPE ";
+    out += name;
+    switch (family.kind) {
+      case Kind::kCounter: out += " counter\n"; break;
+      case Kind::kGauge: out += " gauge\n"; break;
+      case Kind::kHistogram: out += " summary\n"; break;
+    }
+    for (const auto& series : family.series) {
+      switch (family.kind) {
+        case Kind::kCounter:
+          AppendSample(out, name, series->labels, {},
+                       static_cast<double>(series->counter->value()));
+          break;
+        case Kind::kGauge:
+          AppendSample(out, name, series->labels, {},
+                       static_cast<double>(series->gauge->value()));
+          break;
+        case Kind::kHistogram: {
+          const Histogram& h = *series->histogram;
+          AppendSample(out, name, series->labels, "quantile=\"0.5\"",
+                       h.Quantile(0.5));
+          AppendSample(out, name, series->labels, "quantile=\"0.9\"",
+                       h.Quantile(0.9));
+          AppendSample(out, name, series->labels, "quantile=\"0.99\"",
+                       h.Quantile(0.99));
+          AppendSample(out, std::string(name) + "_sum", series->labels, {},
+                       h.sum());
+          AppendSample(out, std::string(name) + "_count", series->labels, {},
+                       static_cast<double>(h.count()));
+          break;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace bigindex

@@ -1,0 +1,166 @@
+// Process-wide metrics: lock-free counters, gauges, and log-bucketed
+// histograms behind one registry with Prometheus text exposition.
+//
+// Everything here is zero-dependency and hot-path-safe: recording is one
+// relaxed atomic RMW (Counter/Gauge) or two (Histogram bucket + sum), with
+// no locks and no allocation. The registry itself is only locked at metric
+// *registration* and at render time — instrumented call sites hold a
+// reference obtained once (typically through a function-local static), so
+// steady state never touches the registry map.
+//
+//   static Counter& c = MetricsRegistry::Global().GetCounter(
+//       "bigindex_engine_queries_total", "Queries evaluated");
+//   c.Inc();
+//
+// Labeled series are separate registry entries of one family, keyed by a
+// preformatted label block: GetCounter(name, help, R"(algorithm="bkws")").
+// The full metric catalog lives in docs/OBSERVABILITY.md — add new metrics
+// there when adding them here.
+
+#ifndef BIGINDEX_OBS_METRICS_H_
+#define BIGINDEX_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bigindex {
+
+/// Monotonically increasing event count. Wait-free, relaxed ordering —
+/// counts are advisory telemetry, never synchronization.
+class Counter {
+ public:
+  void Inc(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Point-in-time signed level (queue depth, entries held). Wait-free.
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  void Sub(int64_t n) { value_.fetch_sub(n, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Log-bucketed distribution, generalized from the serving layer's original
+/// LatencyHistogram (server/service_stats.h still aliases this type).
+///
+/// Bucket i covers [kBase * kGrowth^i, kBase * kGrowth^(i+1)); with the
+/// defaults that is geometric coverage from 1e-3 up to ~1.6e3 in the
+/// recorded unit at ~25% resolution — for values in milliseconds, 1 µs up
+/// to ~1.6 s, the range the request path and the construction phases live
+/// in. Values at or below kBase land in bucket 0; the last bucket absorbs
+/// everything above the range. Recording is two relaxed atomic RMWs
+/// (bucket count + running sum); Quantile() reads an upper estimate within
+/// one bucket's width (the bucket's upper bound at the requested rank).
+class Histogram {
+ public:
+  static constexpr size_t kBuckets = 64;
+  static constexpr double kBase = 1e-3;
+  static constexpr double kGrowth = 1.25;
+
+  /// Records one observation. Thread-safe, wait-free.
+  void Record(double v) {
+    buckets_[BucketFor(v)].fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+  }
+
+  /// Value at quantile `q` in [0, 1]: the upper bound of the bucket
+  /// containing the q-th ranked observation. 0 when empty.
+  double Quantile(double q) const;
+
+  uint64_t count() const;
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+
+  /// Upper bound of bucket `i` in the recorded unit (exposed for the
+  /// quantile-oracle tests).
+  static double BucketUpper(size_t bucket);
+
+ private:
+  static size_t BucketFor(double v);
+
+  std::array<std::atomic<uint64_t>, kBuckets> buckets_{};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Name-keyed home of every metric in the process. Metrics are created on
+/// first GetX() and live as long as the registry (references never dangle);
+/// re-requesting the same (name, labels) returns the same object, so
+/// concurrent registration from many threads is safe and idempotent.
+///
+/// Instrumented code uses the process-wide Global() instance; tests may
+/// construct private registries.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// `name` follows Prometheus conventions (snake_case, `_total` suffix for
+  /// counters, unit suffix like `_ms` otherwise); `labels` is a preformatted
+  /// label block without braces, e.g. `algorithm="bkws"`, empty for an
+  /// unlabeled series. `help` is kept from the first registration of the
+  /// family. Requesting an existing name with a different metric kind
+  /// returns a detached metric (recorded but never rendered) rather than
+  /// aliasing — a programming error surfaced by the *_detached_total self
+  /// metric.
+  Counter& GetCounter(std::string_view name, std::string_view help,
+                      std::string_view labels = {});
+  Gauge& GetGauge(std::string_view name, std::string_view help,
+                  std::string_view labels = {});
+  Histogram& GetHistogram(std::string_view name, std::string_view help,
+                          std::string_view labels = {});
+
+  /// Prometheus text exposition (format 0.0.4): `# HELP` / `# TYPE` headers
+  /// and one sample line per series, histograms as summaries with
+  /// quantile={0.5,0.9,0.99} plus _sum and _count. Families render in
+  /// name order; a render is a consistent-enough snapshot (each sample is
+  /// individually atomic).
+  std::string RenderPrometheus() const;
+
+  /// Number of registered series across all families (tests).
+  size_t NumSeries() const;
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+
+  struct Series {
+    std::string labels;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+  struct Family {
+    std::string help;
+    Kind kind;
+    std::vector<std::unique_ptr<Series>> series;
+  };
+
+  Series& GetSeries(std::string_view name, std::string_view help,
+                    std::string_view labels, Kind kind);
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Family, std::less<>> families_;
+  // Kind-mismatched requests park their metric here so the returned
+  // reference stays valid without corrupting the family's exposition.
+  std::vector<std::unique_ptr<Series>> detached_;
+};
+
+}  // namespace bigindex
+
+#endif  // BIGINDEX_OBS_METRICS_H_

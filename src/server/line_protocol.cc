@@ -1,11 +1,14 @@
 #include "server/line_protocol.h"
 
+#include <algorithm>
 #include <cctype>
 #include <cstdlib>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/status.h"
 
 namespace bigindex {
@@ -91,6 +94,38 @@ bool ApplyOption(const std::string& token, EngineQuery* q,
   return true;
 }
 
+std::string HandleTrace(const std::vector<std::string>& tokens) {
+  if (tokens.size() != 2) {
+    return ErrBlock("usage: trace on|off|status|dump|clear");
+  }
+  Tracer& tracer = Tracer::Global();
+  const std::string& sub = tokens[1];
+  if (sub == "on") {
+    tracer.SetEnabled(true);
+    return "OK trace=on\n.\n";
+  }
+  if (sub == "off") {
+    tracer.SetEnabled(false);
+    return "OK trace=off\n.\n";
+  }
+  if (sub == "status") {
+    Tracer::Stats s = tracer.GetStats();
+    std::ostringstream out;
+    out << "OK enabled=" << (s.enabled ? 1 : 0) << " threads=" << s.threads
+        << " events=" << s.events << " dropped=" << s.dropped << "\n.\n";
+    return out.str();
+  }
+  if (sub == "dump") {
+    // The dump is one line of JSON: safe inside the dot-terminated framing.
+    return "OK\n" + tracer.DumpJson() + "\n.\n";
+  }
+  if (sub == "clear") {
+    tracer.Clear();
+    return "OK cleared\n.\n";
+  }
+  return ErrBlock("unknown trace subcommand '" + sub + "'");
+}
+
 std::string HandleQuery(SearchService& service, const LabelDictionary* dict,
                         const std::vector<std::string>& tokens) {
   if (tokens.size() < 3) {
@@ -135,13 +170,23 @@ std::string HandleQuery(SearchService& service, const LabelDictionary* dict,
 LineHandler::Result LineHandler::Handle(const std::string& line) {
   std::vector<std::string> tokens = Tokenize(line);
   if (tokens.empty()) return {ErrBlock("empty request"), false};
-  const std::string& cmd = tokens[0];
+  std::string cmd = tokens[0];
+  std::transform(cmd.begin(), cmd.end(), cmd.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
 
   if (cmd == "query") {
     return {HandleQuery(*service_, dict_, tokens), false};
   }
   if (cmd == "stats") {
     return {"OK " + service_->Snapshot().ToString() + "\n.\n", false};
+  }
+  if (cmd == "metrics") {
+    return {"OK\n" + MetricsRegistry::Global().RenderPrometheus() + ".\n",
+            false};
+  }
+  if (cmd == "trace") {
+    return {HandleTrace(tokens), false};
   }
   if (cmd == "bump") {
     return {"OK epoch=" + std::to_string(service_->BumpEpoch()) + "\n.\n",

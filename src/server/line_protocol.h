@@ -2,10 +2,15 @@
 // response block per request. Shared by the TCP server, the in-process
 // client, and the protocol tests — the transport only moves lines.
 //
-// Requests:
+// Requests (verbs are case-insensitive; METRICS and metrics are the same):
 //   query <algo> <kw1,kw2,...> [top_k=N] [layer=M] [deadline_ms=D]
 //         [exact=0|1] [beta=F]
 //   stats            service counters snapshot
+//   metrics          Prometheus text exposition of the process registry
+//   trace on|off     enable / disable span collection
+//   trace status     collector state: enabled, threads, events, dropped
+//   trace dump       chrome://tracing JSON (single line) of buffered spans
+//   trace clear      drop all buffered spans
 //   bump             bump the index epoch (invalidates the answer cache)
 //   algos            registered algorithm names
 //   ping             liveness probe
@@ -21,6 +26,10 @@
 // or
 //   ERR <StatusCode> <message>
 //   .
+//
+// Raw payload blocks (metrics, trace dump) are safe inside the framing:
+// Prometheus text lines and the one-line JSON dump can never consist of a
+// single '.', which is the only line the framing reserves.
 
 #ifndef BIGINDEX_SERVER_LINE_PROTOCOL_H_
 #define BIGINDEX_SERVER_LINE_PROTOCOL_H_

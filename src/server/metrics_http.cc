@@ -1,0 +1,155 @@
+#include "server/metrics_http.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/logging.h"
+
+namespace bigindex {
+namespace {
+
+/// write() until done; false on a broken connection.
+bool WriteAll(int fd, const std::string& data) {
+  size_t off = 0;
+  while (off < data.size()) {
+    ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+std::string HttpResponse(const std::string& content_type,
+                         const std::string& body) {
+  std::string out;
+  out.reserve(body.size() + 128);
+  out += "HTTP/1.0 200 OK\r\nContent-Type: ";
+  out += content_type;
+  out += "\r\nContent-Length: ";
+  out += std::to_string(body.size());
+  out += "\r\nConnection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+}  // namespace
+
+MetricsHttpServer::~MetricsHttpServer() { Stop(); }
+
+Status MetricsHttpServer::Start() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr =
+      options_.loopback_only ? htonl(INADDR_LOOPBACK) : htonl(INADDR_ANY);
+  addr.sin_port = htons(options_.port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    Status s = Status::IOError(std::string("bind: ") + std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return s;
+  }
+  if (::listen(listen_fd_, 16) < 0) {
+    Status s = Status::IOError(std::string("listen: ") +
+                               std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return s;
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void MetricsHttpServer::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listen socket shut down (or a fatal accept error)
+    }
+    if (stopping_.load(std::memory_order_acquire)) {
+      ::close(fd);
+      break;
+    }
+    ServeConnection(fd);
+    ::close(fd);
+  }
+}
+
+void MetricsHttpServer::ServeConnection(int fd) {
+  // A stalled sender can hold the acceptor for at most this long.
+  timeval timeout{.tv_sec = 1, .tv_usec = 0};
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+
+  std::string request;
+  char chunk[2048];
+  while (request.find("\r\n\r\n") == std::string::npos &&
+         request.find("\n\n") == std::string::npos &&
+         request.size() < 16384) {
+    ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      if (request.find('\n') == std::string::npos) return;  // no request line
+      break;  // header end missing but the request line arrived; serve it
+    }
+    request.append(chunk, static_cast<size_t>(n));
+  }
+
+  // Request line: METHOD SP PATH SP VERSION. Only the path matters.
+  size_t path_begin = request.find(' ');
+  if (path_begin == std::string::npos) return;
+  size_t path_end = request.find_first_of(" \r\n", ++path_begin);
+  if (path_end == std::string::npos) return;
+  std::string path = request.substr(path_begin, path_end - path_begin);
+
+  if (path == "/trace") {
+    WriteAll(fd, HttpResponse("application/json",
+                              Tracer::Global().DumpJson() + "\n"));
+  } else {
+    // "/metrics", "/", and anything else: the Prometheus exposition.
+    WriteAll(fd, HttpResponse("text/plain; version=0.0.4; charset=utf-8",
+                              MetricsRegistry::Global().RenderPrometheus()));
+  }
+}
+
+void MetricsHttpServer::Stop() {
+  bool expected = false;
+  if (!stopping_.compare_exchange_strong(expected, true)) {
+    return;  // already stopped
+  }
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);  // unblocks accept()
+  }
+  if (acceptor_.joinable()) acceptor_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  BIGINDEX_LOG(kInfo) << "metrics http endpoint on port " << port_
+                      << " stopped";
+}
+
+}  // namespace bigindex

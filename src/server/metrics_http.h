@@ -1,0 +1,64 @@
+// Minimal HTTP scrape endpoint for the process metrics registry.
+//
+// Speaks just enough HTTP/1.0 for Prometheus and curl:
+//   GET /trace      -> 200 application/json, chrome://tracing dump
+//   GET <anything>  -> 200 text/plain; version=0.0.4, Prometheus exposition
+//
+// One acceptor thread; each connection is handled inline (a scrape is a
+// single read + write) with a receive timeout so a wedged client cannot
+// stall the endpoint for long. This is an operator-facing port: bind it to
+// loopback (the default) unless the scraper is remote.
+
+#ifndef BIGINDEX_SERVER_METRICS_HTTP_H_
+#define BIGINDEX_SERVER_METRICS_HTTP_H_
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+#include "util/status.h"
+
+namespace bigindex {
+
+struct MetricsHttpOptions {
+  /// 0 = pick an ephemeral port (read it back with port()).
+  uint16_t port = 0;
+
+  /// Loopback only by default; set false to listen on all interfaces.
+  bool loopback_only = true;
+};
+
+class MetricsHttpServer {
+ public:
+  explicit MetricsHttpServer(MetricsHttpOptions options = {})
+      : options_(options) {}
+  ~MetricsHttpServer();
+
+  MetricsHttpServer(const MetricsHttpServer&) = delete;
+  MetricsHttpServer& operator=(const MetricsHttpServer&) = delete;
+
+  /// Binds, listens, and starts the acceptor. IOError on bind/listen
+  /// failure (e.g. port in use).
+  Status Start();
+
+  /// Stops accepting and joins the acceptor. Idempotent.
+  void Stop();
+
+  /// The bound port (valid after a successful Start()).
+  uint16_t port() const { return port_; }
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(int fd);
+
+  MetricsHttpOptions options_;
+  uint16_t port_ = 0;
+
+  int listen_fd_ = -1;
+  std::atomic<bool> stopping_{false};
+  std::thread acceptor_;
+};
+
+}  // namespace bigindex
+
+#endif  // BIGINDEX_SERVER_METRICS_HTTP_H_

@@ -5,9 +5,63 @@
 #include <unordered_map>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace bigindex {
+namespace {
+
+/// Process-wide mirrors of the per-service counters, so `METRICS` and the
+/// Prometheus endpoint expose serving health without touching Snapshot().
+/// A service keeps its own atomics too: Snapshot() stays per-instance while
+/// the registry aggregates across every service in the process.
+struct ServerMetrics {
+  Counter& requests;
+  Counter& rejected_invalid;
+  Counter& rejected_overload;
+  Counter& completed;
+  Counter& deadline_misses;
+  Counter& batches;
+  Counter& batched_queries;
+  Counter& cache_hits;
+  Counter& cache_misses;
+  Histogram& request_ms;
+  Gauge& queue_depth;
+
+  static ServerMetrics& Get() {
+    static ServerMetrics* m = [] {
+      MetricsRegistry& reg = MetricsRegistry::Global();
+      return new ServerMetrics{
+          reg.GetCounter("bigindex_server_requests_total",
+                         "Requests submitted to SearchService"),
+          reg.GetCounter("bigindex_server_rejected_invalid_total",
+                         "Requests rejected by admission validation"),
+          reg.GetCounter("bigindex_server_rejected_overload_total",
+                         "Requests shed by the overload policy"),
+          reg.GetCounter("bigindex_server_completed_total",
+                         "Requests answered OK (cache hits included)"),
+          reg.GetCounter("bigindex_server_deadline_misses_total",
+                         "Requests expired before or during evaluation"),
+          reg.GetCounter("bigindex_server_batches_total",
+                         "Micro-batches dispatched to the engine"),
+          reg.GetCounter("bigindex_server_batched_queries_total",
+                         "Unique queries across dispatched micro-batches"),
+          reg.GetCounter("bigindex_server_cache_hits_total",
+                         "Answer-cache hits at admission"),
+          reg.GetCounter("bigindex_server_cache_misses_total",
+                         "Answer-cache misses at admission"),
+          reg.GetHistogram("bigindex_server_request_ms",
+                           "Admission-to-completion latency, ms"),
+          reg.GetGauge("bigindex_server_queue_depth",
+                       "Requests in the admission queue right now"),
+      };
+    }();
+    return *m;
+  }
+};
+
+}  // namespace
 
 SearchService::SearchService(std::shared_ptr<const QueryEngine> engine,
                              SearchServiceOptions options)
@@ -55,13 +109,17 @@ std::string SearchService::CacheKeyFor(uint64_t epoch,
 
 std::future<StatusOr<QueryResult>> SearchService::SubmitAsync(
     EngineQuery query) {
+  TRACE_SPAN("server/admit");
+  ServerMetrics& sm = ServerMetrics::Get();
   std::promise<StatusOr<QueryResult>> promise;
   std::future<StatusOr<QueryResult>> future = promise.get_future();
   submitted_.fetch_add(1, std::memory_order_relaxed);
+  sm.requests.Inc();
 
   Status valid = engine_->Validate(query);
   if (!valid.ok()) {
     rejected_invalid_.fetch_add(1, std::memory_order_relaxed);
+    sm.rejected_invalid.Inc();
     promise.set_value(std::move(valid));
     return future;
   }
@@ -86,9 +144,11 @@ std::future<StatusOr<QueryResult>> SearchService::SubmitAsync(
         CacheKeyFor(epoch_.load(std::memory_order_acquire), pending.query);
     if (std::shared_ptr<const QueryResult> hit =
             cache_.Lookup(pending.cache_key)) {
+      sm.cache_hits.Inc();
       CompleteOk(pending, QueryResult(*hit));
       return future;
     }
+    sm.cache_misses.Inc();
   }
 
   {
@@ -100,6 +160,7 @@ std::future<StatusOr<QueryResult>> SearchService::SubmitAsync(
     }
     if (queue_.size() >= options_.queue_capacity) {
       rejected_overload_.fetch_add(1, std::memory_order_relaxed);
+      sm.rejected_overload.Inc();
       BIGINDEX_LOG_EVERY_N(kWarning, 1024)
           << "admission queue full (" << queue_.size() << "/"
           << options_.queue_capacity << "), shedding load ("
@@ -116,6 +177,7 @@ std::future<StatusOr<QueryResult>> SearchService::SubmitAsync(
           "displaced by a newer request (reject-oldest overload policy)"));
     }
     queue_.push_back(std::move(pending));
+    sm.queue_depth.Set(static_cast<int64_t>(queue_.size()));
   }
   work_available_.notify_one();
   return future;
@@ -130,13 +192,18 @@ uint64_t SearchService::BumpEpoch() {
 }
 
 void SearchService::CompleteOk(Pending& p, QueryResult result) {
-  latency_.Record(p.queued.ElapsedMillis());
+  const double ms = p.queued.ElapsedMillis();
+  latency_.Record(ms);
   completed_.fetch_add(1, std::memory_order_relaxed);
+  ServerMetrics& sm = ServerMetrics::Get();
+  sm.completed.Inc();
+  sm.request_ms.Record(ms);
   p.promise.set_value(std::move(result));
 }
 
 void SearchService::CompleteDeadline(Pending& p, const char* stage) {
   deadline_misses_.fetch_add(1, std::memory_order_relaxed);
+  ServerMetrics::Get().deadline_misses.Inc();
   BIGINDEX_LOG_EVERY_N(kWarning, 1024)
       << "deadline miss " << stage << " ("
       << deadline_misses_.load(std::memory_order_relaxed) << " total)";
@@ -153,6 +220,7 @@ void SearchService::BatcherLoop() {
       batch.push_back(std::move(queue_.front()));
       queue_.pop_front();
     }
+    ServerMetrics::Get().queue_depth.Set(static_cast<int64_t>(queue_.size()));
   };
 
   while (true) {
@@ -192,6 +260,7 @@ void SearchService::BatcherLoop() {
 }
 
 void SearchService::ProcessBatch(std::vector<Pending> batch) {
+  TRACE_SPAN("server/batch");
   // Deadline sweep: anything that expired while queued is resolved without
   // touching the engine.
   std::vector<Pending> live;
@@ -237,6 +306,9 @@ void SearchService::ProcessBatch(std::vector<Pending> batch) {
   for (size_t li : leaders) queries.push_back(live[li].query);
   batches_.fetch_add(1, std::memory_order_relaxed);
   batched_queries_.fetch_add(queries.size(), std::memory_order_relaxed);
+  ServerMetrics& sm = ServerMetrics::Get();
+  sm.batches.Inc();
+  sm.batched_queries.Inc(queries.size());
 
   StatusOr<std::vector<QueryResult>> results =
       engine_->EvaluateBatch(queries);

@@ -1,51 +1,8 @@
 #include "server/service_stats.h"
 
-#include <algorithm>
-#include <cmath>
 #include <cstdio>
 
 namespace bigindex {
-
-size_t LatencyHistogram::BucketFor(double ms) {
-  double us = ms * 1e3;
-  if (!(us > kBaseUs)) return 0;  // also catches NaN and negatives
-  double idx = std::log(us / kBaseUs) / std::log(kGrowth);
-  return std::min(kBuckets - 1, static_cast<size_t>(idx));
-}
-
-double LatencyHistogram::BucketUpperMs(size_t bucket) {
-  return kBaseUs * std::pow(kGrowth, static_cast<double>(bucket + 1)) / 1e3;
-}
-
-void LatencyHistogram::Record(double ms) {
-  buckets_[BucketFor(ms)].fetch_add(1, std::memory_order_relaxed);
-}
-
-uint64_t LatencyHistogram::count() const {
-  uint64_t total = 0;
-  for (const auto& b : buckets_) total += b.load(std::memory_order_relaxed);
-  return total;
-}
-
-double LatencyHistogram::Quantile(double q) const {
-  std::array<uint64_t, kBuckets> snap;
-  uint64_t total = 0;
-  for (size_t i = 0; i < kBuckets; ++i) {
-    snap[i] = buckets_[i].load(std::memory_order_relaxed);
-    total += snap[i];
-  }
-  if (total == 0) return 0;
-  q = std::clamp(q, 0.0, 1.0);
-  // Rank of the quantile observation, 1-based, ceiling (p50 of 2 obs = #1).
-  uint64_t rank = std::max<uint64_t>(
-      1, static_cast<uint64_t>(std::ceil(q * static_cast<double>(total))));
-  uint64_t seen = 0;
-  for (size_t i = 0; i < kBuckets; ++i) {
-    seen += snap[i];
-    if (seen >= rank) return BucketUpperMs(i);
-  }
-  return BucketUpperMs(kBuckets - 1);
-}
 
 std::string ServiceStats::ToString() const {
   char buf[1024];

@@ -1,46 +1,24 @@
-// Serving-layer observability: a lock-free latency histogram plus the
-// ServiceStats snapshot the daemon's `stats` command and the load generator
-// report.
+// Serving-layer observability: the ServiceStats snapshot the daemon's
+// `stats` command and the load generator report.
 //
-// The histogram is log-bucketed (geometric bucket bounds from 1 µs up, ~25%
-// resolution), recorded with one relaxed atomic increment per request, so it
-// adds nothing measurable to the request path. Percentiles are read by
-// snapshotting the buckets and returning the upper bound of the bucket the
-// requested rank falls in — an upper estimate within one bucket's width.
+// The latency histogram this file used to define now lives in
+// obs/metrics.h as the general-purpose log-bucketed Histogram (same
+// buckets: geometric bounds from 1 µs up at ~25% resolution, one relaxed
+// atomic increment per record). LatencyHistogram remains as the
+// serving-layer's name for a histogram of milliseconds.
 
 #ifndef BIGINDEX_SERVER_SERVICE_STATS_H_
 #define BIGINDEX_SERVER_SERVICE_STATS_H_
 
-#include <array>
-#include <atomic>
 #include <cstdint>
 #include <string>
 
+#include "obs/metrics.h"
+
 namespace bigindex {
 
-class LatencyHistogram {
- public:
-  /// Records one observation. Thread-safe, wait-free.
-  void Record(double ms);
-
-  /// Latency (ms) at quantile `q` in [0, 1]: the upper bound of the bucket
-  /// containing the q-th ranked observation. 0 when empty.
-  double Quantile(double q) const;
-
-  uint64_t count() const;
-
- private:
-  // Bucket i covers [kBaseUs * kGrowth^i, kBaseUs * kGrowth^(i+1)) µs; the
-  // last bucket absorbs everything above (~1.6e6 µs with these constants).
-  static constexpr size_t kBuckets = 64;
-  static constexpr double kBaseUs = 1.0;
-  static constexpr double kGrowth = 1.25;
-
-  static size_t BucketFor(double ms);
-  static double BucketUpperMs(size_t bucket);
-
-  std::array<std::atomic<uint64_t>, kBuckets> buckets_{};
-};
+/// Histogram of request latencies in milliseconds (see obs/metrics.h).
+using LatencyHistogram = Histogram;
 
 /// One coherent snapshot of the service's counters. All counts are
 /// cumulative since service construction.

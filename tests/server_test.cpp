@@ -16,7 +16,9 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <cstdlib>
 #include <future>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -605,6 +607,111 @@ TEST(LineProtocolTest, QueryAnswersMatchEngine) {
     ++lines;
   }
   EXPECT_EQ(lines, direct->answers.size());
+}
+
+/// Parses a Prometheus exposition into name{labels} -> value, asserting the
+/// structural rules on the way (comment lines are HELP/TYPE; sample lines
+/// end in one parseable finite value).
+std::map<std::string, double> ParsePrometheus(const std::string& text) {
+  std::map<std::string, double> samples;
+  size_t start = 0;
+  while (start < text.size()) {
+    size_t end = text.find('\n', start);
+    EXPECT_NE(end, std::string::npos) << "unterminated last line";
+    if (end == std::string::npos) break;
+    std::string line = text.substr(start, end - start);
+    start = end + 1;
+    if (line.empty()) {
+      ADD_FAILURE() << "blank line in exposition";
+      continue;
+    }
+    if (line[0] == '#') {
+      EXPECT_TRUE(line.rfind("# HELP ", 0) == 0 ||
+                  line.rfind("# TYPE ", 0) == 0)
+          << line;
+      continue;
+    }
+    size_t sp = line.rfind(' ');
+    EXPECT_NE(sp, std::string::npos) << line;
+    if (sp == std::string::npos) continue;
+    char* parse_end = nullptr;
+    double v = std::strtod(line.c_str() + sp + 1, &parse_end);
+    EXPECT_EQ(*parse_end, '\0') << line;
+    samples[line.substr(0, sp)] = v;
+  }
+  return samples;
+}
+
+TEST(LineProtocolTest, MetricsVerbParsesAndIsMonotone) {
+  ServiceFixture fx;
+  SearchService service(fx.engine, {.max_linger_ms = 0});
+  LineHandler handler(&service);
+
+  ASSERT_TRUE(service.Query(Q({0, 1})).ok());
+  std::string resp = handler.Handle("metrics").response;
+  ASSERT_EQ(resp.substr(0, 3), "OK\n");
+  ASSERT_EQ(resp.substr(resp.size() - 2), ".\n");
+  std::map<std::string, double> before =
+      ParsePrometheus(resp.substr(3, resp.size() - 5));
+
+  // The exposition covers all three instrumented layers.
+  EXPECT_TRUE(before.count("bigindex_build_runs_total"));
+  EXPECT_TRUE(before.count("bigindex_engine_queries_total{algorithm=\"bkws\"}"));
+  EXPECT_TRUE(before.count("bigindex_server_requests_total"));
+  EXPECT_TRUE(before.count("bigindex_server_request_ms_count"));
+  EXPECT_GE(before["bigindex_server_completed_total"], 1);
+
+  // The verb is case-insensitive, per the documented grammar.
+  EXPECT_EQ(handler.Handle("METRICS").response.substr(0, 3), "OK\n");
+
+  ASSERT_TRUE(service.Query(Q({0, 2})).ok());
+  resp = handler.Handle("metrics").response;
+  std::map<std::string, double> after =
+      ParsePrometheus(resp.substr(3, resp.size() - 5));
+
+  // Counters are monotone across requests; the request counters moved.
+  // (Other tests share the process-global registry, so compare >=, and
+  // completed strictly advanced because *this* service finished one more.)
+  for (const auto& [name, value] : before) {
+    if (name.find("_total") == std::string::npos) continue;
+    ASSERT_TRUE(after.count(name)) << name << " vanished";
+    EXPECT_GE(after[name], value) << name << " went backwards";
+  }
+  EXPECT_GE(after["bigindex_server_completed_total"],
+            before["bigindex_server_completed_total"] + 1);
+}
+
+TEST(LineProtocolTest, TraceVerbsRoundTrip) {
+  ServiceFixture fx;
+  SearchService service(fx.engine, {.max_linger_ms = 0});
+  LineHandler handler(&service);
+
+  EXPECT_EQ(handler.Handle("trace clear").response, "OK cleared\n.\n");
+  EXPECT_EQ(handler.Handle("trace on").response, "OK trace=on\n.\n");
+  ASSERT_TRUE(service.Query(Q({0, 1})).ok());
+  EXPECT_EQ(handler.Handle("trace off").response, "OK trace=off\n.\n");
+
+  std::string status = handler.Handle("trace status").response;
+  EXPECT_EQ(status.substr(0, 13), "OK enabled=0 ");
+  EXPECT_NE(status.find(" events="), std::string::npos);
+
+  std::string dump = handler.Handle("trace dump").response;
+  ASSERT_EQ(dump.substr(0, 3), "OK\n");
+  ASSERT_EQ(dump.substr(dump.size() - 2), ".\n");
+  // Body is exactly one JSON line with the serving + engine spans from the
+  // query that ran while tracing was on.
+  std::string json = dump.substr(3, dump.size() - 6);
+  EXPECT_EQ(json.find('\n'), std::string::npos);
+  EXPECT_EQ(json.rfind("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[", 0), 0u);
+  EXPECT_EQ(json.substr(json.size() - 2), "]}");
+  EXPECT_NE(json.find("\"name\":\"server/admit\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"engine/evaluate\""), std::string::npos);
+
+  EXPECT_EQ(handler.Handle("trace clear").response, "OK cleared\n.\n");
+  std::string cleared = handler.Handle("trace dump").response;
+  EXPECT_EQ(cleared.find("server/admit"), std::string::npos);
+  EXPECT_EQ(handler.Handle("trace bogus").response.substr(0, 3), "ERR");
+  EXPECT_EQ(handler.Handle("trace").response.substr(0, 3), "ERR");
 }
 
 TEST(TcpServerTest, ServesLineProtocolOverLoopback) {

@@ -10,8 +10,13 @@
 //                    [--port 7419] [--threads N] [--queue N]
 //                    [--max-batch N] [--linger-ms F] [--cache N]
 //                    [--deadline-ms F] [--reject-oldest]
+//                    [--metrics-port N] [--trace]
 //
 //   --threads 0  = serial engine (no pool);  --cache 0 disables the cache.
+//   --metrics-port 0 (the default) disables the HTTP scrape endpoint; the
+//   line protocol's `metrics` verb works either way. --trace enables span
+//   collection from startup (covers index construction too); it can also be
+//   toggled at runtime with the `trace on|off` verb.
 //
 // On shutdown the final ServiceStats snapshot is printed to stderr.
 
@@ -39,7 +44,8 @@ int Usage() {
       "usage: bigindex_serverd [--dataset NAME] [--scale F] [--layers N]\n"
       "                        [--port N] [--threads N] [--queue N]\n"
       "                        [--max-batch N] [--linger-ms F] [--cache N]\n"
-      "                        [--deadline-ms F] [--reject-oldest]\n");
+      "                        [--deadline-ms F] [--reject-oldest]\n"
+      "                        [--metrics-port N] [--trace]\n");
   return 1;
 }
 
@@ -48,6 +54,8 @@ int Run(int argc, char** argv) {
   double scale = 0.01;
   size_t layers = 4;
   TcpServerOptions tcp;
+  MetricsHttpOptions metrics_http;
+  bool trace_from_start = false;
   QueryEngineOptions engine_opts{.num_threads =
                                      ExecutorPool::kHardwareConcurrency};
   SearchServiceOptions service_opts;
@@ -87,11 +95,19 @@ int Run(int argc, char** argv) {
       service_opts.default_deadline_ms = std::atof(next("--deadline-ms"));
     } else if (std::strcmp(argv[i], "--reject-oldest") == 0) {
       service_opts.overload_policy = OverloadPolicy::kRejectOldest;
+    } else if (std::strcmp(argv[i], "--metrics-port") == 0) {
+      metrics_http.port =
+          static_cast<uint16_t>(std::atoi(next("--metrics-port")));
+    } else if (std::strcmp(argv[i], "--trace") == 0) {
+      trace_from_start = true;
     } else {
       std::fprintf(stderr, "error: unknown flag %s\n", argv[i]);
       return Usage();
     }
   }
+
+  // Before the build so construction spans (build/*, bisim/*) are captured.
+  if (trace_from_start) Tracer::Global().SetEnabled(true);
 
   std::fprintf(stderr, "building dataset %s at scale %.4f...\n",
                dataset_name.c_str(), scale);
@@ -127,6 +143,18 @@ int Run(int argc, char** argv) {
                service_opts.queue_capacity, service_opts.max_batch_size,
                service_opts.enable_cache ? service_opts.cache.capacity : 0);
 
+  MetricsHttpServer scrape(metrics_http);
+  if (metrics_http.port != 0) {
+    Status scrape_started = scrape.Start();
+    if (!scrape_started.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   scrape_started.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "metrics on http://127.0.0.1:%u/metrics\n",
+                 scrape.port());
+  }
+
   std::signal(SIGINT, HandleSignal);
   std::signal(SIGTERM, HandleSignal);
   while (!g_stop) {
@@ -134,6 +162,7 @@ int Run(int argc, char** argv) {
   }
 
   std::fprintf(stderr, "shutting down...\n");
+  scrape.Stop();
   server.Stop();
   service.Shutdown();
   std::fprintf(stderr, "final stats: %s\n",

@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Fails if any markdown file in the repo contains a relative link to a file
+# that does not exist. External links (http/https/mailto) and pure anchors
+# are skipped; anchors on relative links are stripped before the check.
+#
+#   tools/check_doc_links.sh
+#
+# tools/ci.sh runs this on every pass.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+failures=0
+while IFS= read -r md; do
+  dir=$(dirname "$md")
+  # Inline links: [text](target). One per line after grep -o.
+  while IFS= read -r target; do
+    case "$target" in
+      http://*|https://*|mailto:*|'#'*|'') continue ;;
+    esac
+    path="${target%%#*}"            # strip any anchor
+    [ -z "$path" ] && continue
+    if [ "${path#/}" != "$path" ]; then
+      resolved=".$path"             # root-relative: anchor at the repo root
+    else
+      resolved="$dir/$path"
+    fi
+    if [ ! -e "$resolved" ]; then
+      echo "dead link in $md: ($target)" >&2
+      failures=$((failures + 1))
+    fi
+  done < <(
+    # Drop fenced code blocks first: C++ like `operator[](uint32_t v)` would
+    # otherwise parse as a markdown link.
+    awk '/^[[:space:]]*```/ { fenced = !fenced; next } !fenced' "$md" \
+      | grep -o '\[[^]]*\]([^)]*)' \
+      | sed 's/^\[[^]]*\](\([^)]*\))$/\1/' || true
+  )
+done < <(find . -name '*.md' -not -path './build*' -not -path './.git/*')
+
+if [ "$failures" -gt 0 ]; then
+  echo "FAIL: $failures dead relative link(s)" >&2
+  exit 1
+fi
+echo "doc links OK"

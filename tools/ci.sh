@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # CI entry point: tier-1 correctness, then a ThreadSanitizer pass over the
-# engine + serving tests (the suites that exercise cross-thread sharing),
-# then a short serving-layer load smoke.
+# engine + serving + observability tests (the suites that exercise
+# cross-thread sharing), then a docs-link check, a metrics-overhead smoke,
+# and a short serving-layer load smoke.
 #
 #   tools/ci.sh [jobs]
 #
@@ -23,7 +24,17 @@ cmake --build build-tsan -j"$JOBS" --target bigindex_tests
 # halt_on_error makes any race a hard failure rather than a log line.
 TSAN_OPTIONS="halt_on_error=1" \
   ./build-tsan/tests/bigindex_tests \
-  --gtest_filter='ExecutorPool*:QueryContext*:QueryEngine*:Deadline*:AnswerCache*:SearchService*:LineProtocol*:TcpServer*'
+  --gtest_filter='ExecutorPool*:QueryContext*:QueryEngine*:Deadline*:AnswerCache*:SearchService*:LineProtocol*:TcpServer*:Metrics*:Trace*'
+
+echo
+echo "=== docs: no dead relative links in *.md ==="
+tools/check_doc_links.sh
+
+echo
+echo "=== smoke: disabled-instrumentation overhead budget ==="
+# Fails if the disabled observability hooks would cost > 2% of real query
+# time (BIGINDEX_OBS_OVERHEAD_PCT overrides the threshold).
+./build/bench/bench_obs_overhead --check
 
 echo
 echo "=== smoke: serving-layer load generator (~2s) ==="
