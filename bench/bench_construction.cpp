@@ -1,17 +1,142 @@
-// Exp-3 "Construction time": BiG-index build times per dataset (all layers).
+// Exp-3 "Construction time": BiG-index build times per dataset (all layers),
+// plus the serial-vs-parallel construction speedup (BuildOptions).
 //
 // Paper reference: 20 minutes for YAGO3, 6.4 h for Dbpedia, 6.6 h for IMDB,
 // 3 h for the largest synthetic graph — on a 2.93 GHz / 64 GB server at full
 // dataset size. At bench scale the absolute numbers shrink accordingly; the
 // shape to check is the relative ordering (dbpedia slowest per vertex, yago3
 // fastest) and that construction is dominated by the first layers.
+//
+// The parallel section uses fixed-size presets (independent of
+// BIGINDEX_BENCH_SCALE) so speedups are comparable across machines:
+//   * large preset: yago3 at scale 0.05 (~130k vertices), default one-step
+//     build — refinement-bound, the common production path;
+//   * greedy preset: yago3 at scale 0.01, Algorithm 1 with 200 samples —
+//     sampling/scoring-bound, the embarrassingly parallel path.
+// Speedups only materialize with real cores; the preamble prints the
+// hardware concurrency so single-core CI numbers are read correctly.
+//
+//   bench_construction [--smoke]
+//
+// --smoke: tiny preset, 2 build threads; verifies the parallel build is
+// byte-identical to the serial one and exits non-zero if not. Used by
+// tools/ci.sh to exercise the parallel construction path cheaply.
+
+#include <cstring>
+#include <sstream>
+#include <thread>
 
 #include "bench_util.h"
 
 using namespace bigindex;
 using namespace bigindex::bench;
 
-int main() {
+namespace {
+
+std::string SerializeIndex(const BigIndex& index, const LabelDictionary& dict) {
+  std::ostringstream out;
+  Status s = WriteIndex(index, dict, out);
+  if (!s.ok()) {
+    std::fprintf(stderr, "serialize: %s\n", s.ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(out).str();
+}
+
+double BuildMs(const Dataset& ds, const BigIndexOptions& opt,
+               size_t* layers = nullptr) {
+  Timer t;
+  auto index = BigIndex::Build(ds.graph, &ds.ontology.ontology, opt);
+  double ms = t.ElapsedMillis();
+  if (!index.ok()) {
+    std::fprintf(stderr, "build: %s\n", index.status().ToString().c_str());
+    std::exit(1);
+  }
+  if (layers != nullptr) *layers = index->NumLayers();
+  return ms;
+}
+
+int RunSmoke() {
+  // >= 2 * 2048 vertices so the default chunk threshold actually engages
+  // the pooled refinement path inside BigIndex::Build.
+  auto ds = MakeDataset("yago3", 0.0025);
+  if (!ds.ok()) {
+    std::fprintf(stderr, "%s\n", ds.status().ToString().c_str());
+    return 1;
+  }
+  BigIndexOptions opt;
+  opt.max_layers = 3;
+  auto serial = BigIndex::Build(ds->graph, &ds->ontology.ontology, opt);
+  opt.build.num_threads = 2;
+  auto parallel = BigIndex::Build(ds->graph, &ds->ontology.ontology, opt);
+  if (!serial.ok() || !parallel.ok()) {
+    std::fprintf(stderr, "smoke build failed\n");
+    return 1;
+  }
+  if (SerializeIndex(*serial, *ds->dict) !=
+      SerializeIndex(*parallel, *ds->dict)) {
+    std::fprintf(stderr,
+                 "FAIL: parallel build differs from serial build "
+                 "(|V|=%zu, 2 threads)\n",
+                 ds->graph.NumVertices());
+    return 1;
+  }
+  std::printf("construction smoke OK: serial == 2-thread build "
+              "(|V|=%zu, %zu layers)\n",
+              ds->graph.NumVertices(), serial->NumLayers());
+  return 0;
+}
+
+void RunSpeedup() {
+  std::printf("\n--- parallel construction (BuildOptions::num_threads) ---\n");
+  std::printf("hardware threads available: %u\n",
+              std::thread::hardware_concurrency());
+
+  {
+    auto ds = MakeDataset("yago3", 0.05);
+    if (!ds.ok()) return;
+    std::printf("large preset: yago3 |V|=%zu |E|=%zu, default build, "
+                "4 layers\n",
+                ds->graph.NumVertices(), ds->graph.NumEdges());
+    BigIndexOptions opt;
+    opt.max_layers = 4;
+    size_t layers = 0;
+    double serial_ms = BuildMs(*ds, opt, &layers);
+    std::printf("  %8s %12s %9s\n", "threads", "build(ms)", "speedup");
+    std::printf("  %8s %12.1f %9s\n", "serial", serial_ms, "1.00x");
+    for (size_t threads : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
+      opt.build.num_threads = threads;
+      double ms = BuildMs(*ds, opt);
+      std::printf("  %8zu %12.1f %8.2fx\n", threads, ms, serial_ms / ms);
+    }
+  }
+
+  {
+    auto ds = MakeDataset("yago3", 0.01);
+    if (!ds.ok()) return;
+    std::printf("greedy preset: yago3 |V|=%zu, Algorithm 1, 2 layers, "
+                "200 samples\n",
+                ds->graph.NumVertices());
+    BigIndexOptions opt;
+    opt.max_layers = 2;
+    opt.use_greedy_config = true;
+    opt.config_search.theta = 0.9;
+    opt.config_search.cost.sample_count = 200;
+    double serial_ms = BuildMs(*ds, opt);
+    std::printf("  %8s %12.1f %9s\n", "serial", serial_ms, "1.00x");
+    for (size_t threads : {size_t{2}, size_t{4}}) {
+      opt.build.num_threads = threads;
+      double ms = BuildMs(*ds, opt);
+      std::printf("  %8zu %12.1f %8.2fx\n", threads, ms, serial_ms / ms);
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "--smoke") == 0) return RunSmoke();
+
   PrintHeader("Exp-3 — index construction time", "Sec. 6.2 Exp-3, Fig. 9");
   double scale = BenchScale();
 
@@ -52,5 +177,7 @@ int main() {
       }
     }
   }
+
+  RunSpeedup();
   return 0;
 }

@@ -6,6 +6,7 @@
 #include <numeric>
 #include <unordered_map>
 
+#include "engine/executor.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -14,34 +15,54 @@ namespace {
 
 // FNV-1a over a word sequence; exactness of the partition does not depend on
 // this (collisions are resolved by full comparison in the bucket map).
-struct VecHash {
-  size_t operator()(const std::vector<uint32_t>& v) const {
-    size_t h = 1469598103934665603ULL;
-    for (uint32_t x : v) {
-      h ^= x;
-      h *= 1099511628211ULL;
-    }
-    return h;
+uint64_t HashSignature(std::span<const uint32_t> v) {
+  uint64_t h = 1469598103934665603ULL;
+  for (uint32_t x : v) {
+    h ^= x;
+    h *= 1099511628211ULL;
   }
-};
+  return h;
+}
 
-// Assigns dense ids to distinct signatures.
+// Assigns dense ids to distinct signatures in first-insertion order.
+// Signatures are bucketed by their 64-bit hash; a bucket holds the ids of
+// every signature sharing that hash, resolved by full comparison.
 class SignatureInterner {
  public:
-  uint32_t Intern(std::vector<uint32_t>&& sig) {
-    auto [it, inserted] = map_.try_emplace(std::move(sig), next_);
-    if (inserted) ++next_;
-    return it->second;
+  /// Id of `sig` (hash must be HashSignature(sig)); copies the signature into
+  /// the interner only on first sight.
+  uint32_t Intern(std::span<const uint32_t> sig, uint64_t hash) {
+    std::vector<uint32_t>& bucket = buckets_[hash];
+    for (uint32_t id : bucket) {
+      const std::vector<uint32_t>& known = sigs_[id];
+      if (known.size() == sig.size() &&
+          std::equal(known.begin(), known.end(), sig.begin())) {
+        return id;
+      }
+    }
+    uint32_t id = static_cast<uint32_t>(sigs_.size());
+    sigs_.emplace_back(sig.begin(), sig.end());
+    hashes_.push_back(hash);
+    bucket.push_back(id);
+    return id;
   }
-  size_t size() const { return next_; }
+
+  size_t size() const { return sigs_.size(); }
+
+  /// Distinct signatures in id order (and their hashes), for merging.
+  const std::vector<std::vector<uint32_t>>& sigs() const { return sigs_; }
+  uint64_t hash(uint32_t id) const { return hashes_[id]; }
+
   void Reset() {
-    map_.clear();
-    next_ = 0;
+    buckets_.clear();
+    sigs_.clear();
+    hashes_.clear();
   }
 
  private:
-  std::unordered_map<std::vector<uint32_t>, uint32_t, VecHash> map_;
-  uint32_t next_ = 0;
+  std::unordered_map<uint64_t, std::vector<uint32_t>> buckets_;
+  std::vector<std::vector<uint32_t>> sigs_;
+  std::vector<uint64_t> hashes_;
 };
 
 }  // namespace
@@ -71,6 +92,12 @@ BisimResult ComputeBisimulation(const Graph& g, const BisimOptions& options) {
   static Counter& signatures = MetricsRegistry::Global().GetCounter(
       "bigindex_bisim_signatures_total",
       "Vertex signatures computed (vertices x rounds)");
+  static Counter& parallel_chunks = MetricsRegistry::Global().GetCounter(
+      "bigindex_build_parallel_chunks_total",
+      "Vertex-range chunks processed by parallel signature refinement");
+  static Counter& parallel_rounds = MetricsRegistry::Global().GetCounter(
+      "bigindex_build_parallel_rounds_total",
+      "Refinement rounds executed with more than one chunk");
   runs.Inc();
 
   const size_t n = g.NumVertices();
@@ -89,37 +116,100 @@ BisimResult ComputeBisimulation(const Graph& g, const BisimOptions& options) {
     }
   }
 
-  SignatureInterner interner;
+  // Chunking: each chunk is a contiguous vertex range that is signed and
+  // locally deduplicated independently. More chunks than workers lets the
+  // pool's dynamic scheduling absorb degree skew; tiny graphs stay serial
+  // (one chunk) because the fan-out would cost more than the round.
+  ExecutorPool* pool =
+      (options.pool != nullptr && options.pool->num_workers() > 1) ? options.pool
+                                                                   : nullptr;
+  size_t num_chunks = 1;
+  const size_t min_chunk = std::max<size_t>(options.min_chunk_vertices, 1);
+  if (pool != nullptr && n >= 2 * min_chunk) {
+    num_chunks = std::min(n / min_chunk, pool->num_workers() * 4);
+    num_chunks = std::max<size_t>(num_chunks, 1);
+  }
+  auto chunk_begin = [n, num_chunks](size_t c) { return n * c / num_chunks; };
+
+  const bool use_out = options.direction != BisimDirection::kPredecessor;
+  const bool use_in = options.direction != BisimDirection::kSuccessor;
+
+  std::vector<SignatureInterner> locals(num_chunks);
+  SignatureInterner global;
   std::vector<uint32_t> next_block(n);
   size_t rounds = 0;
   while (true) {
     if (options.max_rounds != 0 && rounds >= options.max_rounds) break;
     TRACE_SPAN("bisim/round");
-    interner.Reset();
-    std::vector<uint32_t> sig;
-    const bool use_out = options.direction != BisimDirection::kPredecessor;
-    const bool use_in = options.direction != BisimDirection::kSuccessor;
-    for (VertexId v = 0; v < n; ++v) {
-      sig.clear();
-      sig.push_back(block[v]);
-      if (use_out) {
-        size_t first = sig.size();
-        for (VertexId w : g.OutNeighbors(v)) sig.push_back(block[w]);
-        std::sort(sig.begin() + first, sig.end());
-        sig.erase(std::unique(sig.begin() + first, sig.end()), sig.end());
-        // Separator keeps out- and in-sets from blending into one run.
-        if (use_in) sig.push_back(std::numeric_limits<uint32_t>::max());
+
+    // Parallel phase: per-chunk signature construction + local interning.
+    // next_block[v] temporarily holds v's *chunk-local* block id.
+    auto sign_chunk = [&](size_t, size_t c) {
+      SignatureInterner& local = locals[c];
+      local.Reset();
+      std::vector<uint32_t> sig;
+      const size_t begin = chunk_begin(c), end = chunk_begin(c + 1);
+      for (VertexId v = begin; v < end; ++v) {
+        sig.clear();
+        sig.push_back(block[v]);
+        if (use_out) {
+          size_t first = sig.size();
+          for (VertexId w : g.OutNeighbors(v)) sig.push_back(block[w]);
+          std::sort(sig.begin() + first, sig.end());
+          sig.erase(std::unique(sig.begin() + first, sig.end()), sig.end());
+          // Separator keeps out- and in-sets from blending into one run.
+          if (use_in) sig.push_back(std::numeric_limits<uint32_t>::max());
+        }
+        if (use_in) {
+          size_t first = sig.size();
+          for (VertexId w : g.InNeighbors(v)) sig.push_back(block[w]);
+          std::sort(sig.begin() + first, sig.end());
+          sig.erase(std::unique(sig.begin() + first, sig.end()), sig.end());
+        }
+        next_block[v] = local.Intern(sig, HashSignature(sig));
       }
-      if (use_in) {
-        size_t first = sig.size();
-        for (VertexId w : g.InNeighbors(v)) sig.push_back(block[w]);
-        std::sort(sig.begin() + first, sig.end());
-        sig.erase(std::unique(sig.begin() + first, sig.end()), sig.end());
-      }
-      next_block[v] = interner.Intern(std::vector<uint32_t>(sig));
+    };
+    if (pool != nullptr && num_chunks > 1) {
+      TRACE_SPAN("build/parallel/signatures");
+      pool->ParallelFor(num_chunks, sign_chunk);
+      parallel_chunks.Inc(num_chunks);
+      parallel_rounds.Inc();
+    } else {
+      for (size_t c = 0; c < num_chunks; ++c) sign_chunk(0, c);
     }
+
+    // Serial merge: assign global ids to each chunk's distinct signatures in
+    // chunk order. Local ids are first-occurrence-ordered within their chunk
+    // and chunks are ascending vertex ranges, so the global ids land in
+    // first-occurrence order of the whole vertex scan — exactly the ids a
+    // fully serial scan assigns, independent of the chunk count.
+    TRACE_SPAN("build/parallel/merge");
+    global.Reset();
+    std::vector<std::vector<uint32_t>> remap(num_chunks);
+    for (size_t c = 0; c < num_chunks; ++c) {
+      const auto& sigs = locals[c].sigs();
+      remap[c].resize(sigs.size());
+      for (uint32_t local_id = 0; local_id < sigs.size(); ++local_id) {
+        remap[c][local_id] =
+            global.Intern(sigs[local_id], locals[c].hash(local_id));
+      }
+    }
+
+    // Rewrite chunk-local ids as global ids (cheap, memory-bound).
+    auto remap_chunk = [&](size_t, size_t c) {
+      const size_t begin = chunk_begin(c), end = chunk_begin(c + 1);
+      for (VertexId v = begin; v < end; ++v) {
+        next_block[v] = remap[c][next_block[v]];
+      }
+    };
+    if (pool != nullptr && num_chunks > 1) {
+      pool->ParallelFor(num_chunks, remap_chunk);
+    } else {
+      for (size_t c = 0; c < num_chunks; ++c) remap_chunk(0, c);
+    }
+
     ++rounds;
-    size_t new_count = interner.size();
+    size_t new_count = global.size();
     bool stable = (new_count == num_blocks);
     num_blocks = new_count;
     block.swap(next_block);

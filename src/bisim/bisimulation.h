@@ -13,6 +13,12 @@
 // The quotient is materialized as another Graph (supernodes, edges
 // {([u],[v]) | (u,v) in E}); the hash-table reverse mapping Bisim^-1 of the
 // paper is the BisimMapping CSR (supernode -> members).
+//
+// Rounds parallelize per block-signature (cf. Rau et al.'s k-bisimulation
+// analysis): vertex ranges are hashed and locally deduplicated on an
+// ExecutorPool, then a serial merge assigns global block ids in
+// first-occurrence order, so every pool size yields the exact partition the
+// serial scan produces (see BisimOptions::pool).
 
 #ifndef BIGINDEX_BISIM_BISIMULATION_H_
 #define BIGINDEX_BISIM_BISIMULATION_H_
@@ -24,6 +30,8 @@
 #include "graph/types.h"
 
 namespace bigindex {
+
+class ExecutorPool;
 
 /// The vertex <-> supernode correspondence of one Bisim application
 /// (the paper's equiv(v) / [v]_equiv and its reverse Bisim^-1).
@@ -81,6 +89,18 @@ struct BisimOptions {
 
   /// Relation variant (see BisimDirection).
   BisimDirection direction = BisimDirection::kSuccessor;
+
+  /// Worker pool for per-round parallel signature computation; nullptr (or a
+  /// pool with no workers) runs serially. The refined partition is
+  /// byte-identical for every pool size: block ids are always assigned in
+  /// first-occurrence order of the signatures over the vertex scan, which is
+  /// invariant under the chunking the pool introduces.
+  ExecutorPool* pool = nullptr;
+
+  /// Minimum vertices per chunk before the pool is engaged; graphs smaller
+  /// than two chunks run serially because the fan-out would cost more than
+  /// the round. Tests lower it to force the chunked path on tiny graphs.
+  size_t min_chunk_vertices = 2048;
 };
 
 /// Computes the maximal bisimulation summary of `g`.

@@ -1,12 +1,40 @@
 #include "core/big_index.h"
 
 #include <cassert>
+#include <optional>
 
+#include "engine/executor.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/timer.h"
 
 namespace bigindex {
+namespace {
+
+/// Construction pool owned for the duration of one Build/ApplyUpdates call.
+/// num_threads == 0 creates no pool at all (fully serial, no thread
+/// machinery); a pool with <= 1 workers is also reported as null because
+/// every parallel site falls back to serial below that.
+class BuildPool {
+ public:
+  explicit BuildPool(size_t num_threads) {
+    if (num_threads != 0) pool_.emplace(num_threads);
+  }
+  ExecutorPool* get() { return pool_ ? &*pool_ : nullptr; }
+  size_t num_workers() { return pool_ ? pool_->num_workers() : 0; }
+
+ private:
+  std::optional<ExecutorPool> pool_;
+};
+
+Gauge& BuildThreadsGauge() {
+  static Gauge& g = MetricsRegistry::Global().GetGauge(
+      "bigindex_build_threads",
+      "Worker threads used by the most recent index construction");
+  return g;
+}
+
+}  // namespace
 
 StatusOr<BigIndex> BigIndex::Build(Graph base, const Ontology* ontology,
                                    const BigIndexOptions& options) {
@@ -25,6 +53,13 @@ StatusOr<BigIndex> BigIndex::Build(Graph base, const Ontology* ontology,
   }
   BigIndex index(std::move(base), ontology, options);
 
+  BuildPool pool(options.build.num_threads);
+  BuildThreadsGauge().Set(static_cast<int64_t>(pool.num_workers()));
+  ConfigSearchOptions search_opts = options.config_search;
+  search_opts.cost.pool = pool.get();
+  search_opts.cost.seed = options.build.seed;
+  const BisimOptions bisim_opts{.pool = pool.get()};
+
   const Graph* current = &index.base_;
   for (size_t i = 1; i <= options.max_layers; ++i) {
     TRACE_SPAN("build/layer");
@@ -33,8 +68,7 @@ StatusOr<BigIndex> BigIndex::Build(Graph base, const Ontology* ontology,
     {
       TRACE_SPAN("build/config");
       config = options.use_greedy_config
-                   ? FindConfiguration(*current, *ontology,
-                                       options.config_search)
+                   ? FindConfiguration(*current, *ontology, search_opts)
                    : FullOneStepConfiguration(*current, *ontology);
     }
     BIGINDEX_RETURN_IF_ERROR(config.Validate(*ontology));
@@ -44,7 +78,7 @@ StatusOr<BigIndex> BigIndex::Build(Graph base, const Ontology* ontology,
       TRACE_SPAN("build/generalize");
       generalized = Generalize(*current, config);
     }
-    BisimResult bisim = ComputeBisimulation(generalized);
+    BisimResult bisim = ComputeBisimulation(generalized, bisim_opts);
     layer_ms.Record(layer_timer.ElapsedMillis());
 
     double ratio = current->Size() == 0
@@ -130,11 +164,13 @@ StatusOr<size_t> BigIndex::ApplyUpdates(std::span<const GraphUpdate> updates) {
   // updates never change labels, so every C^i stays valid). Stop at the
   // first unchanged summary: all layers above it were computed from an
   // identical input graph and remain correct.
+  BuildPool pool(options_.build.num_threads);
+  const BisimOptions bisim_opts{.pool = pool.get()};
   size_t rebuilt = 0;
   const Graph* current = &base_;
   for (IndexLayer& layer : layers_) {
     Graph generalized = Generalize(*current, layer.config);
-    BisimResult bisim = ComputeBisimulation(generalized);
+    BisimResult bisim = ComputeBisimulation(generalized, bisim_opts);
     bool changed = !GraphsIdentical(bisim.summary, layer.graph);
     layer.mapping = std::move(bisim.mapping);
     if (!changed) break;

@@ -23,6 +23,23 @@
 
 namespace bigindex {
 
+/// Parallel-construction knobs, threaded through every stage of
+/// BigIndex::Build (Bisim refinement, cost-model sampling/estimation, and
+/// Algorithm 1 candidate scoring). Construction output is byte-identical for
+/// every thread count: block ids, sample RNG streams, and score reductions
+/// are all deterministic functions of the input and `seed` alone.
+struct BuildOptions {
+  /// Worker threads for construction; 0 = fully serial (no pool is created),
+  /// ExecutorPool::kHardwareConcurrency = one per hardware thread.
+  size_t num_threads = 0;
+
+  /// Master seed for cost-model subgraph sampling. Every per-sample RNG
+  /// stream is derived from it, so a fixed seed reproduces the same index
+  /// bit for bit across runs and thread counts. Takes precedence over
+  /// ConfigSearchOptions::cost.seed during Build.
+  uint64_t seed = 42;
+};
+
 /// Construction knobs.
 struct BigIndexOptions {
   /// Maximum number of summary layers h (the paper computes 7).
@@ -41,6 +58,9 @@ struct BigIndexOptions {
   /// |G^i| / |G^{i-1}| must be <= stop_ratio to keep going once the
   /// configuration is empty.
   double stop_ratio = 0.999;
+
+  /// Parallelism + reproducibility (see BuildOptions).
+  BuildOptions build;
 };
 
 /// One summary layer: C^i, G^i, and the vertex mapping from G^{i-1}.

@@ -4,7 +4,9 @@
 #include <cmath>
 #include <unordered_map>
 
+#include "engine/executor.h"
 #include "graph/traversal.h"
+#include "obs/trace.h"
 
 namespace bigindex {
 
@@ -51,6 +53,32 @@ std::vector<SampledSubgraph> SampleRadiusSubgraphs(const Graph& g,
   samples.reserve(count);
   for (size_t i = 0; i < count; ++i) {
     samples.push_back(SampleRadiusSubgraph(g, radius, rng, max_vertices));
+  }
+  return samples;
+}
+
+uint64_t DeriveSampleSeed(uint64_t master_seed, uint64_t index) {
+  // SplitMix64 finalizer over the (seed, stream) pair; Rng applies its own
+  // mixing on top, so correlated inputs do not yield correlated streams.
+  uint64_t z = master_seed + 0x9E3779B97f4A7C15ULL * (index + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::vector<SampledSubgraph> SampleRadiusSubgraphs(
+    const Graph& g, uint32_t radius, size_t count, uint64_t master_seed,
+    size_t max_vertices, ExecutorPool* pool) {
+  std::vector<SampledSubgraph> samples(count);
+  auto draw = [&](size_t, size_t i) {
+    Rng rng(DeriveSampleSeed(master_seed, i));
+    samples[i] = SampleRadiusSubgraph(g, radius, rng, max_vertices);
+  };
+  if (pool != nullptr && pool->num_workers() > 1 && count > 1) {
+    TRACE_SPAN("build/parallel/samples");
+    pool->ParallelFor(count, draw);
+  } else {
+    for (size_t i = 0; i < count; ++i) draw(0, i);
   }
   return samples;
 }

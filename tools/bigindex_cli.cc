@@ -4,7 +4,10 @@
 //   gen     <dataset> <scale> <graph.out> <ontology.out>
 //           Generate a stand-in dataset and write graph + ontology files.
 //   build   <graph.in> <ontology.in> <index.out> [max_layers]
-//           Build a BiG-index from files and serialize it.
+//           [--build-threads N]
+//           Build a BiG-index from files and serialize it. --build-threads
+//           parallelizes construction (0 = serial, the default; output is
+//           identical either way).
 //   stats   <graph.in> <ontology.in> <index.in>
 //           Print per-layer statistics of a serialized index.
 //   query   <graph.in> <ontology.in> <index.in> <algo> <k1,k2,...> [top_k]
@@ -51,7 +54,8 @@ int Usage() {
   std::fprintf(stderr,
                "usage:\n"
                "  bigindex_cli gen   <dataset> <scale> <graph> <ontology>\n"
-               "  bigindex_cli build <graph> <ontology> <index> [layers]\n"
+               "  bigindex_cli build <graph> <ontology> <index> [layers]"
+               " [--build-threads N]\n"
                "  bigindex_cli stats <graph> <ontology> <index>\n"
                "  bigindex_cli query <graph> <ontology> <index> "
                "<bkws|blinks|rclique|bidi> <kw1,kw2,...> [top_k]\n"
@@ -134,21 +138,35 @@ StatusOr<Loaded> LoadGraphAndOntology(const char* graph_path,
 }
 
 int CmdBuild(int argc, char** argv) {
-  if (argc < 3) return Usage();
-  auto loaded = LoadGraphAndOntology(argv[0], argv[1]);
-  if (!loaded.ok()) return Fail(loaded.status());
   BigIndexOptions opt;
-  if (argc > 3) opt.max_layers = static_cast<size_t>(std::atoi(argv[3]));
+  // Split flags from positionals so --build-threads can go anywhere.
+  std::vector<char*> pos;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--build-threads") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: --build-threads needs a value\n");
+        return Usage();
+      }
+      opt.build.num_threads = static_cast<size_t>(std::atoi(argv[++i]));
+    } else {
+      pos.push_back(argv[i]);
+    }
+  }
+  if (pos.size() < 3) return Usage();
+  auto loaded = LoadGraphAndOntology(pos[0], pos[1]);
+  if (!loaded.ok()) return Fail(loaded.status());
+  if (pos.size() > 3) opt.max_layers = static_cast<size_t>(std::atoi(pos[3]));
   Timer t;
   auto index =
       BigIndex::Build(loaded->graph, &loaded->ontology, opt);
   if (!index.ok()) return Fail(index.status());
-  Status s = SaveIndexFile(*index, loaded->dict, argv[2]);
+  Status s = SaveIndexFile(*index, loaded->dict, pos[2]);
   if (!s.ok()) return Fail(s);
-  std::printf("built %zu layers in %.1f ms; layer-1 ratio %.4f; wrote %s\n",
-              index->NumLayers(), t.ElapsedMillis(),
-              index->NumLayers() ? index->LayerCompressionRatio(1) : 1.0,
-              argv[2]);
+  std::printf(
+      "built %zu layers in %.1f ms (%zu build thread(s)); layer-1 ratio "
+      "%.4f; wrote %s\n",
+      index->NumLayers(), t.ElapsedMillis(), opt.build.num_threads,
+      index->NumLayers() ? index->LayerCompressionRatio(1) : 1.0, pos[2]);
   return 0;
 }
 

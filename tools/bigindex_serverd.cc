@@ -7,12 +7,14 @@
 // is the matching client.
 //
 //   bigindex_serverd [--dataset yago3] [--scale 0.01] [--layers 4]
-//                    [--port 7419] [--threads N] [--queue N]
-//                    [--max-batch N] [--linger-ms F] [--cache N]
+//                    [--port 7419] [--threads N] [--build-threads N]
+//                    [--queue N] [--max-batch N] [--linger-ms F] [--cache N]
 //                    [--deadline-ms F] [--reject-oldest]
 //                    [--metrics-port N] [--trace]
 //
 //   --threads 0  = serial engine (no pool);  --cache 0 disables the cache.
+//   --build-threads parallelizes the startup index construction (0 = serial,
+//   the default; the built index is identical for any value).
 //   --metrics-port 0 (the default) disables the HTTP scrape endpoint; the
 //   line protocol's `metrics` verb works either way. --trace enables span
 //   collection from startup (covers index construction too); it can also be
@@ -42,10 +44,11 @@ int Usage() {
   std::fprintf(
       stderr,
       "usage: bigindex_serverd [--dataset NAME] [--scale F] [--layers N]\n"
-      "                        [--port N] [--threads N] [--queue N]\n"
-      "                        [--max-batch N] [--linger-ms F] [--cache N]\n"
-      "                        [--deadline-ms F] [--reject-oldest]\n"
-      "                        [--metrics-port N] [--trace]\n");
+      "                        [--port N] [--threads N] [--build-threads N]\n"
+      "                        [--queue N] [--max-batch N] [--linger-ms F]\n"
+      "                        [--cache N] [--deadline-ms F]\n"
+      "                        [--reject-oldest] [--metrics-port N]"
+      " [--trace]\n");
   return 1;
 }
 
@@ -53,6 +56,7 @@ int Run(int argc, char** argv) {
   std::string dataset_name = "yago3";
   double scale = 0.01;
   size_t layers = 4;
+  size_t build_threads = 0;
   TcpServerOptions tcp;
   MetricsHttpOptions metrics_http;
   bool trace_from_start = false;
@@ -79,6 +83,8 @@ int Run(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--threads") == 0) {
       engine_opts.num_threads =
           static_cast<size_t>(std::atoi(next("--threads")));
+    } else if (std::strcmp(argv[i], "--build-threads") == 0) {
+      build_threads = static_cast<size_t>(std::atoi(next("--build-threads")));
     } else if (std::strcmp(argv[i], "--queue") == 0) {
       service_opts.queue_capacity =
           static_cast<size_t>(std::atoi(next("--queue")));
@@ -117,8 +123,10 @@ int Run(int argc, char** argv) {
     return 1;
   }
   Timer build_timer;
-  auto index = BigIndex::Build(ds->graph, &ds->ontology.ontology,
-                               {.max_layers = layers});
+  auto index =
+      BigIndex::Build(ds->graph, &ds->ontology.ontology,
+                      {.max_layers = layers,
+                       .build = {.num_threads = build_threads}});
   if (!index.ok()) {
     std::fprintf(stderr, "error: %s\n", index.status().ToString().c_str());
     return 1;

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # CI entry point: tier-1 correctness, then a ThreadSanitizer pass over the
-# engine + serving + observability tests (the suites that exercise
-# cross-thread sharing), then a docs-link check, a metrics-overhead smoke,
-# and a short serving-layer load smoke.
+# engine + serving + observability + parallel-construction tests (the suites
+# that exercise cross-thread sharing), then a docs-link check, a
+# metrics-overhead smoke, a parallel-construction smoke, and a short
+# serving-layer load smoke.
 #
 #   tools/ci.sh [jobs]
 #
@@ -24,7 +25,7 @@ cmake --build build-tsan -j"$JOBS" --target bigindex_tests
 # halt_on_error makes any race a hard failure rather than a log line.
 TSAN_OPTIONS="halt_on_error=1" \
   ./build-tsan/tests/bigindex_tests \
-  --gtest_filter='ExecutorPool*:QueryContext*:QueryEngine*:Deadline*:AnswerCache*:SearchService*:LineProtocol*:TcpServer*:Metrics*:Trace*'
+  --gtest_filter='ExecutorPool*:QueryContext*:QueryEngine*:Deadline*:AnswerCache*:SearchService*:LineProtocol*:TcpServer*:Metrics*:Trace*:ParallelBisim*:BuildDeterminism*'
 
 echo
 echo "=== docs: no dead relative links in *.md ==="
@@ -35,6 +36,12 @@ echo "=== smoke: disabled-instrumentation overhead budget ==="
 # Fails if the disabled observability hooks would cost > 2% of real query
 # time (BIGINDEX_OBS_OVERHEAD_PCT overrides the threshold).
 ./build/bench/bench_obs_overhead --check
+
+echo
+echo "=== smoke: parallel construction (2 threads == serial) ==="
+# Builds a small index twice (serial, then 2 build threads) and fails if the
+# serialized results differ — exercises the parallel construction path in CI.
+./build/bench/bench_construction --smoke
 
 echo
 echo "=== smoke: serving-layer load generator (~2s) ==="
