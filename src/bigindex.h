@@ -30,6 +30,7 @@
 #include "core/config_search.h"     // IWYU pragma: export
 #include "core/cost_model.h"        // IWYU pragma: export
 #include "core/evaluator.h"         // IWYU pragma: export
+#include "core/index_image.h"       // IWYU pragma: export
 #include "core/index_io.h"          // IWYU pragma: export
 #include "core/query.h"             // IWYU pragma: export
 #include "core/search_algorithm.h"  // IWYU pragma: export
@@ -37,6 +38,7 @@
 #include "engine/query_context.h"   // IWYU pragma: export
 #include "engine/query_engine.h"    // IWYU pragma: export
 #include "graph/binary_io.h"        // IWYU pragma: export
+#include "graph/csr.h"              // IWYU pragma: export
 #include "graph/graph.h"            // IWYU pragma: export
 #include "graph/graph_io.h"         // IWYU pragma: export
 #include "graph/label_dictionary.h" // IWYU pragma: export

@@ -67,19 +67,48 @@ class SignatureInterner {
 
 }  // namespace
 
-BisimMapping::BisimMapping(std::vector<VertexId> vertex_to_super,
-                           size_t num_blocks)
-    : vertex_to_super_(std::move(vertex_to_super)) {
-  member_offsets_.assign(num_blocks + 1, 0);
-  members_.resize(vertex_to_super_.size());
-  for (VertexId s : vertex_to_super_) member_offsets_[s + 1]++;
-  std::partial_sum(member_offsets_.begin(), member_offsets_.end(),
-                   member_offsets_.begin());
-  std::vector<uint64_t> cursor(member_offsets_.begin(),
-                               member_offsets_.end() - 1);
-  for (VertexId v = 0; v < vertex_to_super_.size(); ++v) {
-    members_[cursor[vertex_to_super_[v]]++] = v;
-  }
+namespace {
+constexpr uint64_t kZeroOffsets[1] = {0};
+}  // namespace
+
+std::span<const uint64_t> BisimMapping::EmptyOffsets() {
+  return {kZeroOffsets, 1};
+}
+
+BisimMapping::BisimMapping(std::span<const VertexId> vertex_to_super,
+                           size_t num_blocks) {
+  const size_t n = vertex_to_super.size();
+  auto arena = std::make_shared<Arena>(
+      Arena::AlignedSize<VertexId>(n) +
+      Arena::AlignedSize<uint64_t>(num_blocks + 1) +
+      Arena::AlignedSize<VertexId>(n));
+  std::span<VertexId> v2s = arena->Carve<VertexId>(n);
+  std::span<uint64_t> offsets = arena->Carve<uint64_t>(num_blocks + 1);
+  std::span<VertexId> members = arena->Carve<VertexId>(n);
+
+  std::copy(vertex_to_super.begin(), vertex_to_super.end(), v2s.begin());
+  std::fill(offsets.begin(), offsets.end(), 0);
+  for (VertexId s : v2s) offsets[s + 1]++;
+  std::partial_sum(offsets.begin(), offsets.end(), offsets.begin());
+  std::vector<uint64_t> cursor(offsets.begin(), offsets.end() - 1);
+  for (VertexId v = 0; v < n; ++v) members[cursor[v2s[v]]++] = v;
+
+  storage_ = std::move(arena);
+  vertex_to_super_ = v2s;
+  member_offsets_ = offsets;
+  members_ = members;
+}
+
+BisimMapping BisimMapping::FromStorage(
+    StorageHandle storage, std::span<const VertexId> vertex_to_super,
+    std::span<const uint64_t> member_offsets,
+    std::span<const VertexId> members) {
+  BisimMapping m;
+  m.storage_ = std::move(storage);
+  m.vertex_to_super_ = vertex_to_super;
+  m.member_offsets_ = member_offsets;
+  m.members_ = members;
+  return m;
 }
 
 BisimResult ComputeBisimulation(const Graph& g, const BisimOptions& options) {
@@ -133,6 +162,8 @@ BisimResult ComputeBisimulation(const Graph& g, const BisimOptions& options) {
 
   const bool use_out = options.direction != BisimDirection::kPredecessor;
   const bool use_in = options.direction != BisimDirection::kSuccessor;
+  const CsrView out = g.Out();
+  const CsrView in = g.In();
 
   std::vector<SignatureInterner> locals(num_chunks);
   SignatureInterner global;
@@ -154,7 +185,8 @@ BisimResult ComputeBisimulation(const Graph& g, const BisimOptions& options) {
         sig.push_back(block[v]);
         if (use_out) {
           size_t first = sig.size();
-          for (VertexId w : g.OutNeighbors(v)) sig.push_back(block[w]);
+          const auto [b, e] = out[v];
+          for (uint64_t i = b; i < e; ++i) sig.push_back(block[out.Slot(i)]);
           std::sort(sig.begin() + first, sig.end());
           sig.erase(std::unique(sig.begin() + first, sig.end()), sig.end());
           // Separator keeps out- and in-sets from blending into one run.
@@ -162,7 +194,8 @@ BisimResult ComputeBisimulation(const Graph& g, const BisimOptions& options) {
         }
         if (use_in) {
           size_t first = sig.size();
-          for (VertexId w : g.InNeighbors(v)) sig.push_back(block[w]);
+          const auto [b, e] = in[v];
+          for (uint64_t i = b; i < e; ++i) sig.push_back(block[in.Slot(i)]);
           std::sort(sig.begin() + first, sig.end());
           sig.erase(std::unique(sig.begin() + first, sig.end()), sig.end());
         }
@@ -221,8 +254,7 @@ BisimResult ComputeBisimulation(const Graph& g, const BisimOptions& options) {
 
   // The interner's ids are dense but arbitrary; keep them (supernode ids are
   // layer-local anyway).
-  std::vector<VertexId> assignment(block.begin(), block.end());
-  result.mapping = BisimMapping(std::move(assignment), num_blocks);
+  result.mapping = BisimMapping(block, num_blocks);
 
   // Materialize the quotient graph. Supernode label = label of any member
   // (identical within a block by construction).
@@ -235,8 +267,9 @@ BisimResult ComputeBisimulation(const Graph& g, const BisimOptions& options) {
     for (size_t s = 0; s < num_blocks; ++s) builder.AddVertex(super_label[s]);
   }
   for (VertexId u = 0; u < n; ++u) {
-    for (VertexId w : g.OutNeighbors(u)) {
-      builder.AddEdge(block[u], block[w]);  // duplicates collapsed by Build()
+    const auto [b, e] = out[u];
+    for (uint64_t i = b; i < e; ++i) {
+      builder.AddEdge(block[u], block[out.Slot(i)]);  // dups collapse in Build
     }
   }
   auto built = builder.Build();

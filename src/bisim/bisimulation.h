@@ -26,6 +26,7 @@
 #include <span>
 #include <vector>
 
+#include "graph/csr.h"
 #include "graph/graph.h"
 #include "graph/types.h"
 
@@ -35,13 +36,17 @@ class ExecutorPool;
 
 /// The vertex <-> supernode correspondence of one Bisim application
 /// (the paper's equiv(v) / [v]_equiv and its reverse Bisim^-1).
+///
+/// Like Graph, the three arrays live back to back in one arena (or one
+/// index-image section), so copies are shallow and image loads are
+/// zero-copy.
 class BisimMapping {
  public:
   BisimMapping() = default;
 
   /// Builds the mapping from a vertex -> block assignment with
   /// `num_blocks` dense block ids.
-  BisimMapping(std::vector<VertexId> vertex_to_super, size_t num_blocks);
+  BisimMapping(std::span<const VertexId> vertex_to_super, size_t num_blocks);
 
   /// Bisim(v): the supernode containing v.
   VertexId SuperOf(VertexId v) const { return vertex_to_super_[v]; }
@@ -52,13 +57,33 @@ class BisimMapping {
             member_offsets_[s + 1] - member_offsets_[s]};
   }
 
+  /// Bisim^-1 as a HalfInterval view over the flat members array.
+  CsrView MembersView() const {
+    return {member_offsets_.data(), members_.data()};
+  }
+
   size_t NumSupernodes() const { return member_offsets_.size() - 1; }
   size_t NumVertices() const { return vertex_to_super_.size(); }
 
+  /// Raw flat arrays in canonical (index-image) order. For serializers.
+  std::span<const VertexId> VertexToSuper() const { return vertex_to_super_; }
+  std::span<const uint64_t> MemberOffsets() const { return member_offsets_; }
+  std::span<const VertexId> MembersArray() const { return members_; }
+
+  /// Wires a mapping over externally owned, already-validated arrays (the
+  /// mmap'd index image). No checks — see core/index_image.
+  static BisimMapping FromStorage(StorageHandle storage,
+                                  std::span<const VertexId> vertex_to_super,
+                                  std::span<const uint64_t> member_offsets,
+                                  std::span<const VertexId> members);
+
  private:
-  std::vector<VertexId> vertex_to_super_;
-  std::vector<uint64_t> member_offsets_;  // CSR over supernodes
-  std::vector<VertexId> members_;
+  StorageHandle storage_;
+  std::span<const VertexId> vertex_to_super_;
+  std::span<const uint64_t> member_offsets_ = EmptyOffsets();  // CSR
+  std::span<const VertexId> members_;
+
+  static std::span<const uint64_t> EmptyOffsets();
 };
 
 /// Result of summarizing one graph.

@@ -1,0 +1,126 @@
+// The flat index image: a single versioned, checksummed, mmap-friendly file
+// holding a complete BigIndex ("BiG-index loads the m-th layer from the
+// disk", Sec. 5.1 — here the whole hierarchy maps in one shot).
+//
+// Layout (all integers little-endian, all sections 8-byte aligned; see
+// DESIGN.md "Flat index image format" for the full specification):
+//
+//   [ 64-byte header      ]  magic, version, endianness marker, file size,
+//                            section count, layer count, header checksum
+//   [ section table       ]  32 bytes per section: kind, layer, offset,
+//                            length, FNV-1a checksum of the payload
+//   [ section payloads    ]  back to back, zero-padded to 8-byte boundaries
+//
+// Canonical section order: DICT, GRAPH(0), then per layer m = 1..h:
+// CONFIG(m), MAPPING(m), GRAPH(m). Graph and mapping sections contain the
+// structures' flat arrays verbatim, so loading wires std::spans straight
+// into the mapped region (Graph::FromStorage / BisimMapping::FromStorage)
+// — no parsing, no allocation proportional to index size.
+//
+// The loader never trusts the file: every offset/length is bounds- and
+// overflow-checked, payload checksums are verified, and array invariants
+// (offset monotonicity, id ranges) are validated before any structure is
+// wired. Corrupt input yields a non-OK Status, never UB. The ontology is
+// not serialized (it ships with the dataset); the caller passes the one the
+// index was built with, exactly as with core/index_io.h.
+
+#ifndef BIGINDEX_CORE_INDEX_IMAGE_H_
+#define BIGINDEX_CORE_INDEX_IMAGE_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/big_index.h"
+#include "graph/label_dictionary.h"
+#include "util/status.h"
+
+namespace bigindex {
+
+/// Image format constants (version 1).
+struct IndexImageFormat {
+  static constexpr char kMagic[8] = {'B', 'I', 'G', 'X', 'I', 'M', 'G', '1'};
+  static constexpr uint32_t kVersion = 1;
+  /// Written as a native u32; reads back as 0x01020304 only on a machine of
+  /// the same endianness, so a cross-endian file is rejected with a clear
+  /// error instead of deserializing garbage.
+  static constexpr uint32_t kEndianMarker = 0x01020304u;
+  static constexpr size_t kHeaderSize = 64;
+  static constexpr size_t kSectionEntrySize = 32;
+
+  // Section kinds.
+  static constexpr uint32_t kSectionDict = 1;     // label dictionary strings
+  static constexpr uint32_t kSectionGraph = 2;    // one layer's flat Graph
+  static constexpr uint32_t kSectionMapping = 3;  // one layer's BisimMapping
+  static constexpr uint32_t kSectionConfig = 4;   // one layer's C^m
+};
+
+/// Writes `index` as a flat image. Output is byte-deterministic: the same
+/// index (and BigIndex construction is byte-identical across thread counts)
+/// produces the same bytes.
+Status WriteIndexImage(const BigIndex& index, const LabelDictionary& dict,
+                       std::ostream& out);
+Status SaveIndexImageFile(const BigIndex& index, const LabelDictionary& dict,
+                          const std::string& path);
+
+/// Loading knobs.
+struct IndexImageOptions {
+  /// Deep-validate array invariants (offset monotonicity, vertex/label id
+  /// ranges) after checksums pass. O(index size) but cache-friendly; disable
+  /// only for trusted images where cold-start latency is paramount.
+  bool validate_arrays = true;
+};
+
+/// Maps `path` and wires a BigIndex over the mapped bytes (zero-copy; falls
+/// back to a heap read where mmap is unavailable). `dict` must be
+/// prefix-compatible with the image's dictionary — ids already interned must
+/// name the same strings, in the same order, as when the image was written
+/// (the usual case: the dataset's ontology was loaded into `dict` first).
+/// Remaining image labels are interned into `dict`. `ontology` must outlive
+/// the returned index.
+StatusOr<BigIndex> LoadIndexImage(const std::string& path,
+                                  LabelDictionary& dict,
+                                  const Ontology* ontology,
+                                  const IndexImageOptions& options = {});
+
+/// Same, over an in-memory buffer (tests, network transports). The buffer is
+/// kept alive by the returned index. Misaligned buffers are copied into an
+/// aligned arena first.
+StatusOr<BigIndex> LoadIndexImageFromBuffer(
+    std::shared_ptr<const std::string> bytes, LabelDictionary& dict,
+    const Ontology* ontology, const IndexImageOptions& options = {});
+
+/// One section-table row, as reported by InspectIndexImage.
+struct ImageSectionInfo {
+  uint32_t kind = 0;
+  uint32_t layer = 0;
+  uint64_t offset = 0;
+  uint64_t length = 0;
+  uint64_t checksum = 0;
+  bool checksum_ok = false;
+};
+
+/// Header + section table of an image, for `bigindex_cli inspect`.
+struct ImageInfo {
+  uint32_t version = 0;
+  uint64_t file_size = 0;
+  uint32_t num_layers = 0;
+  std::vector<ImageSectionInfo> sections;
+};
+
+/// Reads and validates the header and section table of `path` and verifies
+/// each section checksum. Fails with Corruption/IOError on malformed files.
+StatusOr<ImageInfo> InspectIndexImage(const std::string& path);
+
+/// True iff `path` starts with the image magic (cheap format sniff used by
+/// the CLI/server to pick the right loader). False on I/O errors.
+bool LooksLikeIndexImage(const std::string& path);
+
+/// Human-readable section kind ("DICT", "GRAPH", ...), for inspect output.
+const char* SectionKindName(uint32_t kind);
+
+}  // namespace bigindex
+
+#endif  // BIGINDEX_CORE_INDEX_IMAGE_H_

@@ -7,8 +7,11 @@
 namespace bigindex {
 namespace {
 
-constexpr char kMagic[4] = {'B', 'I', 'G', 'X'};
-constexpr uint32_t kVersion = 1;
+constexpr char kGraphMagic[4] = {'B', 'I', 'G', 'X'};
+constexpr char kOntologyMagic[4] = {'B', 'I', 'G', 'O'};
+constexpr uint32_t kVersion = 2;
+/// Written natively; reads back as 0x04030201 across byte orders.
+constexpr uint32_t kEndianMarker = 0x01020304u;
 
 // Sanity bound against corrupted counts (1 billion entities).
 constexpr uint64_t kMaxCount = 1ull << 30;
@@ -24,21 +27,84 @@ bool Get(std::istream& in, T& value) {
   return static_cast<bool>(in);
 }
 
-}  // namespace
-
-Status WriteGraphBinary(const Graph& g, const LabelDictionary& dict,
-                        std::ostream& out) {
-  out.write(kMagic, sizeof(kMagic));
+void PutHeader(std::ostream& out, const char magic[4]) {
+  out.write(magic, 4);
   Put<uint32_t>(out, kVersion);
+  Put<uint32_t>(out, kEndianMarker);
+}
 
-  // The graph references label ids < dict.size(); write the whole
-  // dictionary so ids stay dense and meaningful on load.
+Status CheckHeader(std::istream& in, const char magic[4], const char* what) {
+  char got[4];
+  in.read(got, sizeof(got));
+  if (!in || std::memcmp(got, magic, sizeof(got)) != 0) {
+    return Status::Corruption(std::string("bad binary ") + what + " magic");
+  }
+  uint32_t version = 0;
+  if (!Get(in, version)) {
+    return Status::Corruption(std::string("truncated ") + what + " header");
+  }
+  if (version == 1) {
+    return Status::Corruption(
+        std::string(what) +
+        " uses binary format version 1 (no endianness marker); re-serialize "
+        "with a current build");
+  }
+  if (version != kVersion) {
+    return Status::Corruption("unsupported binary " + std::string(what) +
+                              " version " + std::to_string(version) +
+                              " (expected " + std::to_string(kVersion) + ")");
+  }
+  uint32_t endian = 0;
+  if (!Get(in, endian)) {
+    return Status::Corruption(std::string("truncated ") + what + " header");
+  }
+  if (endian != kEndianMarker) {
+    return Status::Corruption(
+        std::string(what) +
+        " was written on a machine with different endianness");
+  }
+  return Status::OK();
+}
+
+void PutDictionary(std::ostream& out, const LabelDictionary& dict) {
+  // Write the whole dictionary so ids stay dense and meaningful on load.
   Put<uint64_t>(out, dict.size());
   for (LabelId l = 0; l < dict.size(); ++l) {
     const std::string& name = dict.Name(l);
     Put<uint32_t>(out, static_cast<uint32_t>(name.size()));
     out.write(name.data(), static_cast<std::streamsize>(name.size()));
   }
+}
+
+/// Reads the dictionary block into `remap`: file-local id -> interned id
+/// (the target dictionary may already hold labels).
+Status GetDictionary(std::istream& in, LabelDictionary& dict,
+                     std::vector<LabelId>& remap) {
+  uint64_t num_labels = 0;
+  if (!Get(in, num_labels) || num_labels > kMaxCount) {
+    return Status::Corruption("bad label count");
+  }
+  remap.resize(num_labels);
+  std::string name;
+  for (uint64_t i = 0; i < num_labels; ++i) {
+    uint32_t len = 0;
+    if (!Get(in, len) || len > (1u << 20)) {
+      return Status::Corruption("bad label length");
+    }
+    name.resize(len);
+    in.read(name.data(), len);
+    if (!in) return Status::Corruption("truncated label table");
+    remap[i] = dict.Intern(name);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status WriteGraphBinary(const Graph& g, const LabelDictionary& dict,
+                        std::ostream& out) {
+  PutHeader(out, kGraphMagic);
+  PutDictionary(out, dict);
 
   Put<uint64_t>(out, g.NumVertices());
   Put<uint64_t>(out, g.NumEdges());
@@ -56,33 +122,10 @@ Status WriteGraphBinary(const Graph& g, const LabelDictionary& dict,
 }
 
 StatusOr<Graph> ReadGraphBinary(std::istream& in, LabelDictionary& dict) {
-  char magic[4];
-  in.read(magic, sizeof(magic));
-  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
-    return Status::Corruption("bad binary graph magic");
-  }
-  uint32_t version = 0;
-  if (!Get(in, version) || version != kVersion) {
-    return Status::Corruption("unsupported binary graph version");
-  }
+  BIGINDEX_RETURN_IF_ERROR(CheckHeader(in, kGraphMagic, "graph"));
 
-  uint64_t num_labels = 0;
-  if (!Get(in, num_labels) || num_labels > kMaxCount) {
-    return Status::Corruption("bad label count");
-  }
-  // Local id -> interned id (the target dictionary may already hold labels).
-  std::vector<LabelId> remap(num_labels);
-  std::string name;
-  for (uint64_t i = 0; i < num_labels; ++i) {
-    uint32_t len = 0;
-    if (!Get(in, len) || len > (1u << 20)) {
-      return Status::Corruption("bad label length");
-    }
-    name.resize(len);
-    in.read(name.data(), len);
-    if (!in) return Status::Corruption("truncated label table");
-    remap[i] = dict.Intern(name);
-  }
+  std::vector<LabelId> remap;
+  BIGINDEX_RETURN_IF_ERROR(GetDictionary(in, dict, remap));
 
   uint64_t n = 0, m = 0;
   if (!Get(in, n) || !Get(in, m) || n > kMaxCount || m > kMaxCount) {
@@ -93,7 +136,7 @@ StatusOr<Graph> ReadGraphBinary(std::istream& in, LabelDictionary& dict) {
   for (uint64_t i = 0; i < n; ++i) {
     uint32_t l = 0;
     if (!Get(in, l)) return Status::Corruption("truncated vertex labels");
-    if (l >= num_labels) return Status::Corruption("label id out of range");
+    if (l >= remap.size()) return Status::Corruption("label id out of range");
     builder.AddVertex(remap[l]);
   }
   for (uint64_t i = 0; i < m; ++i) {
@@ -119,6 +162,47 @@ StatusOr<Graph> LoadGraphBinaryFile(const std::string& path,
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IOError("cannot open " + path);
   return ReadGraphBinary(in, dict);
+}
+
+Status WriteOntologyBinary(const Ontology& ontology,
+                           const LabelDictionary& dict, std::ostream& out) {
+  PutHeader(out, kOntologyMagic);
+  PutDictionary(out, dict);
+
+  Put<uint64_t>(out, ontology.NumEdges());
+  for (LabelId type = 0; type < ontology.LabelSlots(); ++type) {
+    for (LabelId super : ontology.Supertypes(type)) {
+      Put<uint32_t>(out, type);
+      Put<uint32_t>(out, super);
+    }
+  }
+  if (!out) return Status::IOError("binary write failed");
+  return Status::OK();
+}
+
+StatusOr<Ontology> ReadOntologyBinary(std::istream& in,
+                                      LabelDictionary& dict) {
+  BIGINDEX_RETURN_IF_ERROR(CheckHeader(in, kOntologyMagic, "ontology"));
+
+  std::vector<LabelId> remap;
+  BIGINDEX_RETURN_IF_ERROR(GetDictionary(in, dict, remap));
+
+  uint64_t num_edges = 0;
+  if (!Get(in, num_edges) || num_edges > kMaxCount) {
+    return Status::Corruption("bad ontology edge count");
+  }
+  OntologyBuilder builder;
+  for (uint64_t i = 0; i < num_edges; ++i) {
+    uint32_t sub = 0, super = 0;
+    if (!Get(in, sub) || !Get(in, super)) {
+      return Status::Corruption("truncated ontology edge section");
+    }
+    if (sub >= remap.size() || super >= remap.size()) {
+      return Status::Corruption("ontology type id out of range");
+    }
+    builder.AddSupertypeEdge(remap[sub], remap[super]);
+  }
+  return builder.Build();
 }
 
 }  // namespace bigindex

@@ -1,16 +1,25 @@
-// Binary serialization of graphs and label dictionaries.
+// Binary serialization of graphs, label dictionaries, and ontologies.
 //
 // The text formats (graph_io.h / ontology_io.h) are debuggable but slow for
 // multi-million-edge graphs; this little-endian binary format loads an order
-// of magnitude faster and round-trips exactly. Layout:
+// of magnitude faster and round-trips exactly. Layout (format version 2):
 //
-//   magic "BIGX" | u32 version | u64 num_labels
+//   magic "BIGX" | u32 version | u32 endianness marker (0x01020304)
+//   u64 num_labels
 //   per label: u32 byte-length + bytes             (dictionary, id order)
 //   u64 num_vertices | u64 num_edges
 //   u32 label id per vertex
 //   (u32 src, u32 dst) per edge
 //
-// All fallible reads return Corruption with a position hint.
+// The ontology format uses magic "BIGO" with the same version/endianness
+// header, the same dictionary block, then u64 num_edges and
+// (u32 subtype, u32 supertype) pairs.
+//
+// The endianness marker is written as a native u32; a reader on a machine of
+// the other byte order sees 0x04030201 and rejects the file with a clear
+// error instead of deserializing garbage. Version-1 files (no marker) are
+// rejected with an explicit "re-serialize" message. All fallible reads
+// return Corruption with a position hint.
 
 #ifndef BIGINDEX_GRAPH_BINARY_IO_H_
 #define BIGINDEX_GRAPH_BINARY_IO_H_
@@ -20,6 +29,7 @@
 
 #include "graph/graph.h"
 #include "graph/label_dictionary.h"
+#include "ontology/ontology.h"
 #include "util/status.h"
 
 namespace bigindex {
@@ -35,6 +45,13 @@ Status SaveGraphBinaryFile(const Graph& g, const LabelDictionary& dict,
                            const std::string& path);
 StatusOr<Graph> LoadGraphBinaryFile(const std::string& path,
                                     LabelDictionary& dict);
+
+/// Writes dictionary + ontology DAG to `out` in the binary format.
+Status WriteOntologyBinary(const Ontology& ontology,
+                           const LabelDictionary& dict, std::ostream& out);
+
+/// Reads a binary ontology, interning its labels into `dict`.
+StatusOr<Ontology> ReadOntologyBinary(std::istream& in, LabelDictionary& dict);
 
 }  // namespace bigindex
 

@@ -5,6 +5,14 @@
 
 namespace bigindex {
 
+namespace {
+// A default-constructed Graph (0 vertices) views this shared |V|+1 = 1
+// offsets array so the accessors need no emptiness branches.
+constexpr uint64_t kZeroOffsets[1] = {0};
+}  // namespace
+
+std::span<const uint64_t> Graph::EmptyOffsets() { return {kZeroOffsets, 1}; }
+
 bool Graph::HasEdge(VertexId u, VertexId v) const {
   auto nbrs = OutNeighbors(u);
   return std::binary_search(nbrs.begin(), nbrs.end(), v);
@@ -19,10 +27,34 @@ std::span<const VertexId> Graph::VerticesWithLabel(LabelId label) const {
 std::vector<std::pair<VertexId, VertexId>> Graph::Edges() const {
   std::vector<std::pair<VertexId, VertexId>> result;
   result.reserve(NumEdges());
+  const CsrView out = Out();
   for (VertexId u = 0; u < NumVertices(); ++u) {
-    for (VertexId v : OutNeighbors(u)) result.emplace_back(u, v);
+    const auto [begin, end] = out[u];
+    for (uint64_t i = begin; i < end; ++i) result.emplace_back(u, out.Slot(i));
   }
   return result;
+}
+
+Graph Graph::FromStorage(StorageHandle storage,
+                         std::span<const LabelId> labels,
+                         std::span<const uint64_t> out_offsets,
+                         std::span<const VertexId> out_targets,
+                         std::span<const uint64_t> in_offsets,
+                         std::span<const VertexId> in_sources,
+                         std::span<const uint64_t> label_offsets,
+                         std::span<const VertexId> label_vertices,
+                         std::span<const LabelId> distinct_labels) {
+  Graph g;
+  g.storage_ = std::move(storage);
+  g.labels_ = labels;
+  g.out_offsets_ = out_offsets;
+  g.out_targets_ = out_targets;
+  g.in_offsets_ = in_offsets;
+  g.in_sources_ = in_sources;
+  g.label_offsets_ = label_offsets;
+  g.label_vertices_ = label_vertices;
+  g.distinct_labels_ = distinct_labels;
+  return g;
 }
 
 void GraphBuilder::Reserve(size_t vertices, size_t edges) {
@@ -53,55 +85,79 @@ StatusOr<Graph> GraphBuilder::Build() {
   edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
   const size_t m = edges_.size();
 
-  Graph g;
-  g.labels_ = std::move(labels_);
+  // Pre-compute the label histogram so every array size (and therefore the
+  // single arena allocation) is known before any array is written.
+  LabelId max_label = 0;
+  for (LabelId l : labels_) max_label = std::max(max_label, l);
+  const size_t slots = n == 0 ? 0 : static_cast<size_t>(max_label) + 1;
+  std::vector<uint64_t> label_count(slots, 0);
+  for (LabelId l : labels_) label_count[l]++;
+  size_t num_distinct = 0;
+  for (uint64_t c : label_count) num_distinct += c > 0 ? 1 : 0;
+
+  const size_t total = Arena::AlignedSize<LabelId>(n) +          // labels
+                       Arena::AlignedSize<uint64_t>(n + 1) +     // out_offsets
+                       Arena::AlignedSize<VertexId>(m) +         // out_targets
+                       Arena::AlignedSize<uint64_t>(n + 1) +     // in_offsets
+                       Arena::AlignedSize<VertexId>(m) +         // in_sources
+                       Arena::AlignedSize<uint64_t>(slots + 1) + // label_offs
+                       Arena::AlignedSize<VertexId>(n) +         // label_verts
+                       Arena::AlignedSize<LabelId>(num_distinct);
+  auto arena = std::make_shared<Arena>(total);
+
+  // Carve in canonical order (the same order index-image sections use).
+  std::span<LabelId> labels = arena->Carve<LabelId>(n);
+  std::span<uint64_t> out_offsets = arena->Carve<uint64_t>(n + 1);
+  std::span<VertexId> out_targets = arena->Carve<VertexId>(m);
+  std::span<uint64_t> in_offsets = arena->Carve<uint64_t>(n + 1);
+  std::span<VertexId> in_sources = arena->Carve<VertexId>(m);
+  std::span<uint64_t> label_offsets = arena->Carve<uint64_t>(slots + 1);
+  std::span<VertexId> label_vertices = arena->Carve<VertexId>(n);
+  std::span<LabelId> distinct_labels = arena->Carve<LabelId>(num_distinct);
+
+  std::copy(labels_.begin(), labels_.end(), labels.begin());
 
   // Out-adjacency: edges_ is already sorted by (source, target).
-  g.out_offsets_.assign(n + 1, 0);
-  g.out_targets_.resize(m);
-  for (const auto& [u, v] : edges_) g.out_offsets_[u + 1]++;
-  std::partial_sum(g.out_offsets_.begin(), g.out_offsets_.end(),
-                   g.out_offsets_.begin());
-  for (size_t i = 0; i < m; ++i) g.out_targets_[i] = edges_[i].second;
+  std::fill(out_offsets.begin(), out_offsets.end(), 0);
+  for (const auto& [u, v] : edges_) out_offsets[u + 1]++;
+  std::partial_sum(out_offsets.begin(), out_offsets.end(),
+                   out_offsets.begin());
+  for (size_t i = 0; i < m; ++i) out_targets[i] = edges_[i].second;
 
   // In-adjacency via counting sort by target.
-  g.in_offsets_.assign(n + 1, 0);
-  g.in_sources_.resize(m);
-  for (const auto& [u, v] : edges_) g.in_offsets_[v + 1]++;
-  std::partial_sum(g.in_offsets_.begin(), g.in_offsets_.end(),
-                   g.in_offsets_.begin());
+  std::fill(in_offsets.begin(), in_offsets.end(), 0);
+  for (const auto& [u, v] : edges_) in_offsets[v + 1]++;
+  std::partial_sum(in_offsets.begin(), in_offsets.end(), in_offsets.begin());
   {
-    std::vector<uint64_t> cursor(g.in_offsets_.begin(),
-                                 g.in_offsets_.end() - 1);
-    for (const auto& [u, v] : edges_) g.in_sources_[cursor[v]++] = u;
+    std::vector<uint64_t> cursor(in_offsets.begin(), in_offsets.end() - 1);
+    for (const auto& [u, v] : edges_) in_sources[cursor[v]++] = u;
   }
   // Sources arrive in ascending order already (edges_ sorted by source), so
   // each in-neighbor list is sorted.
 
-  // Inverted label index.
-  LabelId max_label = 0;
-  for (LabelId l : g.labels_) max_label = std::max(max_label, l);
-  const size_t num_label_slots = n == 0 ? 0 : static_cast<size_t>(max_label) + 1;
-  g.label_offsets_.assign(num_label_slots + 1, 0);
-  g.label_vertices_.resize(n);
-  for (LabelId l : g.labels_) g.label_offsets_[l + 1]++;
-  std::partial_sum(g.label_offsets_.begin(), g.label_offsets_.end(),
-                   g.label_offsets_.begin());
+  // Inverted label index from the histogram.
+  label_offsets[0] = 0;
+  std::partial_sum(label_count.begin(), label_count.end(),
+                   label_offsets.begin() + 1);
   {
-    std::vector<uint64_t> cursor(g.label_offsets_.begin(),
-                                 g.label_offsets_.end() - 1);
+    std::vector<uint64_t> cursor(label_offsets.begin(),
+                                 label_offsets.end() - 1);
     for (VertexId v = 0; v < n; ++v) {
-      g.label_vertices_[cursor[g.labels_[v]]++] = v;
+      label_vertices[cursor[labels[v]]++] = v;
     }
   }
-  for (size_t l = 0; l < num_label_slots; ++l) {
-    if (g.label_offsets_[l + 1] > g.label_offsets_[l]) {
-      g.distinct_labels_.push_back(static_cast<LabelId>(l));
+  {
+    size_t d = 0;
+    for (size_t l = 0; l < slots; ++l) {
+      if (label_count[l] > 0) distinct_labels[d++] = static_cast<LabelId>(l);
     }
   }
 
+  labels_.clear();
   edges_.clear();
-  return g;
+  return Graph::FromStorage(std::move(arena), labels, out_offsets,
+                            out_targets, in_offsets, in_sources, label_offsets,
+                            label_vertices, distinct_labels);
 }
 
 }  // namespace bigindex

@@ -1,9 +1,12 @@
 // The directed labeled graph of Sec. 2 of the paper: G = (V, E, L, Σ).
 //
-// Graph is an immutable CSR structure with both out- and in-adjacency plus an
-// inverted label index (label -> vertices), which every keyword search
-// semantics needs to seed its keyword vertex sets V_q. Build instances through
-// GraphBuilder.
+// Graph is an immutable flat-CSR structure with both out- and in-adjacency
+// plus an inverted label index (label -> vertices), which every keyword
+// search semantics needs to seed its keyword vertex sets V_q. All arrays
+// live back to back in one Arena (or one mmap'd index-image section — see
+// core/index_image.h), so a Graph is a handful of spans plus a shared
+// keep-alive: copies are shallow, serialization is a flat memcpy, and
+// loading from an image is zero-copy. Build instances through GraphBuilder.
 
 #ifndef BIGINDEX_GRAPH_GRAPH_H_
 #define BIGINDEX_GRAPH_GRAPH_H_
@@ -13,6 +16,7 @@
 #include <utility>
 #include <vector>
 
+#include "graph/csr.h"
 #include "graph/types.h"
 #include "util/status.h"
 
@@ -20,7 +24,7 @@ namespace bigindex {
 
 class GraphBuilder;
 
-/// Immutable directed vertex-labeled graph in CSR form.
+/// Immutable directed vertex-labeled graph in flat CSR form.
 ///
 /// |G| = |V| + |E| is the paper's graph-size measure (Sec. 2); Size() returns
 /// it. Parallel edges are collapsed and self-loops kept (bisimulation and the
@@ -36,6 +40,14 @@ class Graph {
 
   LabelId label(VertexId v) const { return labels_[v]; }
   std::span<const LabelId> labels() const { return labels_; }
+
+  /// Out-adjacency as a HalfInterval view — the hot-loop accessor. Hoist the
+  /// view out of the scan: `const CsrView out = g.Out();` then
+  /// `auto [b, e] = out[v]; for (uint64_t i = b; i < e; ++i) out.Slot(i)`.
+  CsrView Out() const { return {out_offsets_.data(), out_targets_.data()}; }
+
+  /// In-adjacency view (sources of edges u -> v).
+  CsrView In() const { return {in_offsets_.data(), in_sources_.data()}; }
 
   /// Out-neighbors of v (targets of edges v -> w), sorted ascending.
   std::span<const VertexId> OutNeighbors(VertexId v) const {
@@ -72,6 +84,9 @@ class Graph {
   /// Distinct labels that occur in the graph (the graph's Σ), sorted.
   std::span<const LabelId> DistinctLabels() const { return distinct_labels_; }
 
+  /// Label-index slot count: greatest occurring label id + 1 (0 when empty).
+  size_t LabelSlots() const { return label_offsets_.size() - 1; }
+
   /// Support of a label: |V_ℓ| / |V| (Sec. 3.2). Zero if absent or empty.
   double LabelSupport(LabelId label) const {
     return NumVertices() == 0
@@ -82,19 +97,53 @@ class Graph {
   /// All edges as (source, target) pairs, in CSR order. For tests and I/O.
   std::vector<std::pair<VertexId, VertexId>> Edges() const;
 
+  /// The raw flat arrays, in canonical (index-image) order. For serializers.
+  std::span<const uint64_t> OutOffsets() const { return out_offsets_; }
+  std::span<const uint64_t> InOffsets() const { return in_offsets_; }
+  std::span<const VertexId> OutTargets() const { return out_targets_; }
+  std::span<const VertexId> InSources() const { return in_sources_; }
+  std::span<const uint64_t> LabelOffsets() const { return label_offsets_; }
+  std::span<const VertexId> LabelVertices() const { return label_vertices_; }
+
+  /// The shared keep-alive of the backing arrays (arena or mmap'd image
+  /// section); null for a default-constructed Graph. Caches of per-graph
+  /// derived structures use it as an identity token that, unlike the Graph's
+  /// address, cannot be recycled while the entry is alive (see
+  /// search/per_graph_cache.h).
+  const StorageHandle& storage() const { return storage_; }
+
+  /// Wires a Graph directly over externally owned arrays (the mmap'd index
+  /// image). `storage` keeps the backing memory alive for the Graph's
+  /// lifetime. The caller (core/index_image) is responsible for having
+  /// validated array sizes and invariants — this performs no checks.
+  static Graph FromStorage(StorageHandle storage,
+                           std::span<const LabelId> labels,
+                           std::span<const uint64_t> out_offsets,
+                           std::span<const VertexId> out_targets,
+                           std::span<const uint64_t> in_offsets,
+                           std::span<const VertexId> in_sources,
+                           std::span<const uint64_t> label_offsets,
+                           std::span<const VertexId> label_vertices,
+                           std::span<const LabelId> distinct_labels);
+
  private:
   friend class GraphBuilder;
 
-  std::vector<LabelId> labels_;
-  std::vector<uint64_t> out_offsets_;  // size |V|+1
-  std::vector<VertexId> out_targets_;
-  std::vector<uint64_t> in_offsets_;  // size |V|+1
-  std::vector<VertexId> in_sources_;
+  // All spans point into `storage_` (one arena / image section). A
+  // default-constructed Graph views the static empty layout below.
+  StorageHandle storage_;
+  std::span<const LabelId> labels_;
+  std::span<const uint64_t> out_offsets_ = EmptyOffsets();  // size |V|+1
+  std::span<const VertexId> out_targets_;
+  std::span<const uint64_t> in_offsets_ = EmptyOffsets();  // size |V|+1
+  std::span<const VertexId> in_sources_;
 
   // Inverted label index: vertices grouped by label, CSR over label ids.
-  std::vector<uint64_t> label_offsets_;  // size max_label+2
-  std::vector<VertexId> label_vertices_;
-  std::vector<LabelId> distinct_labels_;
+  std::span<const uint64_t> label_offsets_ = EmptyOffsets();
+  std::span<const VertexId> label_vertices_;
+  std::span<const LabelId> distinct_labels_;
+
+  static std::span<const uint64_t> EmptyOffsets();
 };
 
 /// Accumulates vertices and edges, then produces an immutable Graph.

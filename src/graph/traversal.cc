@@ -34,14 +34,15 @@ std::vector<std::pair<VertexId, uint32_t>> BfsScratch::BoundedDistancesMulti(
   // result[i].second is the distance of queue_[i]; the two arrays stay
   // parallel throughout, so popping an index gives us its level directly.
   size_t head = 0;
+  const CsrView adj = dir == Direction::kForward ? g.Out() : g.In();
   while (head < queue_.size()) {
     VertexId u = queue_[head];
     uint32_t d = result[head].second;
     ++head;
     if (d >= max_dist) break;  // BFS order: all later entries are >= d.
-    auto nbrs =
-        dir == Direction::kForward ? g.OutNeighbors(u) : g.InNeighbors(u);
-    for (VertexId w : nbrs) {
+    const auto [begin, end] = adj[u];
+    for (uint64_t i = begin; i < end; ++i) {
+      VertexId w = adj.Slot(i);
       if (visit_stamp_[w] == stamp_) continue;
       visit_stamp_[w] = stamp_;
       queue_.push_back(w);
@@ -61,10 +62,13 @@ uint32_t ShortestDistance(const Graph& g, VertexId u, VertexId v,
   dist[u] = 0;
   queue.push_back(u);
   size_t head = 0;
+  const CsrView out = g.Out();
   while (head < queue.size()) {
     VertexId x = queue[head++];
     if (dist[x] >= max_dist) break;
-    for (VertexId w : g.OutNeighbors(x)) {
+    const auto [begin, end] = out[x];
+    for (uint64_t i = begin; i < end; ++i) {
+      VertexId w = out.Slot(i);
       if (dist[w] != kInfDistance) continue;
       dist[w] = dist[x] + 1;
       if (w == v) return dist[w];

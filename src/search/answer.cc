@@ -50,14 +50,17 @@ bool AnswerIsConnected(const Graph& g, const Answer& a) {
                                          a.vertices.end());
   std::vector<VertexId> stack{a.vertices.front()};
   std::unordered_set<VertexId> seen{a.vertices.front()};
+  const CsrView out = g.Out(), in = g.In();
   while (!stack.empty()) {
     VertexId u = stack.back();
     stack.pop_back();
     auto visit = [&](VertexId w) {
       if (in_answer.count(w) && seen.insert(w).second) stack.push_back(w);
     };
-    for (VertexId w : g.OutNeighbors(u)) visit(w);
-    for (VertexId w : g.InNeighbors(u)) visit(w);
+    const auto oi = out[u];
+    for (uint64_t i = oi.begin; i < oi.end; ++i) visit(out.Slot(i));
+    const auto ii = in[u];
+    for (uint64_t i = ii.begin; i < ii.end; ++i) visit(in.Slot(i));
   }
   return seen.size() == a.vertices.size();
 }

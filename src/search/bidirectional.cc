@@ -73,6 +73,7 @@ std::vector<Answer> BidirectionalSearch(const Graph& g,
   // remaining in-edges are explored eagerly so partially-covered roots
   // complete early. Exhaustive within d_max, so the distinct-root answer set
   // is exactly bkws's.
+  const CsrView in = g.In();
   while (!backward.empty()) {
     Frontier f = backward.top();
     backward.pop();
@@ -90,7 +91,9 @@ std::vector<Answer> BidirectionalSearch(const Graph& g,
     // Forward-boosting: vertices already covered by other cones propagate
     // with a boosted activation so their completion is prioritized.
     double boost = covered[f.vertex] == (1u << f.cone) ? 1.0 : 2.0;
-    for (VertexId u : g.InNeighbors(f.vertex)) {
+    const auto [begin, end] = in[f.vertex];
+    for (uint64_t idx = begin; idx < end; ++idx) {
+      VertexId u = in.Slot(idx);
       // Dijkstra-style relaxation: activation order is not BFS order (the
       // forward boost can promote deeper entries), so shorter paths found
       // later must overwrite earlier tentative distances.

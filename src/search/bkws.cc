@@ -22,13 +22,16 @@ void ExpandBackward(const Graph& g, LabelId keyword, uint32_t d_max,
     s.parent[v] = v;
     s.queue.push_back(v);
   }
+  const CsrView in = g.In();
   size_t head = 0;
   while (head < s.queue.size()) {
     VertexId v = s.queue[head++];
     uint32_t d = s.dist[v];
     if (d >= d_max) continue;
     // Backward expansion: u -> v means u reaches the keyword through v.
-    for (VertexId u : g.InNeighbors(v)) {
+    const auto [begin, end] = in[v];
+    for (uint64_t i = begin; i < end; ++i) {
+      VertexId u = in.Slot(i);
       if (s.dist[u] != kInfDistance) continue;
       s.dist[u] = d + 1;
       s.witness[u] = s.witness[v];
@@ -75,12 +78,15 @@ std::optional<Answer> CompleteRootedAnswer(
     }
   };
   consider(root, 0);
+  const CsrView out = g.Out();
   size_t head = 0;
   while (head < s.queue.size()) {
     VertexId v = s.queue[head++];
     uint32_t d = s.dist[v];
     if (d >= d_max) continue;
-    for (VertexId w : g.OutNeighbors(v)) {
+    const auto [begin, end] = out[v];
+    for (uint64_t i = begin; i < end; ++i) {
+      VertexId w = out.Slot(i);
       if (s.dist[w] != kInfDistance) continue;
       s.dist[w] = d + 1;
       s.parent[w] = v;

@@ -17,7 +17,7 @@ namespace {
 class LazyCone {
  public:
   LazyCone(const Graph& g, LabelId keyword, uint32_t d_max, ConeScratch& s)
-      : g_(g), d_max_(d_max), s_(s) {
+      : in_(g.In()), d_max_(d_max), s_(s) {
     for (VertexId v : g.VerticesWithLabel(keyword)) {
       s_.dist[v] = 0;
       s_.witness[v] = v;
@@ -38,7 +38,9 @@ class LazyCone {
     while (head_ < level_end_) {
       VertexId v = s_.queue[head_++];
       if (popped) ++(*popped);
-      for (VertexId u : g_.InNeighbors(v)) {
+      const auto [begin, end] = in_[v];
+      for (uint64_t i = begin; i < end; ++i) {
+        VertexId u = in_.Slot(i);
         if (s_.dist[u] != kInfDistance) continue;
         s_.dist[u] = frontier_dist_ + 1;
         s_.witness[u] = s_.witness[v];
@@ -66,7 +68,7 @@ class LazyCone {
   void Release() { s_.Release(); }
 
  private:
-  const Graph& g_;
+  const CsrView in_;
   uint32_t d_max_;
   ConeScratch& s_;
   size_t head_ = 0;
@@ -106,10 +108,13 @@ BlinksIndex BlinksIndex::Build(const Graph& g, size_t block_size) {
         }
       }
       size_t head = 0;
+      const CsrView in = g.In();
       while (head < queue.size()) {
         VertexId v = queue[head++];
         uint32_t d = map[v];
-        for (VertexId u : g.InNeighbors(v)) {
+        const auto [begin, end] = in[v];
+        for (uint64_t i = begin; i < end; ++i) {
+          VertexId u = in.Slot(i);
           if (index.partition_.BlockOf(u) != b) continue;  // stay in block
           if (map.count(u)) continue;
           map[u] = d + 1;
@@ -295,18 +300,10 @@ std::vector<Answer> BlinksSearch(const Graph& g, const BlinksIndex& index,
 std::vector<Answer> BlinksAlgorithm::Evaluate(
     const Graph& g, const std::vector<LabelId>& keywords,
     QueryContext& ctx) const {
-  const BlinksIndex* index = nullptr;
-  {
-    std::lock_guard<std::mutex> lock(cache_mutex_);
-    auto it = cache_.find(&g);
-    if (it == cache_.end()) {
-      it = cache_
-               .emplace(&g, std::make_unique<BlinksIndex>(
-                                BlinksIndex::Build(g, options_.block_size)))
-               .first;
-    }
-    index = it->second.get();
-  }
+  const BlinksIndex* index = cache_.GetOrBuild(g, [&] {
+    return std::make_unique<BlinksIndex>(
+        BlinksIndex::Build(g, options_.block_size));
+  });
   return BlinksSearch(g, *index, keywords, options_, ctx);
 }
 
@@ -318,8 +315,7 @@ std::optional<Answer> BlinksAlgorithm::VerifyCandidate(
 }
 
 void BlinksAlgorithm::ClearCache() const {
-  std::lock_guard<std::mutex> lock(cache_mutex_);
-  cache_.clear();
+  cache_.Clear();
 }
 
 }  // namespace bigindex

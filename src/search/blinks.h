@@ -26,15 +26,14 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <span>
-#include <unordered_map>
 #include <vector>
 
 #include "core/search_algorithm.h"
 #include "engine/query_context.h"
 #include "graph/graph.h"
 #include "search/answer.h"
+#include "search/per_graph_cache.h"
 #include "search/partitioner.h"
 
 namespace bigindex {
@@ -113,9 +112,10 @@ std::vector<Answer> BlinksSearch(const Graph& g, const BlinksIndex& index,
                                  BlinksStats* stats = nullptr);
 
 /// Adapter implementing the pluggable `f` interface. Indexes are built lazily
-/// per graph and cached by graph identity (BiG-index evaluates the same
-/// layer graphs repeatedly); the cache is mutex-guarded, so one algorithm
-/// object may serve concurrent queries.
+/// per graph and cached (BiG-index evaluates the same layer graphs
+/// repeatedly); the cache is keyed by storage identity, not graph address —
+/// see search/per_graph_cache.h — and is mutex-guarded, so one algorithm
+/// object may serve concurrent queries over short-lived graphs safely.
 class BlinksAlgorithm final : public KeywordSearchAlgorithm {
  public:
   explicit BlinksAlgorithm(BlinksOptions options = {}) : options_(options) {}
@@ -143,9 +143,7 @@ class BlinksAlgorithm final : public KeywordSearchAlgorithm {
 
  private:
   BlinksOptions options_;
-  mutable std::mutex cache_mutex_;
-  mutable std::unordered_map<const Graph*, std::unique_ptr<BlinksIndex>>
-      cache_;
+  mutable PerGraphCache<BlinksIndex> cache_;
 };
 
 }  // namespace bigindex

@@ -42,8 +42,10 @@ Partition PartitionGraph(const Graph& g, size_t target_block_size) {
         ++filled;
         queue.push_back(w);
       };
-      for (VertexId w : g.OutNeighbors(u)) try_assign(w);
-      for (VertexId w : g.InNeighbors(u)) try_assign(w);
+      const auto oi = g.Out()[u];
+      for (uint64_t i = oi.begin; i < oi.end; ++i) try_assign(g.Out().Slot(i));
+      const auto ii = g.In()[u];
+      for (uint64_t i = ii.begin; i < ii.end; ++i) try_assign(g.In().Slot(i));
     }
   }
   return Partition(std::move(block_of), next_block);

@@ -145,6 +145,7 @@ StatusOr<NeighborIndex> NeighborIndex::Build(const Graph& g, uint32_t r,
   std::vector<uint32_t> dist(n, kInfDistance);
   std::vector<VertexId> queue;
   std::vector<std::pair<VertexId, uint32_t>> local;
+  const CsrView out = g.Out(), in = g.In();
   for (VertexId s = 0; s < n; ++s) {
     // Undirected bounded BFS from s (excluding s itself).
     local.clear();
@@ -162,8 +163,10 @@ StatusOr<NeighborIndex> NeighborIndex::Build(const Graph& g, uint32_t r,
         queue.push_back(w);
         local.emplace_back(w, d + 1);
       };
-      for (VertexId w : g.OutNeighbors(v)) visit(w);
-      for (VertexId w : g.InNeighbors(v)) visit(w);
+      const auto oi = out[v];
+      for (uint64_t i = oi.begin; i < oi.end; ++i) visit(out.Slot(i));
+      const auto ii = in[v];
+      for (uint64_t i = ii.begin; i < ii.end; ++i) visit(in.Slot(i));
     }
     for (VertexId v : queue) dist[v] = kInfDistance;  // reset
 
@@ -199,6 +202,7 @@ size_t NeighborIndex::EstimateMemoryBytes(const Graph& g, uint32_t r,
   std::vector<uint32_t> dist(n, kInfDistance);
   std::vector<VertexId> queue;
   size_t total = 0;
+  const CsrView out = g.Out(), in = g.In();
   for (size_t i = 0; i < samples; ++i) {
     VertexId s = static_cast<VertexId>(rng.Uniform(n));
     queue.clear();
@@ -214,8 +218,10 @@ size_t NeighborIndex::EstimateMemoryBytes(const Graph& g, uint32_t r,
         dist[w] = d + 1;
         queue.push_back(w);
       };
-      for (VertexId w : g.OutNeighbors(v)) visit(w);
-      for (VertexId w : g.InNeighbors(v)) visit(w);
+      const auto oi = out[v];
+      for (uint64_t i = oi.begin; i < oi.end; ++i) visit(out.Slot(i));
+      const auto ii = in[v];
+      for (uint64_t i = ii.begin; i < ii.end; ++i) visit(in.Slot(i));
     }
     total += queue.size() - 1;
     for (VertexId v : queue) dist[v] = kInfDistance;
@@ -347,21 +353,14 @@ std::vector<Answer> RCliqueEnumerateAll(const Graph& g,
 std::vector<Answer> RCliqueAlgorithm::Evaluate(const Graph& g,
                                                const std::vector<LabelId>& keywords,
                                                QueryContext& ctx) const {
-  const NeighborIndex* index = nullptr;
-  {
-    std::lock_guard<std::mutex> lock(cache_mutex_);
-    auto it = cache_.find(&g);
-    if (it == cache_.end()) {
-      auto built =
-          NeighborIndex::Build(g, options_.r, options_.memory_budget_bytes);
-      if (!built.ok()) return {};  // infeasible index: no answers (see docs)
-      it = cache_
-               .emplace(&g, std::make_unique<NeighborIndex>(
-                                std::move(built).value()))
-               .first;
-    }
-    index = it->second.get();
-  }
+  const NeighborIndex* index =
+      cache_.GetOrBuild(g, [&]() -> std::unique_ptr<NeighborIndex> {
+        auto built =
+            NeighborIndex::Build(g, options_.r, options_.memory_budget_bytes);
+        if (!built.ok()) return nullptr;
+        return std::make_unique<NeighborIndex>(std::move(built).value());
+      });
+  if (index == nullptr) return {};  // infeasible index: no answers (see docs)
   return RCliqueSearch(g, *index, keywords, options_, ctx);
 }
 
@@ -391,6 +390,7 @@ std::optional<Answer> RCliqueAlgorithm::VerifyCandidate(
     queue.push_back(u);
     ball.emplace(u, 0);
     size_t head = 0;
+    const CsrView out = g.Out(), in = g.In();
     while (head < queue.size()) {
       VertexId x = queue[head++];
       uint32_t d = ball[x];
@@ -398,8 +398,10 @@ std::optional<Answer> RCliqueAlgorithm::VerifyCandidate(
       auto visit = [&](VertexId w) {
         if (ball.emplace(w, d + 1).second) queue.push_back(w);
       };
-      for (VertexId w : g.OutNeighbors(x)) visit(w);
-      for (VertexId w : g.InNeighbors(x)) visit(w);
+      const auto oi = out[x];
+      for (uint64_t i = oi.begin; i < oi.end; ++i) visit(out.Slot(i));
+      const auto ii = in[x];
+      for (uint64_t i = ii.begin; i < ii.end; ++i) visit(in.Slot(i));
     }
     return cache.balls.emplace(u, std::move(ball)).first->second;
   };
@@ -421,8 +423,7 @@ std::optional<Answer> RCliqueAlgorithm::VerifyCandidate(
 }
 
 void RCliqueAlgorithm::ClearCache() const {
-  std::lock_guard<std::mutex> lock(cache_mutex_);
-  cache_.clear();
+  cache_.Clear();
 }
 
 }  // namespace bigindex

@@ -22,15 +22,14 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <span>
-#include <unordered_map>
 #include <vector>
 
 #include "core/search_algorithm.h"
 #include "engine/query_context.h"
 #include "graph/graph.h"
 #include "search/answer.h"
+#include "search/per_graph_cache.h"
 #include "util/random.h"
 #include "util/status.h"
 
@@ -112,9 +111,10 @@ std::vector<Answer> RCliqueEnumerateAll(const Graph& g,
                                         uint32_t r);
 
 /// Adapter implementing the pluggable `f` interface; neighbor indexes are
-/// built lazily per graph and cached by graph identity (mutex-guarded, so
-/// one algorithm object may serve concurrent queries). The verification
-/// ball cache lives in the QueryContext — per query strand, lock-free.
+/// built lazily per graph and cached by storage identity (not graph address
+/// — see search/per_graph_cache.h; mutex-guarded, so one algorithm object
+/// may serve concurrent queries). The verification ball cache lives in the
+/// QueryContext — per query strand, lock-free.
 class RCliqueAlgorithm final : public KeywordSearchAlgorithm {
  public:
   explicit RCliqueAlgorithm(RCliqueOptions options = {})
@@ -149,9 +149,7 @@ class RCliqueAlgorithm final : public KeywordSearchAlgorithm {
 
  private:
   RCliqueOptions options_;
-  mutable std::mutex cache_mutex_;
-  mutable std::unordered_map<const Graph*, std::unique_ptr<NeighborIndex>>
-      cache_;
+  mutable PerGraphCache<NeighborIndex> cache_;
 };
 
 }  // namespace bigindex

@@ -1,0 +1,82 @@
+#include "util/mmap_file.h"
+
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define BIGINDEX_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace bigindex {
+namespace {
+
+#if BIGINDEX_HAVE_MMAP
+/// Unmaps the region when the last handle copy dies. Non-copyable: a copy's
+/// destructor would unmap the region out from under the original.
+struct Mapping {
+  Mapping(void* a, size_t l) : addr(a), len(l) {}
+  Mapping(const Mapping&) = delete;
+  Mapping& operator=(const Mapping&) = delete;
+  ~Mapping() {
+    if (addr != nullptr && len != 0) munmap(addr, len);
+  }
+  void* const addr;
+  const size_t len;
+};
+#endif
+
+}  // namespace
+
+StatusOr<MappedFile> MappedFile::ReadIntoHeap(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::streamoff size = in.tellg();
+  if (size < 0) return Status::IOError("cannot stat " + path);
+  auto buffer = std::make_shared<std::vector<std::byte>>(
+      static_cast<size_t>(size));
+  in.seekg(0);
+  if (size > 0 &&
+      !in.read(reinterpret_cast<char*>(buffer->data()), size)) {
+    return Status::IOError("short read on " + path);
+  }
+  const std::byte* data = buffer->data();
+  return MappedFile(std::shared_ptr<const void>(buffer, buffer->data()), data,
+                    static_cast<size_t>(size), /*is_mmap=*/false);
+}
+
+StatusOr<MappedFile> MappedFile::Open(const std::string& path) {
+#if BIGINDEX_HAVE_MMAP
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return Status::IOError("cannot open " + path);
+  struct stat st;
+  if (fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Status::IOError("cannot stat " + path);
+  }
+  if (!S_ISREG(st.st_mode)) {
+    ::close(fd);
+    return Status::IOError(path + " is not a regular file");
+  }
+  size_t size = static_cast<size_t>(st.st_size);
+  if (size == 0) {
+    ::close(fd);
+    return MappedFile(nullptr, nullptr, 0, /*is_mmap=*/true);
+  }
+  void* addr = mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // the mapping holds its own reference to the file
+  if (addr == MAP_FAILED) return ReadIntoHeap(path);
+  auto mapping = std::make_shared<Mapping>(addr, size);
+  return MappedFile(std::shared_ptr<const void>(mapping, mapping->addr),
+                    static_cast<const std::byte*>(addr), size,
+                    /*is_mmap=*/true);
+#else
+  return ReadIntoHeap(path);
+#endif
+}
+
+}  // namespace bigindex

@@ -1,0 +1,54 @@
+// Read-only memory mapping of whole files, with a heap-read fallback.
+//
+// The index-image loader wants the file bytes as one contiguous read-only
+// region whose lifetime a StorageHandle can pin. On POSIX that is mmap(2);
+// when mmap is unavailable (or fails for an exotic filesystem) we fall back
+// to reading the file into a heap buffer — callers cannot tell the
+// difference, they only lose the zero-copy property.
+
+#ifndef BIGINDEX_UTIL_MMAP_FILE_H_
+#define BIGINDEX_UTIL_MMAP_FILE_H_
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+#include "util/status.h"
+
+namespace bigindex {
+
+/// A read-only view of an entire file, backed by mmap when possible.
+///
+/// The mapping (or fallback buffer) lives until the last shared_ptr copy of
+/// the handle dies, so structures viewing into the region keep it alive by
+/// holding the handle.
+class MappedFile {
+ public:
+  /// Maps `path` read-only. Empty files map successfully with size() == 0.
+  static StatusOr<MappedFile> Open(const std::string& path);
+
+  const std::byte* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool is_mmap() const { return is_mmap_; }
+
+  /// Shared keep-alive for the mapped region; structures that view into the
+  /// region store a copy so the mapping outlives the MappedFile object.
+  std::shared_ptr<const void> handle() const { return handle_; }
+
+ private:
+  static StatusOr<MappedFile> ReadIntoHeap(const std::string& path);
+
+  MappedFile(std::shared_ptr<const void> handle, const std::byte* data,
+             size_t size, bool is_mmap)
+      : handle_(std::move(handle)), data_(data), size_(size),
+        is_mmap_(is_mmap) {}
+
+  std::shared_ptr<const void> handle_;
+  const std::byte* data_ = nullptr;
+  size_t size_ = 0;
+  bool is_mmap_ = false;
+};
+
+}  // namespace bigindex
+
+#endif  // BIGINDEX_UTIL_MMAP_FILE_H_

@@ -101,6 +101,90 @@ TEST(BinaryIoTest, MissingFileFails) {
             StatusCode::kIOError);
 }
 
+TEST(BinaryIoTest, RejectsVersion1WithClearMessage) {
+  LabelDictionary dict;
+  Graph g = RandomGraph(5, 20, 40, 3, dict);
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(WriteGraphBinary(g, dict, ss).ok());
+  std::string bytes = ss.str();
+  bytes[4] = 1;  // version field follows the 4-byte magic
+  std::stringstream v1(bytes, std::ios::in | std::ios::binary);
+  LabelDictionary d2;
+  auto g2 = ReadGraphBinary(v1, d2);
+  ASSERT_FALSE(g2.ok());
+  EXPECT_EQ(g2.status().code(), StatusCode::kCorruption);
+  EXPECT_NE(g2.status().message().find("version 1"), std::string::npos);
+  EXPECT_NE(g2.status().message().find("re-serialize"), std::string::npos);
+}
+
+TEST(BinaryIoTest, RejectsEndiannessMismatch) {
+  LabelDictionary dict;
+  Graph g = RandomGraph(6, 20, 40, 3, dict);
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(WriteGraphBinary(g, dict, ss).ok());
+  std::string bytes = ss.str();
+  // Byte-swap the marker at offset 8 — what a reader of the opposite byte
+  // order would observe.
+  std::swap(bytes[8], bytes[11]);
+  std::swap(bytes[9], bytes[10]);
+  std::stringstream swapped(bytes, std::ios::in | std::ios::binary);
+  LabelDictionary d2;
+  auto g2 = ReadGraphBinary(swapped, d2);
+  ASSERT_FALSE(g2.ok());
+  EXPECT_NE(g2.status().message().find("endianness"), std::string::npos);
+}
+
+TEST(BinaryIoTest, OntologyRoundTripExact) {
+  LabelDictionary dict;
+  OntologyBuilder ob;
+  LabelId person = dict.Intern("Person"), actor = dict.Intern("Actor"),
+          director = dict.Intern("Director"), thing = dict.Intern("Thing");
+  ob.AddSupertypeEdge(actor, person);
+  ob.AddSupertypeEdge(director, person);
+  ob.AddSupertypeEdge(person, thing);
+  Ontology ont = std::move(ob.Build()).value();
+
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(WriteOntologyBinary(ont, dict, ss).ok());
+
+  // Read into a pre-populated dictionary: ids shift, names must survive.
+  LabelDictionary dict2;
+  dict2.Intern("occupied");
+  auto ont2 = ReadOntologyBinary(ss, dict2);
+  ASSERT_TRUE(ont2.ok()) << ont2.status().ToString();
+  EXPECT_EQ(ont2->NumEdges(), ont.NumEdges());
+  EXPECT_EQ(ont2->NumTypes(), ont.NumTypes());
+  EXPECT_TRUE(ont2->IsSupertype(dict2.Find("Thing"), dict2.Find("Actor")));
+  EXPECT_TRUE(ont2->IsSupertype(dict2.Find("Person"),
+                                dict2.Find("Director")));
+  EXPECT_FALSE(ont2->IsSupertype(dict2.Find("Actor"), dict2.Find("Person")));
+  EXPECT_EQ(ont2->HeightAbove(dict2.Find("Actor")), 2u);
+}
+
+TEST(BinaryIoTest, OntologyRejectsCorruption) {
+  LabelDictionary dict;
+  OntologyBuilder ob;
+  ob.AddSupertypeEdge(dict.Intern("A"), dict.Intern("B"));
+  Ontology ont = std::move(ob.Build()).value();
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(WriteOntologyBinary(ont, dict, ss).ok());
+  std::string bytes = ss.str();
+
+  {  // graph magic on an ontology payload
+    std::string wrong = bytes;
+    wrong[3] = 'X';
+    std::stringstream in(wrong, std::ios::in | std::ios::binary);
+    LabelDictionary d;
+    EXPECT_FALSE(ReadOntologyBinary(in, d).ok());
+  }
+  for (size_t frac = 1; frac <= 3; ++frac) {  // truncations
+    std::stringstream cut(bytes.substr(0, bytes.size() * frac / 4),
+                          std::ios::in | std::ios::binary);
+    LabelDictionary d;
+    EXPECT_FALSE(ReadOntologyBinary(cut, d).ok()) << "fraction " << frac;
+  }
+}
+
 // ---- Appendix A.2 typing ----
 
 TEST(TypingTest, AttachesUntypedLabelsUnderFallback) {

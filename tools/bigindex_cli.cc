@@ -17,6 +17,13 @@
 //           [threads] [top_k]
 //           Evaluate a batch of queries (one comma-separated keyword list
 //           per line) through the QueryEngine's thread pool.
+//   inspect <index.img>
+//           Dump the header and section table of a flat index image.
+//
+// Index files may be either the text format (core/index_io.h) or a flat
+// mmap image (core/index_image.h); readers sniff the magic and pick the
+// right loader. `build` writes an image when the output path ends in
+// ".img", the text format otherwise.
 //
 // Query evaluation goes through the QueryEngine: the CLI registers the
 // selected algorithm with its configured options and submits EngineQuery
@@ -60,7 +67,8 @@ int Usage() {
                "  bigindex_cli query <graph> <ontology> <index> "
                "<bkws|blinks|rclique|bidi> <kw1,kw2,...> [top_k]\n"
                "  bigindex_cli batch <graph> <ontology> <index> "
-               "<bkws|blinks|rclique|bidi> <queries.txt> [threads] [top_k]\n");
+               "<bkws|blinks|rclique|bidi> <queries.txt> [threads] [top_k]\n"
+               "  bigindex_cli inspect <index.img>\n");
   return 1;
 }
 
@@ -137,6 +145,19 @@ StatusOr<Loaded> LoadGraphAndOntology(const char* graph_path,
   return out;
 }
 
+/// Loads an index in either format: mmap image (sniffed by magic) or text.
+StatusOr<BigIndex> LoadIndexAuto(const char* path, LabelDictionary& dict,
+                                 const Ontology* ontology) {
+  if (LooksLikeIndexImage(path)) {
+    return LoadIndexImage(path, dict, ontology);
+  }
+  return LoadIndexFile(path, dict, ontology);
+}
+
+bool EndsWithImg(const std::string& path) {
+  return path.size() >= 4 && path.compare(path.size() - 4, 4, ".img") == 0;
+}
+
 int CmdBuild(int argc, char** argv) {
   BigIndexOptions opt;
   // Split flags from positionals so --build-threads can go anywhere.
@@ -160,7 +181,9 @@ int CmdBuild(int argc, char** argv) {
   auto index =
       BigIndex::Build(loaded->graph, &loaded->ontology, opt);
   if (!index.ok()) return Fail(index.status());
-  Status s = SaveIndexFile(*index, loaded->dict, pos[2]);
+  Status s = EndsWithImg(pos[2])
+                 ? SaveIndexImageFile(*index, loaded->dict, pos[2])
+                 : SaveIndexFile(*index, loaded->dict, pos[2]);
   if (!s.ok()) return Fail(s);
   std::printf(
       "built %zu layers in %.1f ms (%zu build thread(s)); layer-1 ratio "
@@ -174,7 +197,7 @@ int CmdStats(int argc, char** argv) {
   if (argc < 3) return Usage();
   auto loaded = LoadGraphAndOntology(argv[0], argv[1]);
   if (!loaded.ok()) return Fail(loaded.status());
-  auto index = LoadIndexFile(argv[2], loaded->dict, &loaded->ontology);
+  auto index = LoadIndexAuto(argv[2], loaded->dict, &loaded->ontology);
   if (!index.ok()) return Fail(index.status());
   std::printf("layer  |V|        |E|        |G|        ratio\n");
   for (size_t m = 0; m <= index->NumLayers(); ++m) {
@@ -190,7 +213,7 @@ int CmdQuery(int argc, char** argv) {
   if (argc < 5) return Usage();
   auto loaded = LoadGraphAndOntology(argv[0], argv[1]);
   if (!loaded.ok()) return Fail(loaded.status());
-  auto index = LoadIndexFile(argv[2], loaded->dict, &loaded->ontology);
+  auto index = LoadIndexAuto(argv[2], loaded->dict, &loaded->ontology);
   if (!index.ok()) return Fail(index.status());
 
   std::string algo_name = argv[3];
@@ -239,7 +262,7 @@ int CmdBatch(int argc, char** argv) {
   if (argc < 5) return Usage();
   auto loaded = LoadGraphAndOntology(argv[0], argv[1]);
   if (!loaded.ok()) return Fail(loaded.status());
-  auto index = LoadIndexFile(argv[2], loaded->dict, &loaded->ontology);
+  auto index = LoadIndexAuto(argv[2], loaded->dict, &loaded->ontology);
   if (!index.ok()) return Fail(index.status());
 
   std::string algo_name = argv[3];
@@ -296,6 +319,36 @@ int CmdBatch(int argc, char** argv) {
   return 0;
 }
 
+int CmdInspect(int argc, char** argv) {
+  if (argc < 1) return Usage();
+  auto info = InspectIndexImage(argv[0]);
+  if (!info.ok()) return Fail(info.status());
+  std::printf("index image %s\n", argv[0]);
+  std::printf("  version:  %u\n", info->version);
+  std::printf("  size:     %llu bytes\n",
+              static_cast<unsigned long long>(info->file_size));
+  std::printf("  layers:   %u\n", info->num_layers);
+  std::printf("  sections: %zu\n", info->sections.size());
+  std::printf("  %-4s %-8s %-6s %-12s %-12s %-18s %s\n", "#", "kind", "layer",
+              "offset", "length", "checksum", "ok");
+  for (size_t i = 0; i < info->sections.size(); ++i) {
+    const ImageSectionInfo& s = info->sections[i];
+    std::printf("  %-4zu %-8s %-6u %-12llu %-12llu 0x%016llx %s\n", i,
+                SectionKindName(s.kind), s.layer,
+                static_cast<unsigned long long>(s.offset),
+                static_cast<unsigned long long>(s.length),
+                static_cast<unsigned long long>(s.checksum),
+                s.checksum_ok ? "ok" : "BAD");
+  }
+  bool all_ok = true;
+  for (const ImageSectionInfo& s : info->sections) all_ok &= s.checksum_ok;
+  if (!all_ok) {
+    std::fprintf(stderr, "error: one or more section checksums mismatch\n");
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 }  // namespace bigindex
 
@@ -308,5 +361,6 @@ int main(int argc, char** argv) {
   if (std::strcmp(cmd, "stats") == 0) return CmdStats(argc - 2, argv + 2);
   if (std::strcmp(cmd, "query") == 0) return CmdQuery(argc - 2, argv + 2);
   if (std::strcmp(cmd, "batch") == 0) return CmdBatch(argc - 2, argv + 2);
+  if (std::strcmp(cmd, "inspect") == 0) return CmdInspect(argc - 2, argv + 2);
   return Usage();
 }

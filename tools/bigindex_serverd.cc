@@ -8,10 +8,17 @@
 //
 //   bigindex_serverd [--dataset yago3] [--scale 0.01] [--layers 4]
 //                    [--port 7419] [--threads N] [--build-threads N]
+//                    [--index-image PATH]
 //                    [--queue N] [--max-batch N] [--linger-ms F] [--cache N]
 //                    [--deadline-ms F] [--reject-oldest]
 //                    [--metrics-port N] [--trace]
 //
+//   --index-image PATH mmaps a flat index image (core/index_image.h) instead
+//   of rebuilding the hierarchy at startup, cutting cold start from seconds
+//   to milliseconds. If PATH does not exist yet, the index is built once and
+//   saved there, so the flag is self-priming across restarts. The dataset
+//   flags must match the ones the image was built with (the label
+//   dictionaries are cross-checked at load).
 //   --threads 0  = serial engine (no pool);  --cache 0 disables the cache.
 //   --build-threads parallelizes the startup index construction (0 = serial,
 //   the default; the built index is identical for any value).
@@ -45,6 +52,7 @@ int Usage() {
       stderr,
       "usage: bigindex_serverd [--dataset NAME] [--scale F] [--layers N]\n"
       "                        [--port N] [--threads N] [--build-threads N]\n"
+      "                        [--index-image PATH]\n"
       "                        [--queue N] [--max-batch N] [--linger-ms F]\n"
       "                        [--cache N] [--deadline-ms F]\n"
       "                        [--reject-oldest] [--metrics-port N]"
@@ -57,6 +65,7 @@ int Run(int argc, char** argv) {
   double scale = 0.01;
   size_t layers = 4;
   size_t build_threads = 0;
+  std::string index_image_path;
   TcpServerOptions tcp;
   MetricsHttpOptions metrics_http;
   bool trace_from_start = false;
@@ -85,6 +94,8 @@ int Run(int argc, char** argv) {
           static_cast<size_t>(std::atoi(next("--threads")));
     } else if (std::strcmp(argv[i], "--build-threads") == 0) {
       build_threads = static_cast<size_t>(std::atoi(next("--build-threads")));
+    } else if (std::strcmp(argv[i], "--index-image") == 0) {
+      index_image_path = next("--index-image");
     } else if (std::strcmp(argv[i], "--queue") == 0) {
       service_opts.queue_capacity =
           static_cast<size_t>(std::atoi(next("--queue")));
@@ -122,18 +133,44 @@ int Run(int argc, char** argv) {
     std::fprintf(stderr, "error: %s\n", ds.status().ToString().c_str());
     return 1;
   }
-  Timer build_timer;
-  auto index =
-      BigIndex::Build(ds->graph, &ds->ontology.ontology,
-                      {.max_layers = layers,
-                       .build = {.num_threads = build_threads}});
-  if (!index.ok()) {
-    std::fprintf(stderr, "error: %s\n", index.status().ToString().c_str());
-    return 1;
+  StatusOr<BigIndex> index = Status::Unavailable("index not initialized");
+  if (!index_image_path.empty() && LooksLikeIndexImage(index_image_path)) {
+    Timer load_timer;
+    index = LoadIndexImage(index_image_path, *ds->dict,
+                           &ds->ontology.ontology);
+    if (!index.ok()) {
+      std::fprintf(stderr, "error: %s\n", index.status().ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr,
+                 "index: |V|=%zu |E|=%zu, %zu layers, mmapped from %s in "
+                 "%.2f ms\n",
+                 ds->graph.NumVertices(), ds->graph.NumEdges(),
+                 index->NumLayers(), index_image_path.c_str(),
+                 load_timer.ElapsedMillis());
+  } else {
+    Timer build_timer;
+    index = BigIndex::Build(ds->graph, &ds->ontology.ontology,
+                            {.max_layers = layers,
+                             .build = {.num_threads = build_threads}});
+    if (!index.ok()) {
+      std::fprintf(stderr, "error: %s\n", index.status().ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr,
+                 "index: |V|=%zu |E|=%zu, %zu layers, %.1f ms build\n",
+                 ds->graph.NumVertices(), ds->graph.NumEdges(),
+                 index->NumLayers(), build_timer.ElapsedMillis());
+    if (!index_image_path.empty()) {
+      Status saved = SaveIndexImageFile(*index, *ds->dict, index_image_path);
+      if (!saved.ok()) {
+        std::fprintf(stderr, "error: %s\n", saved.ToString().c_str());
+        return 1;
+      }
+      std::fprintf(stderr, "saved index image to %s (next start mmaps it)\n",
+                   index_image_path.c_str());
+    }
   }
-  std::fprintf(stderr, "index: |V|=%zu |E|=%zu, %zu layers, %.1f ms build\n",
-               ds->graph.NumVertices(), ds->graph.NumEdges(),
-               index->NumLayers(), build_timer.ElapsedMillis());
 
   auto engine = std::make_shared<const QueryEngine>(std::move(index).value(),
                                                     engine_opts);

@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # CI entry point: tier-1 correctness, then a ThreadSanitizer pass over the
-# engine + serving + observability + parallel-construction tests (the suites
-# that exercise cross-thread sharing), then a docs-link check, a
-# metrics-overhead smoke, a parallel-construction smoke, and a short
-# serving-layer load smoke.
+# engine + serving + observability + parallel-construction + CSR-differential
+# tests (the suites that exercise cross-thread sharing), then an ASan+UBSan
+# pass over the index-image fuzz and binary-io suites (hostile-bytes paths),
+# then a docs-link check, a metrics-overhead smoke, a parallel-construction
+# smoke, an index-image cold-start smoke, and a short serving-layer load
+# smoke.
 #
 #   tools/ci.sh [jobs]
 #
@@ -25,7 +27,17 @@ cmake --build build-tsan -j"$JOBS" --target bigindex_tests
 # halt_on_error makes any race a hard failure rather than a log line.
 TSAN_OPTIONS="halt_on_error=1" \
   ./build-tsan/tests/bigindex_tests \
-  --gtest_filter='ExecutorPool*:QueryContext*:QueryEngine*:Deadline*:AnswerCache*:SearchService*:LineProtocol*:TcpServer*:Metrics*:Trace*:ParallelBisim*:BuildDeterminism*'
+  --gtest_filter='ExecutorPool*:QueryContext*:QueryEngine*:Deadline*:AnswerCache*:SearchService*:LineProtocol*:TcpServer*:Metrics*:Trace*:ParallelBisim*:BuildDeterminism*:CsrDifferential*'
+
+echo
+echo "=== asan+ubsan: index-image fuzz + binary io (build-asan/) ==="
+cmake -B build-asan -S . -DBIGINDEX_SANITIZE=address >/dev/null
+cmake --build build-asan -j"$JOBS" --target bigindex_tests
+# The fuzz suite feeds truncated/corrupted images through the mmap loader;
+# any out-of-bounds read or UB under hostile bytes is a hard failure.
+ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
+  ./build-asan/tests/bigindex_tests \
+  --gtest_filter='IndexImageFuzz*:BinaryIo*'
 
 echo
 echo "=== docs: no dead relative links in *.md ==="
@@ -42,6 +54,12 @@ echo "=== smoke: parallel construction (2 threads == serial) ==="
 # Builds a small index twice (serial, then 2 build threads) and fails if the
 # serialized results differ — exercises the parallel construction path in CI.
 ./build/bench/bench_construction --smoke
+
+echo
+echo "=== smoke: index image cold start (load correctness + >=10x) ==="
+# Saves a small index in both formats and fails unless the mmap image loads
+# correctly (identical answers) and beats the parsing loader by >= 10x.
+./build/bench/bench_index_load --check
 
 echo
 echo "=== smoke: serving-layer load generator (~2s) ==="
