@@ -59,9 +59,16 @@
 #include "server/answer_cache.h"    // IWYU pragma: export
 #include "server/line_protocol.h"   // IWYU pragma: export
 #include "server/metrics_http.h"    // IWYU pragma: export
+#include "server/protocol_client.h" // IWYU pragma: export
+#include "server/query_service.h"   // IWYU pragma: export
 #include "server/search_service.h"  // IWYU pragma: export
 #include "server/service_stats.h"   // IWYU pragma: export
 #include "server/tcp_server.h"      // IWYU pragma: export
+#include "shard/in_process_substrate.h"  // IWYU pragma: export
+#include "shard/remote_substrate.h" // IWYU pragma: export
+#include "shard/shard_build.h"      // IWYU pragma: export
+#include "shard/sharded_service.h"  // IWYU pragma: export
+#include "shard/substrate.h"        // IWYU pragma: export
 #include "util/random.h"            // IWYU pragma: export
 #include "util/status.h"            // IWYU pragma: export
 #include "util/timer.h"             // IWYU pragma: export

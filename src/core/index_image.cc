@@ -108,6 +108,17 @@ std::string BuildConfigSection(const GeneralizationConfig& c) {
   return out;
 }
 
+std::string BuildShardMapSection(const ShardImageInfo& shard) {
+  std::string out;
+  AppendU64(out, shard.global_of.size());
+  // Redundant with the header's shard fields; the loader cross-checks them
+  // so a spliced SHARDMAP section cannot masquerade as another shard's.
+  AppendU64(out, shard.shard_id);
+  AppendU64(out, shard.num_shards);
+  AppendArray(out, std::span<const VertexId>(shard.global_of));
+  return out;
+}
+
 // ---------------------------------------------------------------------------
 // Loader
 // ---------------------------------------------------------------------------
@@ -164,6 +175,8 @@ struct Section {
 
 struct ParsedTable {
   uint32_t num_layers = 0;
+  uint32_t shard_id = 0;
+  uint32_t num_shards = 0;  // 0 = monolithic, no SHARDMAP section
   std::vector<Section> sections;
 };
 
@@ -212,7 +225,17 @@ StatusOr<ParsedTable> ValidateHeaderAndTable(const std::byte* data,
   ParsedTable table;
   uint32_t section_count = LoadU32(data + 24);
   table.num_layers = LoadU32(data + 28);
-  if (section_count != 2 + 3ull * table.num_layers) {
+  table.shard_id = LoadU32(data + 32);
+  table.num_shards = LoadU32(data + 36);
+  if (table.num_shards == 0 && table.shard_id != 0) {
+    return Status::Corruption("monolithic image carries a nonzero shard id");
+  }
+  if (table.num_shards != 0 && table.shard_id >= table.num_shards) {
+    return Status::Corruption("shard id out of range for shard count");
+  }
+  uint64_t expected_sections =
+      2 + 3ull * table.num_layers + (table.num_shards != 0 ? 1 : 0);
+  if (section_count != expected_sections) {
     return Status::Corruption("section count does not match layer count");
   }
   uint64_t table_end =
@@ -252,7 +275,8 @@ StatusOr<ParsedTable> ValidateHeaderAndTable(const std::byte* data,
 }
 
 /// Checks the canonical section sequence: DICT, GRAPH(0), then per layer m:
-/// CONFIG(m), MAPPING(m), GRAPH(m).
+/// CONFIG(m), MAPPING(m), GRAPH(m), then SHARDMAP iff the header says the
+/// image is sharded.
 Status ValidateSectionOrder(const ParsedTable& table) {
   auto expect = [&](size_t i, uint32_t kind, uint32_t layer) {
     const Section& s = table.sections[i];
@@ -269,6 +293,10 @@ Status ValidateSectionOrder(const ParsedTable& table) {
     BIGINDEX_RETURN_IF_ERROR(expect(base, Fmt::kSectionConfig, m));
     BIGINDEX_RETURN_IF_ERROR(expect(base + 1, Fmt::kSectionMapping, m));
     BIGINDEX_RETURN_IF_ERROR(expect(base + 2, Fmt::kSectionGraph, m));
+  }
+  if (table.num_shards != 0) {
+    BIGINDEX_RETURN_IF_ERROR(
+        expect(table.sections.size() - 1, Fmt::kSectionShardMap, 0));
   }
   return Status::OK();
 }
@@ -438,11 +466,45 @@ StatusOr<GeneralizationConfig> ParseConfigSection(const Section& s,
   return config;
 }
 
+/// Parses the SHARDMAP section into `shard`, cross-checking the redundant
+/// shard identity against the header and the remap against the base graph.
+Status ParseShardMapSection(const Section& s, const ParsedTable& table,
+                            uint64_t base_vertices, ShardImageInfo* shard) {
+  Cursor cur(s.data, s.length);
+  uint64_t count = 0, shard_id = 0, num_shards = 0;
+  BIGINDEX_RETURN_IF_ERROR(cur.ReadU64(&count));
+  BIGINDEX_RETURN_IF_ERROR(cur.ReadU64(&shard_id));
+  BIGINDEX_RETURN_IF_ERROR(cur.ReadU64(&num_shards));
+  if (shard_id != table.shard_id || num_shards != table.num_shards) {
+    return Status::Corruption("shard map disagrees with header shard fields");
+  }
+  if (count != base_vertices) {
+    return Status::Corruption("shard map size does not match base graph");
+  }
+  std::span<const VertexId> global_of;
+  BIGINDEX_RETURN_IF_ERROR(cur.ReadArray(count, &global_of));
+  BIGINDEX_RETURN_IF_ERROR(cur.ExpectExhausted());
+  for (size_t i = 0; i < global_of.size(); ++i) {
+    if (global_of[i] == kInvalidVertex ||
+        (i > 0 && global_of[i] <= global_of[i - 1])) {
+      return Status::Corruption("shard map remap not strictly ascending");
+    }
+  }
+  if (shard != nullptr) {
+    shard->shard_id = table.shard_id;
+    shard->num_shards = table.num_shards;
+    shard->global_of.assign(global_of.begin(), global_of.end());
+  }
+  return Status::OK();
+}
+
 StatusOr<BigIndex> LoadFromMemory(const std::byte* data, uint64_t size,
                                   StorageHandle storage, LabelDictionary& dict,
                                   const Ontology* ontology,
-                                  const IndexImageOptions& options) {
+                                  const IndexImageOptions& options,
+                                  ShardImageInfo* shard_out) {
   assert(reinterpret_cast<uintptr_t>(data) % Arena::kAlign == 0);
+  if (shard_out != nullptr) *shard_out = ShardImageInfo{};
   auto table = ValidateHeaderAndTable(data, size, /*verify_checksums=*/true);
   if (!table.ok()) return table.status();
   BIGINDEX_RETURN_IF_ERROR(ValidateSectionOrder(*table));
@@ -450,6 +512,11 @@ StatusOr<BigIndex> LoadFromMemory(const std::byte* data, uint64_t size,
   auto base = ParseGraphSection(table->sections[1], storage, dict.size(),
                                 options);
   if (!base.ok()) return base.status();
+  if (table->num_shards != 0) {
+    BIGINDEX_RETURN_IF_ERROR(ParseShardMapSection(table->sections.back(),
+                                                  *table, base->NumVertices(),
+                                                  shard_out));
+  }
   std::vector<IndexLayer> layers;
   layers.reserve(table->num_layers);
   for (uint32_t m = 1; m <= table->num_layers; ++m) {
@@ -472,6 +539,23 @@ StatusOr<BigIndex> LoadFromMemory(const std::byte* data, uint64_t size,
 
 Status WriteIndexImage(const BigIndex& index, const LabelDictionary& dict,
                        std::ostream& out) {
+  return WriteIndexImage(index, dict, ShardImageInfo{}, out);
+}
+
+Status WriteIndexImage(const BigIndex& index, const LabelDictionary& dict,
+                       const ShardImageInfo& shard, std::ostream& out) {
+  if (shard.IsSharded()) {
+    if (shard.shard_id >= shard.num_shards) {
+      return Status::InvalidArgument("shard id out of range for shard count");
+    }
+    if (shard.global_of.size() != index.base().NumVertices()) {
+      return Status::InvalidArgument(
+          "shard remap size does not match base graph");
+    }
+  } else if (shard.shard_id != 0 || !shard.global_of.empty()) {
+    return Status::InvalidArgument(
+        "monolithic image cannot carry shard id or remap");
+  }
   std::vector<std::pair<std::pair<uint32_t, uint32_t>, std::string>> sections;
   sections.emplace_back(std::make_pair(Fmt::kSectionDict, 0u),
                         BuildDictSection(dict));
@@ -485,6 +569,10 @@ Status WriteIndexImage(const BigIndex& index, const LabelDictionary& dict,
                           BuildMappingSection(layer.mapping));
     sections.emplace_back(std::make_pair(Fmt::kSectionGraph, m),
                           BuildGraphSection(layer.graph));
+  }
+  if (shard.IsSharded()) {
+    sections.emplace_back(std::make_pair(Fmt::kSectionShardMap, 0u),
+                          BuildShardMapSection(shard));
   }
 
   std::string table;
@@ -509,7 +597,9 @@ Status WriteIndexImage(const BigIndex& index, const LabelDictionary& dict,
   AppendU64(header, file_size);
   AppendU32(header, static_cast<uint32_t>(sections.size()));
   AppendU32(header, static_cast<uint32_t>(index.NumLayers()));
-  header.append(24, '\0');  // reserved
+  AppendU32(header, shard.shard_id);    // 0 when monolithic
+  AppendU32(header, shard.num_shards);  // 0 = monolithic
+  header.append(16, '\0');  // reserved
   AppendU64(header, Fnv1a(header.data(), header.size()));
   assert(header.size() == Fmt::kHeaderSize);
 
@@ -524,9 +614,15 @@ Status WriteIndexImage(const BigIndex& index, const LabelDictionary& dict,
 
 Status SaveIndexImageFile(const BigIndex& index, const LabelDictionary& dict,
                           const std::string& path) {
+  return SaveIndexImageFile(index, dict, ShardImageInfo{}, path);
+}
+
+Status SaveIndexImageFile(const BigIndex& index, const LabelDictionary& dict,
+                          const ShardImageInfo& shard,
+                          const std::string& path) {
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) return Status::IOError("cannot open " + path + " for writing");
-  BIGINDEX_RETURN_IF_ERROR(WriteIndexImage(index, dict, out));
+  BIGINDEX_RETURN_IF_ERROR(WriteIndexImage(index, dict, shard, out));
   out.close();
   if (!out) return Status::IOError("failed closing " + path);
   return Status::OK();
@@ -535,16 +631,18 @@ Status SaveIndexImageFile(const BigIndex& index, const LabelDictionary& dict,
 StatusOr<BigIndex> LoadIndexImage(const std::string& path,
                                   LabelDictionary& dict,
                                   const Ontology* ontology,
-                                  const IndexImageOptions& options) {
+                                  const IndexImageOptions& options,
+                                  ShardImageInfo* shard_out) {
   auto mapped = MappedFile::Open(path);
   if (!mapped.ok()) return mapped.status();
   return LoadFromMemory(mapped->data(), mapped->size(), mapped->handle(),
-                        dict, ontology, options);
+                        dict, ontology, options, shard_out);
 }
 
 StatusOr<BigIndex> LoadIndexImageFromBuffer(
     std::shared_ptr<const std::string> bytes, LabelDictionary& dict,
-    const Ontology* ontology, const IndexImageOptions& options) {
+    const Ontology* ontology, const IndexImageOptions& options,
+    ShardImageInfo* shard_out) {
   if (bytes == nullptr) return Status::InvalidArgument("null image buffer");
   const std::byte* data = reinterpret_cast<const std::byte*>(bytes->data());
   if (reinterpret_cast<uintptr_t>(data) % Arena::kAlign != 0) {
@@ -554,11 +652,11 @@ StatusOr<BigIndex> LoadIndexImageFromBuffer(
     auto span = arena->Carve<std::byte>(bytes->size());
     std::memcpy(span.data(), bytes->data(), bytes->size());
     return LoadFromMemory(span.data(), bytes->size(), std::move(arena), dict,
-                          ontology, options);
+                          ontology, options, shard_out);
   }
   return LoadFromMemory(data, bytes->size(),
                         StorageHandle(bytes, bytes->data()), dict, ontology,
-                        options);
+                        options, shard_out);
 }
 
 StatusOr<ImageInfo> InspectIndexImage(const std::string& path) {
@@ -572,6 +670,11 @@ StatusOr<ImageInfo> InspectIndexImage(const std::string& path) {
   info.version = LoadU32(data + 8);
   info.file_size = LoadU64(data + 16);
   info.num_layers = table->num_layers;
+  info.shard_id = table->shard_id;
+  info.num_shards = table->num_shards;
+  info.fingerprint = Fnv1a(
+      data, Fmt::kHeaderSize +
+                table->sections.size() * uint64_t{Fmt::kSectionEntrySize});
   for (size_t i = 0; i < table->sections.size(); ++i) {
     const std::byte* e =
         data + Fmt::kHeaderSize + i * Fmt::kSectionEntrySize;
@@ -606,6 +709,8 @@ const char* SectionKindName(uint32_t kind) {
       return "MAPPING";
     case Fmt::kSectionConfig:
       return "CONFIG";
+    case Fmt::kSectionShardMap:
+      return "SHARDMAP";
     default:
       return "UNKNOWN";
   }

@@ -12,7 +12,12 @@
 //   [ section payloads    ]  back to back, zero-padded to 8-byte boundaries
 //
 // Canonical section order: DICT, GRAPH(0), then per layer m = 1..h:
-// CONFIG(m), MAPPING(m), GRAPH(m). Graph and mapping sections contain the
+// CONFIG(m), MAPPING(m), GRAPH(m); sharded images (shard substrate,
+// DESIGN.md §9) append one final SHARDMAP section carrying the shard id,
+// shard count, and the local->global vertex remap. Monolithic images write
+// zeros in the header's shard fields and no SHARDMAP section, so the v1
+// format is unchanged for them byte for byte.
+// Graph and mapping sections contain the
 // structures' flat arrays verbatim, so loading wires std::spans straight
 // into the mapped region (Graph::FromStorage / BisimMapping::FromStorage)
 // — no parsing, no allocation proportional to index size.
@@ -55,14 +60,37 @@ struct IndexImageFormat {
   static constexpr uint32_t kSectionGraph = 2;    // one layer's flat Graph
   static constexpr uint32_t kSectionMapping = 3;  // one layer's BisimMapping
   static constexpr uint32_t kSectionConfig = 4;   // one layer's C^m
+  static constexpr uint32_t kSectionShardMap = 5;  // shard id + global remap
+};
+
+/// Shard identity of an index image. `num_shards == 0` means the image is
+/// monolithic (the whole graph); sharded images carry their shard id, the
+/// plan's shard count, and the strictly-ascending local->global vertex remap
+/// produced by ExtractShard, so a relocated image is self-describing.
+struct ShardImageInfo {
+  uint32_t shard_id = 0;
+  uint32_t num_shards = 0;  // 0 = monolithic
+  /// Local vertex id -> global vertex id, strictly ascending. Size equals the
+  /// base graph's vertex count when sharded; empty for monolithic images.
+  std::vector<VertexId> global_of;
+
+  bool IsSharded() const { return num_shards != 0; }
 };
 
 /// Writes `index` as a flat image. Output is byte-deterministic: the same
 /// index (and BigIndex construction is byte-identical across thread counts)
-/// produces the same bytes.
+/// produces the same bytes. The ShardImageInfo overloads stamp the shard
+/// identity into the header and append the SHARDMAP section; a
+/// default-constructed (monolithic) ShardImageInfo writes the exact bytes of
+/// the two-argument form.
 Status WriteIndexImage(const BigIndex& index, const LabelDictionary& dict,
                        std::ostream& out);
+Status WriteIndexImage(const BigIndex& index, const LabelDictionary& dict,
+                       const ShardImageInfo& shard, std::ostream& out);
 Status SaveIndexImageFile(const BigIndex& index, const LabelDictionary& dict,
+                          const std::string& path);
+Status SaveIndexImageFile(const BigIndex& index, const LabelDictionary& dict,
+                          const ShardImageInfo& shard,
                           const std::string& path);
 
 /// Loading knobs.
@@ -80,17 +108,21 @@ struct IndexImageOptions {
 /// (the usual case: the dataset's ontology was loaded into `dict` first).
 /// Remaining image labels are interned into `dict`. `ontology` must outlive
 /// the returned index.
+/// If `shard_out` is non-null it receives the image's shard identity
+/// (monolithic images yield a default ShardImageInfo).
 StatusOr<BigIndex> LoadIndexImage(const std::string& path,
                                   LabelDictionary& dict,
                                   const Ontology* ontology,
-                                  const IndexImageOptions& options = {});
+                                  const IndexImageOptions& options = {},
+                                  ShardImageInfo* shard_out = nullptr);
 
 /// Same, over an in-memory buffer (tests, network transports). The buffer is
 /// kept alive by the returned index. Misaligned buffers are copied into an
 /// aligned arena first.
 StatusOr<BigIndex> LoadIndexImageFromBuffer(
     std::shared_ptr<const std::string> bytes, LabelDictionary& dict,
-    const Ontology* ontology, const IndexImageOptions& options = {});
+    const Ontology* ontology, const IndexImageOptions& options = {},
+    ShardImageInfo* shard_out = nullptr);
 
 /// One section-table row, as reported by InspectIndexImage.
 struct ImageSectionInfo {
@@ -107,6 +139,12 @@ struct ImageInfo {
   uint32_t version = 0;
   uint64_t file_size = 0;
   uint32_t num_layers = 0;
+  uint32_t shard_id = 0;
+  uint32_t num_shards = 0;  // 0 = monolithic
+  /// FNV-1a over header + section table. The table embeds every payload
+  /// checksum, so this single u64 identifies the image contents — the
+  /// "image checksum" reported by the protocol INFO verb.
+  uint64_t fingerprint = 0;
   std::vector<ImageSectionInfo> sections;
 };
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 #include <queue>
 
 #include "search/bkws.h"
@@ -97,7 +98,27 @@ std::vector<Answer> BidirectionalSearch(const Graph& g,
       // Dijkstra-style relaxation: activation order is not BFS order (the
       // forward boost can promote deeper entries), so shorter paths found
       // later must overwrite earlier tentative distances.
-      if (f.dist + 1 >= s.dist[u]) continue;
+      if (f.dist + 1 > s.dist[u]) continue;
+      if (f.dist + 1 == s.dist[u]) {
+        // Equal-length alternative: adopt the lexicographically smallest
+        // (witness, parent). Pop order depends on activation (origin-set
+        // size, forward boosts), which is not a component-local quantity —
+        // a "first relaxation wins" tie-break would materialize different
+        // trees for the same component depending on what else is in the
+        // graph. Taking the least fixed point over the shortest-path DAG
+        // makes the tree a pure function of the component, so sharded and
+        // monolithic evaluation produce identical answers. Improvements
+        // re-enter the queue to propagate downstream; each vertex's pair
+        // strictly decreases per update, so this terminates.
+        if (std::pair(s.witness[f.vertex], f.vertex) <
+            std::pair(s.witness[u], s.parent[u])) {
+          s.witness[u] = s.witness[f.vertex];
+          s.parent[u] = f.vertex;
+          backward.push({f.activation * options.decay * boost, f.dist + 1, u,
+                         f.cone});
+        }
+        continue;
+      }
       if (s.dist[u] == kInfDistance) s.queue.push_back(u);  // first touch
       s.dist[u] = f.dist + 1;
       s.witness[u] = s.witness[f.vertex];

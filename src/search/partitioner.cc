@@ -51,6 +51,166 @@ Partition PartitionGraph(const Graph& g, size_t target_block_size) {
   return Partition(std::move(block_of), next_block);
 }
 
+namespace {
+
+/// Weakly-connected components in discovery order (seeded by ascending
+/// vertex id): comp_of[v] plus the component count. Deterministic.
+size_t WeakComponents(const Graph& g, std::vector<uint32_t>& comp_of) {
+  const size_t n = g.NumVertices();
+  comp_of.assign(n, UINT32_MAX);
+  uint32_t next = 0;
+  std::vector<VertexId> queue;
+  const CsrView out = g.Out();
+  const CsrView in = g.In();
+  for (VertexId seed = 0; seed < n; ++seed) {
+    if (comp_of[seed] != UINT32_MAX) continue;
+    uint32_t c = next++;
+    queue.clear();
+    queue.push_back(seed);
+    comp_of[seed] = c;
+    size_t head = 0;
+    while (head < queue.size()) {
+      VertexId u = queue[head++];
+      auto visit = [&](VertexId w) {
+        if (comp_of[w] != UINT32_MAX) return;
+        comp_of[w] = c;
+        queue.push_back(w);
+      };
+      const auto oi = out[u];
+      for (uint64_t i = oi.begin; i < oi.end; ++i) visit(out.Slot(i));
+      const auto ii = in[u];
+      for (uint64_t i = ii.begin; i < ii.end; ++i) visit(in.Slot(i));
+    }
+  }
+  return next;
+}
+
+/// Longest-processing-time greedy: units (by id) with their sizes are packed
+/// largest-first onto the least-loaded shard (ties: lowest shard id; equal
+/// sizes: lowest unit id first). Deterministic; max load <= avg + max unit.
+std::vector<uint32_t> PackUnits(const std::vector<uint64_t>& unit_size,
+                                size_t num_shards) {
+  std::vector<uint32_t> order(unit_size.size());
+  for (uint32_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    return unit_size[a] > unit_size[b];
+  });
+  std::vector<uint64_t> load(num_shards, 0);
+  std::vector<uint32_t> shard_of_unit(unit_size.size(), 0);
+  for (uint32_t u : order) {
+    uint32_t best = 0;
+    for (uint32_t s = 1; s < num_shards; ++s) {
+      if (load[s] < load[best]) best = s;
+    }
+    shard_of_unit[u] = best;
+    load[best] += unit_size[u];
+  }
+  return shard_of_unit;
+}
+
+}  // namespace
+
+ShardPlan::ShardPlan(std::vector<uint32_t> shard_of, size_t num_shards,
+                     std::vector<CutEdge> cut_edges, ShardMode mode)
+    : shard_of_(std::move(shard_of)),
+      cut_edges_(std::move(cut_edges)),
+      mode_(mode) {
+  offsets_.assign(num_shards + 1, 0);
+  members_.resize(shard_of_.size());
+  for (uint32_t s : shard_of_) offsets_[s + 1]++;
+  std::partial_sum(offsets_.begin(), offsets_.end(), offsets_.begin());
+  std::vector<uint64_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (VertexId v = 0; v < shard_of_.size(); ++v) {
+    members_[cursor[shard_of_[v]]++] = v;
+  }
+}
+
+StatusOr<ShardPlan> PlanShards(const Graph& g,
+                               const ShardPlanOptions& options) {
+  if (options.num_shards == 0) {
+    return Status::InvalidArgument("num_shards must be >= 1");
+  }
+  const size_t n = g.NumVertices();
+
+  // Unit assignment: a unit is a weakly-connected component
+  // (connectivity-closed) or a BFS block (general cut).
+  std::vector<uint32_t> unit_of;
+  size_t num_units;
+  if (options.mode == ShardMode::kConnectivityClosed) {
+    num_units = WeakComponents(g, unit_of);
+  } else {
+    if (options.bfs_block_size == 0) {
+      return Status::InvalidArgument("bfs_block_size must be >= 1");
+    }
+    Partition blocks = PartitionGraph(g, options.bfs_block_size);
+    num_units = blocks.NumBlocks();
+    unit_of.resize(n);
+    for (VertexId v = 0; v < n; ++v) unit_of[v] = blocks.BlockOf(v);
+  }
+
+  std::vector<uint64_t> unit_size(num_units, 0);
+  for (uint32_t u : unit_of) unit_size[u]++;
+  std::vector<uint32_t> shard_of_unit =
+      PackUnits(unit_size, options.num_shards);
+
+  std::vector<uint32_t> shard_of(n);
+  for (VertexId v = 0; v < n; ++v) shard_of[v] = shard_of_unit[unit_of[v]];
+
+  // Boundary-edge manifest: sorted by (source, target) for free — vertices
+  // ascend and CSR out-neighbors are sorted.
+  std::vector<CutEdge> cut;
+  const CsrView out = g.Out();
+  for (VertexId v = 0; v < n; ++v) {
+    const auto oi = out[v];
+    for (uint64_t i = oi.begin; i < oi.end; ++i) {
+      VertexId w = out.Slot(i);
+      if (shard_of[v] != shard_of[w]) cut.push_back({v, w});
+    }
+  }
+  assert(options.mode != ShardMode::kConnectivityClosed || cut.empty());
+  return ShardPlan(std::move(shard_of), options.num_shards, std::move(cut),
+                   options.mode);
+}
+
+StatusOr<ShardExtract> ExtractShard(const Graph& g, const ShardPlan& plan,
+                                    uint32_t shard) {
+  if (plan.NumVertices() != g.NumVertices()) {
+    return Status::InvalidArgument("plan does not cover this graph");
+  }
+  if (shard >= plan.num_shards()) {
+    return Status::OutOfRange("shard " + std::to_string(shard) +
+                              " out of range (plan has " +
+                              std::to_string(plan.num_shards()) + ")");
+  }
+  std::span<const VertexId> members = plan.ShardMembers(shard);
+  ShardExtract extract;
+  extract.global_of.assign(members.begin(), members.end());
+
+  std::vector<VertexId> local_of(g.NumVertices(), kInvalidVertex);
+  for (size_t i = 0; i < members.size(); ++i) {
+    local_of[members[i]] = static_cast<VertexId>(i);
+  }
+
+  GraphBuilder b;
+  size_t edge_estimate = 0;
+  for (VertexId v : members) edge_estimate += g.OutDegree(v);
+  b.Reserve(members.size(), edge_estimate);
+  for (VertexId v : members) b.AddVertex(g.label(v));
+  const CsrView out = g.Out();
+  for (VertexId v : members) {
+    const auto oi = out[v];
+    for (uint64_t i = oi.begin; i < oi.end; ++i) {
+      VertexId w = out.Slot(i);
+      if (local_of[w] == kInvalidVertex) continue;  // severed cut edge
+      b.AddEdge(local_of[v], local_of[w]);
+    }
+  }
+  auto graph = b.Build();
+  if (!graph.ok()) return graph.status();
+  extract.graph = std::move(graph).value();
+  return extract;
+}
+
 std::vector<VertexId> ComputePortals(const Graph& g,
                                      const Partition& partition) {
   std::vector<VertexId> portals;

@@ -1,11 +1,20 @@
-// Graph partitioning for the Blinks bi-level index (Sec. 5.3).
+// Graph partitioning: Blinks blocks and the shard substrate's graph sharder.
 //
-// The paper uses METIS with an average block size of 1000. METIS is not
-// available offline, so we substitute a BFS-grown greedy partitioner over the
-// undirected view of the graph: repeatedly seed an unassigned vertex and grow
-// a block breadth-first until it reaches the target size. Blinks only needs
-// blocks that are connected-ish and bounded in size — partition quality moves
-// constants, not trends (see DESIGN.md, Substitutions).
+// Two consumers share this module:
+//
+//   * The Blinks bi-level index (Sec. 5.3) needs size-bounded, connected-ish
+//     blocks. The paper uses METIS with an average block size of 1000; METIS
+//     is not available offline, so we substitute a BFS-grown greedy
+//     partitioner over the undirected view of the graph (partition quality
+//     moves constants, not trends — see DESIGN.md, Substitutions).
+//
+//   * The shard substrate (src/shard/, DESIGN.md §9) needs a *disjoint shard
+//     cover* of the vertex set plus the manifest of edges its cut severs.
+//     PlanShards packs connectivity units (whole weakly-connected components
+//     in the default answer-preserving mode, BFS blocks in the general mode)
+//     onto N shards with a deterministic longest-processing-time greedy, and
+//     ExtractShard materializes one shard's vertex-induced subgraph with an
+//     order-preserving local<->global vertex remap.
 
 #ifndef BIGINDEX_SEARCH_PARTITIONER_H_
 #define BIGINDEX_SEARCH_PARTITIONER_H_
@@ -16,6 +25,7 @@
 
 #include "graph/graph.h"
 #include "graph/types.h"
+#include "util/status.h"
 
 namespace bigindex {
 
@@ -47,6 +57,104 @@ Partition PartitionGraph(const Graph& g, size_t target_block_size);
 /// direction) crossing into another block. Returned sorted ascending.
 std::vector<VertexId> ComputePortals(const Graph& g,
                                      const Partition& partition);
+
+// ---------------------------------------------------------------------------
+// Graph sharder (shard substrate, DESIGN.md §9)
+// ---------------------------------------------------------------------------
+
+/// How the sharder carves the graph into per-shard vertex sets.
+enum class ShardMode {
+  /// Pack whole weakly-connected components onto shards. No edge is ever
+  /// cut (the boundary manifest is empty by construction), so every
+  /// connected answer lives entirely inside one shard and scatter-gather
+  /// results are *exactly* the monolithic results for every search
+  /// semantics. Balance is best-effort: a giant component caps it.
+  kConnectivityClosed,
+
+  /// Pack BFS-grown blocks (PartitionGraph) onto shards. Balanced cuts on
+  /// any graph shape, but cut edges (recorded in the manifest) are dropped
+  /// from the shard subgraphs, so answers that would span shards are lost —
+  /// serving over this mode is approximate. Use it for capacity planning
+  /// and for workloads that tolerate partition-local answers.
+  kBfsBlocks,
+};
+
+/// Knobs for PlanShards.
+struct ShardPlanOptions {
+  /// Number of shards (>= 1). Shards may end up empty when the graph has
+  /// fewer packing units than shards.
+  size_t num_shards = 1;
+
+  ShardMode mode = ShardMode::kConnectivityClosed;
+
+  /// Packing granularity for kBfsBlocks (ignored in connectivity-closed
+  /// mode): target vertex count of the BFS blocks handed to the packer.
+  size_t bfs_block_size = 256;
+};
+
+/// One severed edge of the shard cut, in global vertex ids.
+struct CutEdge {
+  VertexId source = 0;
+  VertexId target = 0;
+
+  friend bool operator==(const CutEdge&, const CutEdge&) = default;
+};
+
+/// A disjoint shard cover of the vertex set plus the boundary-edge manifest
+/// of the cut. Every vertex belongs to exactly one shard; the manifest lists
+/// every edge whose endpoints land on different shards (empty in
+/// connectivity-closed mode), sorted by (source, target).
+class ShardPlan {
+ public:
+  ShardPlan() = default;
+  ShardPlan(std::vector<uint32_t> shard_of, size_t num_shards,
+            std::vector<CutEdge> cut_edges, ShardMode mode);
+
+  uint32_t ShardOf(VertexId v) const { return shard_of_[v]; }
+  size_t num_shards() const {
+    return offsets_.empty() ? 0 : offsets_.size() - 1;
+  }
+  size_t NumVertices() const { return shard_of_.size(); }
+  ShardMode mode() const { return mode_; }
+
+  /// Global vertex ids of shard s, ascending.
+  std::span<const VertexId> ShardMembers(uint32_t s) const {
+    return {members_.data() + offsets_[s], offsets_[s + 1] - offsets_[s]};
+  }
+
+  /// The boundary-edge manifest: every severed edge, sorted by
+  /// (source, target). Empty in connectivity-closed mode.
+  std::span<const CutEdge> CutEdges() const { return cut_edges_; }
+
+ private:
+  std::vector<uint32_t> shard_of_;
+  std::vector<uint64_t> offsets_;  // CSR over shards
+  std::vector<VertexId> members_;
+  std::vector<CutEdge> cut_edges_;
+  ShardMode mode_ = ShardMode::kConnectivityClosed;
+};
+
+/// Plans a shard cover of `g`. Deterministic: the same graph and options
+/// always produce the same plan (component/block discovery order and the
+/// greedy packer are pure functions of the input), so independent processes
+/// given the same dataset flags agree on the plan without coordination.
+StatusOr<ShardPlan> PlanShards(const Graph& g, const ShardPlanOptions& options);
+
+/// One shard's materialized subgraph: the vertex-induced subgraph of its
+/// member set under an order-preserving remap (local id i is the i-th
+/// smallest global member, so relative vertex order — and with it every
+/// deterministic tie-break in the search algorithms — is preserved).
+struct ShardExtract {
+  Graph graph;
+  /// Local -> global vertex id, strictly ascending; size = graph vertices.
+  std::vector<VertexId> global_of;
+};
+
+/// Materializes shard `shard` of `plan`. Edges with exactly one endpoint in
+/// the shard are dropped (they are the plan's CutEdges). Labels keep their
+/// global ids, so keyword queries need no translation.
+StatusOr<ShardExtract> ExtractShard(const Graph& g, const ShardPlan& plan,
+                                    uint32_t shard);
 
 }  // namespace bigindex
 

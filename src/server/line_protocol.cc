@@ -126,7 +126,7 @@ std::string HandleTrace(const std::vector<std::string>& tokens) {
   return ErrBlock("unknown trace subcommand '" + sub + "'");
 }
 
-std::string HandleQuery(SearchService& service, const LabelDictionary* dict,
+std::string HandleQuery(QueryService& service, const LabelDictionary* dict,
                         const std::vector<std::string>& tokens) {
   if (tokens.size() < 3) {
     return ErrBlock("usage: query <algo> <kw1,kw2,...> [top_k=N] [layer=M] "
@@ -159,9 +159,29 @@ std::string HandleQuery(SearchService& service, const LabelDictionary* dict,
       if (i) out << ',';
       out << a.keyword_vertices[i];
     }
+    out << " v=";
+    for (size_t i = 0; i < a.vertices.size(); ++i) {
+      if (i) out << ',';
+      out << a.vertices[i];
+    }
     out << "\n";
   }
   out << ".\n";
+  return out.str();
+}
+
+std::string HandleInfo(QueryService& service) {
+  ServiceIdentity id = service.Identity();
+  std::ostringstream out;
+  out << "OK epoch=" << service.epoch() << " checksum=" << std::hex
+      << id.fingerprint << std::dec << " layers=" << id.num_layers
+      << " shard=" << id.shard_id << '/' << id.num_shards << " algos=";
+  std::vector<std::string> algos = service.AlgorithmNames();
+  for (size_t i = 0; i < algos.size(); ++i) {
+    if (i) out << ',';
+    out << algos[i];
+  }
+  out << "\n.\n";
   return out.str();
 }
 
@@ -194,11 +214,14 @@ LineHandler::Result LineHandler::Handle(const std::string& line) {
   }
   if (cmd == "algos") {
     std::string out = "OK";
-    for (std::string_view name : service_->engine().AlgorithmNames()) {
+    for (const std::string& name : service_->AlgorithmNames()) {
       out += ' ';
       out += name;
     }
     return {out + "\n.\n", false};
+  }
+  if (cmd == "info") {
+    return {HandleInfo(*service_), false};
   }
   if (cmd == "ping") {
     return {"OK pong\n.\n", false};
@@ -207,6 +230,155 @@ LineHandler::Result LineHandler::Handle(const std::string& line) {
     return {"OK bye\n.\n", true};
   }
   return {ErrBlock("unknown command '" + cmd + "'"), false};
+}
+
+// ---------------------------------------------------------------------------
+// Client-side wire helpers
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Round-trip double formatting (beta on the wire).
+std::string FormatDouble(double v) {
+  std::ostringstream out;
+  out.precision(17);
+  out << v;
+  return out.str();
+}
+
+Status ParseVertexList(const std::string& spec, std::vector<VertexId>* out) {
+  std::stringstream in(spec);
+  std::string tok;
+  while (std::getline(in, tok, ',')) {
+    if (!AllDigits(tok)) {
+      return Status::IOError("bad vertex id '" + tok + "' in answer line");
+    }
+    out->push_back(static_cast<VertexId>(std::strtoul(tok.c_str(), nullptr,
+                                                      10)));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string FormatQueryLine(const EngineQuery& q) {
+  std::ostringstream out;
+  out << "query " << q.algorithm << ' ';
+  for (size_t i = 0; i < q.keywords.size(); ++i) {
+    if (i) out << ',';
+    out << q.keywords[i];
+  }
+  out << " top_k=" << q.eval.top_k << " layer=" << q.eval.forced_layer
+      << " exact=" << (q.eval.exact_verification ? 1 : 0)
+      << " beta=" << FormatDouble(q.eval.beta);
+  if (!q.eval.deadline.IsNever()) {
+    out << " deadline_ms=" << FormatDouble(q.eval.deadline.RemainingMillis());
+  }
+  return out.str();
+}
+
+Status ParseAnswerLine(const std::string& line, Answer* out) {
+  *out = Answer{};
+  std::vector<std::string> tokens = Tokenize(line);
+  if (tokens.empty() || tokens[0] != "A") {
+    return Status::IOError("not an answer line: '" + line + "'");
+  }
+  for (size_t i = 1; i < tokens.size(); ++i) {
+    size_t eq = tokens[i].find('=');
+    if (eq == std::string::npos) {
+      return Status::IOError("malformed answer field '" + tokens[i] + "'");
+    }
+    std::string key = tokens[i].substr(0, eq);
+    std::string value = tokens[i].substr(eq + 1);
+    if (key == "root") {
+      if (value == "-") {
+        out->root = kInvalidVertex;
+      } else if (AllDigits(value)) {
+        out->root = static_cast<VertexId>(std::strtoul(value.c_str(), nullptr,
+                                                       10));
+      } else {
+        return Status::IOError("bad root '" + value + "'");
+      }
+    } else if (key == "score") {
+      if (!AllDigits(value)) return Status::IOError("bad score '" + value + "'");
+      out->score = static_cast<uint32_t>(std::strtoul(value.c_str(), nullptr,
+                                                      10));
+    } else if (key == "kw") {
+      BIGINDEX_RETURN_IF_ERROR(ParseVertexList(value, &out->keyword_vertices));
+    } else if (key == "v") {
+      BIGINDEX_RETURN_IF_ERROR(ParseVertexList(value, &out->vertices));
+    } else {
+      return Status::IOError("unknown answer field '" + key + "'");
+    }
+  }
+  return Status::OK();
+}
+
+Status ParseErrLine(const std::string& line) {
+  if (!line.starts_with("ERR")) return Status::OK();
+  std::string rest = line.size() > 4 ? line.substr(4) : "";
+  std::string code = rest, message;
+  size_t colon = rest.find(':');
+  if (colon != std::string::npos) {
+    code = rest.substr(0, colon);
+    message = rest.substr(colon + 1);
+    if (!message.empty() && message.front() == ' ') message.erase(0, 1);
+  }
+  if (code == "InvalidArgument") return Status::InvalidArgument(message);
+  if (code == "NotFound") return Status::NotFound(message);
+  if (code == "Corruption") return Status::Corruption(message);
+  if (code == "IOError") return Status::IOError(message);
+  if (code == "FailedPrecondition") return Status::FailedPrecondition(message);
+  if (code == "OutOfRange") return Status::OutOfRange(message);
+  if (code == "Unimplemented") return Status::Unimplemented(message);
+  if (code == "DeadlineExceeded") return Status::DeadlineExceeded(message);
+  if (code == "Unavailable") return Status::Unavailable(message);
+  return Status::IOError("server error: " + rest);
+}
+
+Status ParseInfoLine(const std::string& line, WireInfo* out) {
+  *out = WireInfo{};
+  std::vector<std::string> tokens = Tokenize(line);
+  if (tokens.empty() || tokens[0] != "OK") {
+    return Status::IOError("not an INFO response: '" + line + "'");
+  }
+  bool saw_epoch = false, saw_shard = false;
+  for (size_t i = 1; i < tokens.size(); ++i) {
+    size_t eq = tokens[i].find('=');
+    if (eq == std::string::npos) continue;
+    std::string key = tokens[i].substr(0, eq);
+    std::string value = tokens[i].substr(eq + 1);
+    if (key == "epoch") {
+      saw_epoch = true;
+      out->epoch = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (key == "checksum") {
+      out->fingerprint = std::strtoull(value.c_str(), nullptr, 16);
+    } else if (key == "layers") {
+      out->num_layers =
+          static_cast<uint32_t>(std::strtoul(value.c_str(), nullptr, 10));
+    } else if (key == "shard") {
+      saw_shard = true;
+      size_t slash = value.find('/');
+      if (slash == std::string::npos) {
+        return Status::IOError("malformed shard field '" + value + "'");
+      }
+      out->shard_id =
+          static_cast<uint32_t>(std::strtoul(value.c_str(), nullptr, 10));
+      out->num_shards = static_cast<uint32_t>(
+          std::strtoul(value.c_str() + slash + 1, nullptr, 10));
+    } else if (key == "algos") {
+      std::stringstream in(value);
+      std::string name;
+      while (std::getline(in, name, ',')) {
+        if (!name.empty()) out->algorithms.push_back(name);
+      }
+    }
+  }
+  if (!saw_epoch || !saw_shard) {
+    return Status::IOError("INFO response missing required fields: '" +
+                           line + "'");
+  }
+  return Status::OK();
 }
 
 }  // namespace bigindex

@@ -13,6 +13,9 @@
 //   trace clear      drop all buffered spans
 //   bump             bump the index epoch (invalidates the answer cache)
 //   algos            registered algorithm names
+//   info             index identity: epoch, image checksum, layer count,
+//                    shard id/count, algorithm names — what the shard
+//                    coordinator verifies at attach time
 //   ping             liveness probe
 //   quit             close the session
 //
@@ -21,11 +24,16 @@
 //
 // Responses (every block ends with a line holding a single '.'):
 //   OK ...head...          then, for query, one answer per line:
-//   A root=<v|-> score=<s> kw=<v1,v2,...>
+//   A root=<v|-> score=<s> kw=<v1,v2,...> v=<v1,v2,...>
 //   .
 // or
-//   ERR <StatusCode> <message>
+//   ERR <StatusCode>: <message>
 //   .
+//
+// All vertex ids on the wire are *global*: a shard worker serves behind a
+// ShardRemapService, so clients and the coordinator never see shard-local
+// ids. The FormatQueryLine / Parse* helpers below are the client side of the
+// format, shared by bigindex_client and the RemoteSubstrate fan-out.
 //
 // Raw payload blocks (metrics, trace dump) are safe inside the framing:
 // Prometheus text lines and the one-line JSON dump can never consist of a
@@ -34,14 +42,17 @@
 #ifndef BIGINDEX_SERVER_LINE_PROTOCOL_H_
 #define BIGINDEX_SERVER_LINE_PROTOCOL_H_
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
 #include "graph/label_dictionary.h"
-#include "server/search_service.h"
+#include "server/query_service.h"
 
 namespace bigindex {
 
-/// Stateless per-session request dispatcher over one SearchService.
+/// Stateless per-session request dispatcher over one QueryService (a
+/// SearchService, a remapped shard worker, or the sharded coordinator).
 class LineHandler {
  public:
   struct Result {
@@ -51,7 +62,7 @@ class LineHandler {
 
   /// `service` is borrowed and must outlive the handler; `dict` (optional)
   /// enables name-based keywords.
-  explicit LineHandler(SearchService* service,
+  explicit LineHandler(QueryService* service,
                        const LabelDictionary* dict = nullptr)
       : service_(service), dict_(dict) {}
 
@@ -60,9 +71,42 @@ class LineHandler {
   Result Handle(const std::string& line);
 
  private:
-  SearchService* service_;
+  QueryService* service_;
   const LabelDictionary* dict_;
 };
+
+// ---------------------------------------------------------------------------
+// Client-side wire helpers (bigindex_client, shard/RemoteSubstrate)
+// ---------------------------------------------------------------------------
+
+/// Serializes `q` as one request line, using numeric keyword ids (parseable
+/// by any server, with or without a dictionary). Emits top_k/layer/exact/
+/// beta always and deadline_ms only when the deadline is set; answer_gen
+/// options are not part of the wire format (server defaults apply).
+std::string FormatQueryLine(const EngineQuery& q);
+
+/// Parses one "A root=... score=... kw=... v=..." answer line. Tolerates a
+/// missing v= field (older servers) by leaving `vertices` empty.
+Status ParseAnswerLine(const std::string& line, Answer* out);
+
+/// Decodes an "ERR <Code>: <message>" line back into the Status it encodes
+/// (unrecognized code names decode as IOError). Returns OK only if `line`
+/// is not an ERR line at all — check with starts_with("ERR") first.
+Status ParseErrLine(const std::string& line);
+
+/// The INFO verb's payload.
+struct WireInfo {
+  uint64_t epoch = 0;
+  uint64_t fingerprint = 0;
+  uint32_t num_layers = 0;
+  uint32_t shard_id = 0;
+  uint32_t num_shards = 0;  // 0 = monolithic
+  std::vector<std::string> algorithms;
+};
+
+/// Parses the "OK epoch=... checksum=... layers=... shard=i/n algos=a,b"
+/// head line of an INFO response.
+Status ParseInfoLine(const std::string& line, WireInfo* out);
 
 }  // namespace bigindex
 

@@ -1,0 +1,126 @@
+// QueryService — the narrow serving interface the protocol front ends
+// (LineHandler, TcpServer) and the shard substrate are written against.
+//
+// Two families implement it:
+//   * SearchService — one QueryEngine behind admission control and
+//     micro-batching (the monolithic server, and each shard worker).
+//   * ShardedSearchService — the scatter-gather coordinator in src/shard/,
+//     which fans a query out to N shard substrates and merges top-k.
+//
+// The interface deliberately excludes SubmitAsync: futures are an
+// implementation detail of SearchService's batcher; front ends only need
+// the synchronous call (one blocked connection thread per in-flight wire
+// request is the TcpServer model).
+//
+// ShardRemapService is the serving-edge adapter for shard workers: it
+// translates answer vertex ids from shard-local to global using the index
+// image's remap, so everything downstream — the wire protocol, the
+// coordinator's merge — speaks global vertex ids only.
+
+#ifndef BIGINDEX_SERVER_QUERY_SERVICE_H_
+#define BIGINDEX_SERVER_QUERY_SERVICE_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "engine/query_engine.h"
+#include "server/service_stats.h"
+#include "util/status.h"
+
+namespace bigindex {
+
+/// What a service is serving: which index image (fingerprint), how deep
+/// (layers), and which slice of the graph (shard id / count). The
+/// coordinator checks these at attach time (protocol INFO verb) so a
+/// misconfigured fleet fails fast instead of merging answers from
+/// incompatible indexes. num_shards == 0 means monolithic.
+struct ServiceIdentity {
+  /// Index-image fingerprint (ImageInfo::fingerprint); 0 when the service
+  /// is backed by an index built in memory rather than a loaded image.
+  uint64_t fingerprint = 0;
+  uint32_t num_layers = 0;
+  uint32_t shard_id = 0;
+  uint32_t num_shards = 0;  // 0 = monolithic
+
+  friend bool operator==(const ServiceIdentity&,
+                         const ServiceIdentity&) = default;
+};
+
+class QueryService {
+ public:
+  virtual ~QueryService() = default;
+
+  /// Evaluates one query synchronously. Error statuses per the implementing
+  /// service's contract (Unavailable on overload/shutdown, DeadlineExceeded,
+  /// InvalidArgument, NotFound).
+  virtual StatusOr<QueryResult> Query(EngineQuery query) = 0;
+
+  /// Current index epoch (starts at 1).
+  virtual uint64_t epoch() const = 0;
+
+  /// Invalidates answer caches; returns the new epoch.
+  virtual uint64_t BumpEpoch() = 0;
+
+  /// Service counters snapshot.
+  virtual ServiceStats Snapshot() const = 0;
+
+  /// Registered algorithm names, sorted.
+  virtual std::vector<std::string> AlgorithmNames() const = 0;
+
+  /// The identity of the index behind this service (see ServiceIdentity).
+  virtual ServiceIdentity Identity() const = 0;
+};
+
+/// Adapter that makes a shard worker speak global vertex ids: forwards every
+/// call to the wrapped (shard-local) service and rewrites answer vertices
+/// through the shard's local->global remap. The remap is strictly ascending
+/// (ExtractShard's order-preserving invariant), so rewritten vertex sets
+/// stay sorted. With an empty remap the adapter is a transparent pass-through
+/// (monolithic worker).
+class ShardRemapService : public QueryService {
+ public:
+  /// `inner` is borrowed and must outlive the adapter.
+  ShardRemapService(QueryService* inner, std::vector<VertexId> global_of)
+      : inner_(inner), global_of_(std::move(global_of)) {
+    // A 1-shard connectivity-closed plan maps every vertex to itself;
+    // dropping an identity remap makes Query a pure pass-through instead of
+    // rewriting every answer id per request.
+    bool identity = true;
+    for (size_t i = 0; i < global_of_.size(); ++i) {
+      if (global_of_[i] != static_cast<VertexId>(i)) {
+        identity = false;
+        break;
+      }
+    }
+    if (identity) global_of_.clear();
+  }
+
+  StatusOr<QueryResult> Query(EngineQuery query) override {
+    StatusOr<QueryResult> result = inner_->Query(std::move(query));
+    if (!result.ok() || global_of_.empty()) return result;
+    for (Answer& a : result->answers) {
+      if (a.root != kInvalidVertex) a.root = global_of_[a.root];
+      for (VertexId& v : a.vertices) v = global_of_[v];
+      for (VertexId& v : a.keyword_vertices) v = global_of_[v];
+    }
+    return result;
+  }
+
+  uint64_t epoch() const override { return inner_->epoch(); }
+  uint64_t BumpEpoch() override { return inner_->BumpEpoch(); }
+  ServiceStats Snapshot() const override { return inner_->Snapshot(); }
+  std::vector<std::string> AlgorithmNames() const override {
+    return inner_->AlgorithmNames();
+  }
+  ServiceIdentity Identity() const override { return inner_->Identity(); }
+
+ private:
+  QueryService* inner_;
+  std::vector<VertexId> global_of_;
+};
+
+}  // namespace bigindex
+
+#endif  // BIGINDEX_SERVER_QUERY_SERVICE_H_

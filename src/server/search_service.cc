@@ -191,6 +191,16 @@ uint64_t SearchService::BumpEpoch() {
   return epoch_.fetch_add(1, std::memory_order_acq_rel) + 1;
 }
 
+std::vector<std::string> SearchService::AlgorithmNames() const {
+  std::vector<std::string> names;
+  for (std::string_view name : engine_->AlgorithmNames()) {
+    names.emplace_back(name);
+  }
+  return names;
+}
+
+ServiceIdentity SearchService::Identity() const { return identity_; }
+
 void SearchService::CompleteOk(Pending& p, QueryResult result) {
   const double ms = p.queued.ElapsedMillis();
   latency_.Record(ms);

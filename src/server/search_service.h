@@ -46,6 +46,7 @@
 
 #include "engine/query_engine.h"
 #include "server/answer_cache.h"
+#include "server/query_service.h"
 #include "server/service_stats.h"
 #include "util/status.h"
 #include "util/timer.h"
@@ -85,7 +86,7 @@ struct SearchServiceOptions {
   double default_deadline_ms = 0;
 };
 
-class SearchService {
+class SearchService : public QueryService {
  public:
   /// The engine must have its algorithm registry finalized before serving
   /// starts (Register() is not thread-safe against evaluation).
@@ -94,7 +95,7 @@ class SearchService {
 
   /// Shuts down: in-flight batches complete, queued requests resolve with
   /// Unavailable.
-  ~SearchService();
+  ~SearchService() override;
 
   SearchService(const SearchService&) = delete;
   SearchService& operator=(const SearchService&) = delete;
@@ -107,20 +108,33 @@ class SearchService {
 
   /// Synchronous convenience: SubmitAsync + wait. Do not call from the
   /// batcher's own threads.
-  StatusOr<QueryResult> Query(EngineQuery query);
+  StatusOr<QueryResult> Query(EngineQuery query) override;
 
   /// Current index epoch (starts at 1).
-  uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
+  uint64_t epoch() const override {
+    return epoch_.load(std::memory_order_acquire);
+  }
 
   /// Invalidates the entire answer cache (e.g. after the underlying index
   /// is rebuilt or the registry's algorithm options change) and returns the
   /// new epoch. Already-cached hits handed out before the bump are
   /// unaffected.
-  uint64_t BumpEpoch();
+  uint64_t BumpEpoch() override;
 
   /// Coherent-enough snapshot of all counters (individual counters are
   /// exact; cross-counter relations may be mid-update).
-  ServiceStats Snapshot() const;
+  ServiceStats Snapshot() const override;
+
+  /// The engine's registered algorithm names, sorted.
+  std::vector<std::string> AlgorithmNames() const override;
+
+  /// Identity of the served index; defaults to "monolithic, no image
+  /// fingerprint". The embedder (bigindex_serverd) stamps it after loading
+  /// an image with set_identity().
+  ServiceIdentity Identity() const override;
+
+  /// Not thread-safe against serving: call before traffic starts.
+  void set_identity(const ServiceIdentity& identity) { identity_ = identity; }
 
   /// Idempotent; also run by the destructor.
   void Shutdown();
@@ -147,6 +161,7 @@ class SearchService {
 
   std::shared_ptr<const QueryEngine> engine_;
   SearchServiceOptions options_;
+  ServiceIdentity identity_;
   AnswerCache cache_;
   Timer uptime_;
 

@@ -53,6 +53,12 @@ struct ServiceStats {
   double throughput_qps = 0;       // completed / uptime
   uint64_t epoch = 0;              // current cache epoch
 
+  // Scatter-gather coordination (zero on non-sharded services). The
+  // coordinator also repurposes batches/batched_queries as fan-out waves /
+  // shard requests actually sent.
+  uint64_t shard_failures = 0;     // failed per-shard requests
+  uint64_t partial_results = 0;    // merges served with a shard missing
+
   /// One key=value line per field, for the daemon's `stats` command and
   /// human logs.
   std::string ToString() const;

@@ -32,7 +32,7 @@ bool WriteAll(int fd, const std::string& data) {
 
 }  // namespace
 
-TcpServer::TcpServer(SearchService* service, const LabelDictionary* dict,
+TcpServer::TcpServer(QueryService* service, const LabelDictionary* dict,
                      TcpServerOptions options)
     : service_(service), dict_(dict), options_(options) {}
 

@@ -1,9 +1,10 @@
-// Minimal line-protocol TCP front end for a SearchService.
+// Minimal line-protocol TCP front end for a QueryService (a monolithic
+// SearchService, a remapped shard worker, or the sharded coordinator).
 //
 // One acceptor thread plus one thread per connection; each connection is a
 // LineHandler session (read a line, write the dot-terminated response
 // block). Concurrency, batching, backpressure, and deadlines all live in
-// the SearchService behind it — this layer only moves bytes, so a slow or
+// the service behind it — this layer only moves bytes, so a slow or
 // hostile client can at worst stall its own connection thread.
 
 #ifndef BIGINDEX_SERVER_TCP_SERVER_H_
@@ -16,7 +17,7 @@
 #include <vector>
 
 #include "graph/label_dictionary.h"
-#include "server/search_service.h"
+#include "server/query_service.h"
 #include "util/status.h"
 
 namespace bigindex {
@@ -33,7 +34,7 @@ class TcpServer {
  public:
   /// `service` (and `dict`, optional) are borrowed; keep them alive until
   /// Stop() returns.
-  TcpServer(SearchService* service, const LabelDictionary* dict,
+  TcpServer(QueryService* service, const LabelDictionary* dict,
             TcpServerOptions options = {});
   ~TcpServer();
 
@@ -55,7 +56,7 @@ class TcpServer {
   void AcceptLoop();
   void ServeConnection(int fd);
 
-  SearchService* service_;
+  QueryService* service_;
   const LabelDictionary* dict_;
   TcpServerOptions options_;
   uint16_t port_ = 0;

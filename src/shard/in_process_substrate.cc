@@ -1,0 +1,80 @@
+#include "shard/in_process_substrate.h"
+
+#include <utility>
+
+namespace bigindex {
+
+StatusOr<std::unique_ptr<InProcessSubstrate>> InProcessSubstrate::Create(
+    std::vector<BuiltShard> shards, InProcessSubstrateOptions options) {
+  if (shards.empty()) {
+    return Status::InvalidArgument("substrate needs at least one shard");
+  }
+  auto substrate = std::unique_ptr<InProcessSubstrate>(
+      new InProcessSubstrate());
+  for (size_t s = 0; s < shards.size(); ++s) {
+    BuiltShard& built = shards[s];
+    if (built.shard.shard_id != s ||
+        built.shard.num_shards != shards.size()) {
+      return Status::InvalidArgument(
+          "shard " + std::to_string(s) + " carries identity " +
+          std::to_string(built.shard.shard_id) + "/" +
+          std::to_string(built.shard.num_shards));
+    }
+    auto shard = std::make_unique<Shard>();
+    uint32_t num_layers =
+        static_cast<uint32_t>(built.index.NumLayers());
+    auto engine = std::make_unique<QueryEngine>(
+        std::move(built.index),
+        QueryEngineOptions{.num_threads = options.engine_threads});
+    if (options.configure_engine) options.configure_engine(*engine);
+    shard->engine = std::shared_ptr<const QueryEngine>(std::move(engine));
+    shard->service =
+        std::make_unique<SearchService>(shard->engine, options.service);
+    shard->service->set_identity(ServiceIdentity{
+        .fingerprint = 0,
+        .num_layers = num_layers,
+        .shard_id = built.shard.shard_id,
+        .num_shards = built.shard.num_shards,
+    });
+    shard->remapped = std::make_unique<ShardRemapService>(
+        shard->service.get(), std::move(built.shard.global_of));
+    substrate->shards_.push_back(std::move(shard));
+  }
+  return substrate;
+}
+
+Status InProcessSubstrate::CheckShard(size_t shard) const {
+  if (shard >= shards_.size()) {
+    return Status::OutOfRange("shard " + std::to_string(shard) +
+                              " out of range (substrate has " +
+                              std::to_string(shards_.size()) + ")");
+  }
+  return Status::OK();
+}
+
+StatusOr<ShardInfo> InProcessSubstrate::Info(size_t shard) {
+  BIGINDEX_RETURN_IF_ERROR(CheckShard(shard));
+  QueryService& service = *shards_[shard]->remapped;
+  ServiceIdentity id = service.Identity();
+  ShardInfo info;
+  info.epoch = service.epoch();
+  info.fingerprint = id.fingerprint;
+  info.num_layers = id.num_layers;
+  info.shard_id = id.shard_id;
+  info.num_shards = id.num_shards;
+  info.algorithms = service.AlgorithmNames();
+  return info;
+}
+
+StatusOr<QueryResult> InProcessSubstrate::Query(size_t shard,
+                                                const EngineQuery& query) {
+  BIGINDEX_RETURN_IF_ERROR(CheckShard(shard));
+  return shards_[shard]->remapped->Query(query);
+}
+
+StatusOr<uint64_t> InProcessSubstrate::BumpEpoch(size_t shard) {
+  BIGINDEX_RETURN_IF_ERROR(CheckShard(shard));
+  return shards_[shard]->remapped->BumpEpoch();
+}
+
+}  // namespace bigindex

@@ -1,0 +1,75 @@
+// InProcessSubstrate — every shard is a QueryEngine on its own thread pool
+// inside this process, fronted by its own admission-controlled
+// SearchService (per-shard queue, micro-batcher, and epoch-keyed answer
+// cache all fall out of the existing SearchService design) and a
+// ShardRemapService so answers leave in global vertex ids.
+//
+// This is the single-process deployment of the shard substrate: the full
+// scatter-gather pipeline — coordinator fan-out, per-shard admission,
+// merge — with zero serialization cost, and the reference implementation
+// the RemoteSubstrate differential tests compare against.
+
+#ifndef BIGINDEX_SHARD_IN_PROCESS_SUBSTRATE_H_
+#define BIGINDEX_SHARD_IN_PROCESS_SUBSTRATE_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "engine/query_engine.h"
+#include "server/query_service.h"
+#include "server/search_service.h"
+#include "shard/shard_build.h"
+#include "shard/substrate.h"
+
+namespace bigindex {
+
+struct InProcessSubstrateOptions {
+  /// Per-shard engine pool threads (see QueryEngineOptions::num_threads).
+  size_t engine_threads = 0;
+
+  /// Per-shard serving options (queue, batcher, cache).
+  SearchServiceOptions service;
+
+  /// Optional hook run on each shard's engine after construction, before
+  /// serving starts — e.g. to re-register algorithms with non-default
+  /// options. Must configure every shard identically, or the merged answer
+  /// set loses its equivalence to a monolithic evaluation.
+  std::function<void(QueryEngine&)> configure_engine;
+};
+
+class InProcessSubstrate : public ShardSubstrate {
+ public:
+  /// Takes ownership of the built shards (the plan is not needed for
+  /// serving). The ontology the indexes borrow must outlive the substrate.
+  static StatusOr<std::unique_ptr<InProcessSubstrate>> Create(
+      std::vector<BuiltShard> shards, InProcessSubstrateOptions options = {});
+
+  size_t num_shards() const override { return shards_.size(); }
+  StatusOr<ShardInfo> Info(size_t shard) override;
+  StatusOr<QueryResult> Query(size_t shard,
+                              const EngineQuery& query) override;
+  StatusOr<uint64_t> BumpEpoch(size_t shard) override;
+
+  /// The shard's serving stack (global-id view), e.g. to front one shard of
+  /// this substrate with a TcpServer in tests.
+  QueryService* shard_service(size_t shard) {
+    return shards_[shard]->remapped.get();
+  }
+
+ private:
+  struct Shard {
+    std::shared_ptr<const QueryEngine> engine;
+    std::unique_ptr<SearchService> service;
+    std::unique_ptr<ShardRemapService> remapped;
+  };
+
+  InProcessSubstrate() = default;
+  Status CheckShard(size_t shard) const;
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace bigindex
+
+#endif  // BIGINDEX_SHARD_IN_PROCESS_SUBSTRATE_H_

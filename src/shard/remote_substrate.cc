@@ -1,0 +1,104 @@
+#include "shard/remote_substrate.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+#include "server/line_protocol.h"
+
+namespace bigindex {
+
+RemoteSubstrate::RemoteSubstrate(std::vector<ShardEndpoint> endpoints,
+                                 ProtocolClientOptions client_options) {
+  shards_.reserve(endpoints.size());
+  for (const ShardEndpoint& ep : endpoints) {
+    shards_.push_back(std::make_unique<Shard>(ep, client_options));
+  }
+}
+
+Status RemoteSubstrate::CheckShard(size_t shard) const {
+  if (shard >= shards_.size()) {
+    return Status::OutOfRange("shard " + std::to_string(shard) +
+                              " out of range (substrate has " +
+                              std::to_string(shards_.size()) + ")");
+  }
+  return Status::OK();
+}
+
+StatusOr<std::vector<std::string>> RemoteSubstrate::RequestLocked(
+    size_t shard, const std::string& line) {
+  Shard& s = *shards_[shard];
+  std::lock_guard<std::mutex> lock(s.mutex);
+  return s.client.Request(line);
+}
+
+StatusOr<ShardInfo> RemoteSubstrate::Info(size_t shard) {
+  BIGINDEX_RETURN_IF_ERROR(CheckShard(shard));
+  auto lines = RequestLocked(shard, "info");
+  if (!lines.ok()) return lines.status();
+  if (lines->empty()) return Status::IOError("empty INFO response");
+  const std::string& head = lines->front();
+  if (head.starts_with("ERR")) return ParseErrLine(head);
+  WireInfo wire;
+  BIGINDEX_RETURN_IF_ERROR(ParseInfoLine(head, &wire));
+  ShardInfo info;
+  info.epoch = wire.epoch;
+  info.fingerprint = wire.fingerprint;
+  info.num_layers = wire.num_layers;
+  info.shard_id = wire.shard_id;
+  info.num_shards = wire.num_shards;
+  info.algorithms = std::move(wire.algorithms);
+  return info;
+}
+
+StatusOr<QueryResult> RemoteSubstrate::Query(size_t shard,
+                                             const EngineQuery& query) {
+  BIGINDEX_RETURN_IF_ERROR(CheckShard(shard));
+  auto lines = RequestLocked(shard, FormatQueryLine(query));
+  if (!lines.ok()) return lines.status();
+  if (lines->empty()) return Status::IOError("empty query response");
+  const std::string& head = lines->front();
+  if (head.starts_with("ERR")) return ParseErrLine(head);
+  if (!head.starts_with("OK")) {
+    return Status::IOError("unexpected response head: '" + head + "'");
+  }
+  QueryResult result;
+  result.algorithm = query.algorithm;
+  // Head fields: n= is implied by the A-line count; ms= and layer= are the
+  // shard's own measurements.
+  for (const char* key : {" ms=", " layer="}) {
+    size_t at = head.find(key);
+    if (at == std::string::npos) continue;
+    const char* value = head.c_str() + at + std::strlen(key);
+    if (key[1] == 'm') {
+      result.wall_ms = std::atof(value);
+    } else {
+      result.breakdown.layer = static_cast<size_t>(std::atoll(value));
+    }
+  }
+  result.answers.reserve(lines->size() - 1);
+  for (size_t i = 1; i < lines->size(); ++i) {
+    Answer a;
+    BIGINDEX_RETURN_IF_ERROR(ParseAnswerLine((*lines)[i], &a));
+    result.answers.push_back(std::move(a));
+  }
+  result.breakdown.final_answers = result.answers.size();
+  return result;
+}
+
+StatusOr<uint64_t> RemoteSubstrate::BumpEpoch(size_t shard) {
+  BIGINDEX_RETURN_IF_ERROR(CheckShard(shard));
+  auto lines = RequestLocked(shard, "bump");
+  if (!lines.ok()) return lines.status();
+  if (lines->empty()) return Status::IOError("empty bump response");
+  const std::string& head = lines->front();
+  if (head.starts_with("ERR")) return ParseErrLine(head);
+  size_t at = head.find("epoch=");
+  if (!head.starts_with("OK") || at == std::string::npos) {
+    return Status::IOError("unexpected bump response: '" + head + "'");
+  }
+  return static_cast<uint64_t>(
+      std::strtoull(head.c_str() + at + 6, nullptr, 10));
+}
+
+}  // namespace bigindex

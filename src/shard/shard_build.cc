@@ -1,0 +1,68 @@
+#include "shard/shard_build.h"
+
+#include <utility>
+
+namespace bigindex {
+namespace {
+
+StatusOr<BuiltShard> BuildShardFromPlan(const Graph& g,
+                                        const Ontology* ontology,
+                                        const ShardBuildOptions& options,
+                                        const ShardPlan& plan,
+                                        uint32_t shard) {
+  auto extract = ExtractShard(g, plan, shard);
+  if (!extract.ok()) return extract.status();
+  auto index =
+      BigIndex::Build(std::move(extract->graph), ontology, options.index);
+  if (!index.ok()) return index.status();
+  BuiltShard built{std::move(index).value(), {}};
+  built.shard.shard_id = shard;
+  built.shard.num_shards = static_cast<uint32_t>(plan.num_shards());
+  built.shard.global_of = std::move(extract->global_of);
+  return built;
+}
+
+}  // namespace
+
+StatusOr<ShardedIndex> BuildShardedIndex(const Graph& g,
+                                         const Ontology* ontology,
+                                         const ShardBuildOptions& options) {
+  auto plan = PlanShards(g, options.plan);
+  if (!plan.ok()) return plan.status();
+  ShardedIndex result;
+  result.plan = std::move(plan).value();
+  result.shards.reserve(result.plan.num_shards());
+  for (uint32_t s = 0; s < result.plan.num_shards(); ++s) {
+    auto built = BuildShardFromPlan(g, ontology, options, result.plan, s);
+    if (!built.ok()) return built.status();
+    result.shards.push_back(std::move(built).value());
+  }
+  return result;
+}
+
+StatusOr<BuiltShard> BuildOneShard(const Graph& g, const Ontology* ontology,
+                                   const ShardBuildOptions& options,
+                                   uint32_t shard) {
+  auto plan = PlanShards(g, options.plan);
+  if (!plan.ok()) return plan.status();
+  return BuildShardFromPlan(g, ontology, options, *plan, shard);
+}
+
+std::string ShardImagePath(const std::string& prefix, uint32_t shard,
+                           uint32_t num_shards) {
+  return prefix + ".shard" + std::to_string(shard) + "of" +
+         std::to_string(num_shards) + ".img";
+}
+
+Status SaveShardImages(const ShardedIndex& index, const LabelDictionary& dict,
+                       const std::string& prefix) {
+  for (const BuiltShard& built : index.shards) {
+    BIGINDEX_RETURN_IF_ERROR(SaveIndexImageFile(
+        built.index, dict, built.shard,
+        ShardImagePath(prefix, built.shard.shard_id,
+                       built.shard.num_shards)));
+  }
+  return Status::OK();
+}
+
+}  // namespace bigindex

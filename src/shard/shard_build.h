@@ -1,0 +1,69 @@
+// Sharded BiG-index construction: plan the shard cover, extract each
+// shard's subgraph, and build one full BiG-index hierarchy per shard.
+//
+// Build is embarrassingly parallel across shards — every shard's index is
+// built from its own vertex-induced subgraph with the same ontology and
+// build options — and deterministic: PlanShards is a pure function of
+// (graph, options) and per-shard builds inherit PR 4's byte-identical
+// construction, so independent processes given the same dataset flags
+// (bigindex_serverd --shard-of k) agree on the plan and produce identical
+// shard images without any coordination.
+
+#ifndef BIGINDEX_SHARD_SHARD_BUILD_H_
+#define BIGINDEX_SHARD_SHARD_BUILD_H_
+
+#include <string>
+#include <vector>
+
+#include "core/big_index.h"
+#include "core/index_image.h"
+#include "graph/label_dictionary.h"
+#include "search/partitioner.h"
+#include "util/status.h"
+
+namespace bigindex {
+
+struct ShardBuildOptions {
+  ShardPlanOptions plan;
+
+  /// Per-shard BigIndex construction options (layer cap, threads, seed).
+  BigIndexOptions index;
+};
+
+/// One shard's index plus its identity (id, shard count, global remap).
+struct BuiltShard {
+  BigIndex index;
+  ShardImageInfo shard;
+};
+
+/// The full sharded build: the plan plus every shard's index, in shard-id
+/// order.
+struct ShardedIndex {
+  ShardPlan plan;
+  std::vector<BuiltShard> shards;
+};
+
+/// Plans `options.plan` over `g` and builds one BiG-index per shard.
+/// `ontology` must outlive the result.
+StatusOr<ShardedIndex> BuildShardedIndex(const Graph& g,
+                                         const Ontology* ontology,
+                                         const ShardBuildOptions& options);
+
+/// Builds only shard `shard` of the plan — what `bigindex_serverd
+/// --shard-of` runs so each worker process builds just its slice.
+StatusOr<BuiltShard> BuildOneShard(const Graph& g, const Ontology* ontology,
+                                   const ShardBuildOptions& options,
+                                   uint32_t shard);
+
+/// The conventional image path for one shard: "<prefix>.shard<k>of<n>.img".
+std::string ShardImagePath(const std::string& prefix, uint32_t shard,
+                           uint32_t num_shards);
+
+/// Writes every shard of `index` as a relocatable shard image under the
+/// ShardImagePath convention.
+Status SaveShardImages(const ShardedIndex& index, const LabelDictionary& dict,
+                       const std::string& prefix);
+
+}  // namespace bigindex
+
+#endif  // BIGINDEX_SHARD_SHARD_BUILD_H_

@@ -1,0 +1,258 @@
+#include "shard/sharded_service.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "search/answer.h"
+#include "server/search_service.h"
+
+namespace bigindex {
+
+ShardedSearchService::ShardedSearchService(ShardSubstrate* substrate,
+                                           ShardedServiceOptions options)
+    : substrate_(substrate),
+      options_(options),
+      pool_(options.fanout_threads) {}
+
+Status ShardedSearchService::Attach() {
+  const size_t n = substrate_->num_shards();
+  if (n == 0) return Status::InvalidArgument("substrate has no shards");
+  std::vector<ShardInfo> infos;
+  infos.reserve(n);
+  for (size_t s = 0; s < n; ++s) {
+    auto info = substrate_->Info(s);
+    if (!info.ok()) {
+      return Status::FailedPrecondition(
+          "shard " + std::to_string(s) +
+          " unreachable at attach: " + info.status().ToString());
+    }
+    infos.push_back(std::move(info).value());
+  }
+  for (size_t s = 0; s < n; ++s) {
+    const ShardInfo& info = infos[s];
+    if (info.num_shards == 0) {
+      // A monolithic worker is a valid 1-shard fleet, nothing else.
+      if (n != 1) {
+        return Status::FailedPrecondition(
+            "shard " + std::to_string(s) +
+            " serves a monolithic index inside a " + std::to_string(n) +
+            "-shard fleet");
+      }
+    } else {
+      if (info.num_shards != n) {
+        return Status::FailedPrecondition(
+            "shard " + std::to_string(s) + " was built for " +
+            std::to_string(info.num_shards) + " shards, fleet has " +
+            std::to_string(n));
+      }
+      if (info.shard_id != s) {
+        return Status::FailedPrecondition(
+            "endpoint " + std::to_string(s) + " serves shard " +
+            std::to_string(info.shard_id) +
+            " (endpoints must be in shard-id order)");
+      }
+    }
+    if (info.algorithms != infos[0].algorithms) {
+      return Status::FailedPrecondition(
+          "shard algorithm sets disagree between shard 0 and shard " +
+          std::to_string(s));
+    }
+  }
+  shards_.clear();
+  for (size_t s = 0; s < n; ++s) {
+    auto per = std::make_unique<PerShard>();
+    if (options_.enable_cache) {
+      per->cache = std::make_unique<AnswerCache>(options_.cache);
+    }
+    per->epoch.store(infos[s].epoch, std::memory_order_release);
+    shards_.push_back(std::move(per));
+  }
+  algorithms_ = std::move(infos[0].algorithms);
+  // A smaller shard can legitimately summarize away in fewer layers than its
+  // siblings (Build stops once a layer stops compressing), so layer counts
+  // are informational: present the deepest.
+  num_layers_ = 0;
+  for (const ShardInfo& info : infos) {
+    num_layers_ = std::max(num_layers_, info.num_layers);
+  }
+  attached_.store(true, std::memory_order_release);
+  return Status::OK();
+}
+
+StatusOr<QueryResult> ShardedSearchService::Query(EngineQuery query) {
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  if (!attached()) {
+    return Status::FailedPrecondition("coordinator is not attached");
+  }
+  if (query.keywords.empty()) {
+    rejected_invalid_.fetch_add(1, std::memory_order_relaxed);
+    return Status::InvalidArgument("query has no keywords");
+  }
+  if (std::find(algorithms_.begin(), algorithms_.end(), query.algorithm) ==
+      algorithms_.end()) {
+    rejected_invalid_.fetch_add(1, std::memory_order_relaxed);
+    return Status::NotFound("no algorithm registered as '" + query.algorithm +
+                            "'");
+  }
+  query.NormalizeKeywords();
+  if (options_.default_deadline_ms > 0 && query.eval.deadline.IsNever()) {
+    query.eval.deadline = Deadline::After(options_.default_deadline_ms);
+  }
+  if (query.eval.deadline.Expired()) {
+    deadline_misses_.fetch_add(1, std::memory_order_relaxed);
+    return Status::DeadlineExceeded("deadline expired before fan-out");
+  }
+
+  Timer timer;
+  const size_t n = shards_.size();
+  std::vector<std::shared_ptr<const QueryResult>> per_shard(n);
+  std::vector<size_t> missing;
+  for (size_t s = 0; s < n; ++s) {
+    if (shards_[s]->cache == nullptr) {
+      missing.push_back(s);
+      continue;
+    }
+    std::string key = SearchService::CacheKeyFor(
+        shards_[s]->epoch.load(std::memory_order_acquire), query);
+    per_shard[s] = shards_[s]->cache->Lookup(key);
+    if (per_shard[s] == nullptr) missing.push_back(s);
+  }
+
+  // Fan out to the shards the caches could not answer. ParallelFor is
+  // re-entrant across threads, so concurrent coordinator queries share the
+  // pool; with fanout_threads=0 this runs inline.
+  std::vector<StatusOr<QueryResult>> fetched(
+      missing.size(), Status::Unavailable("shard fan-out not run"));
+  shard_queries_.fetch_add(missing.size(), std::memory_order_relaxed);
+  pool_.ParallelFor(missing.size(), [&](size_t /*slot*/, size_t i) {
+    fetched[i] = substrate_->Query(missing[i], query);
+  });
+
+  bool partial = false;
+  for (size_t i = 0; i < missing.size(); ++i) {
+    size_t s = missing[i];
+    if (!fetched[i].ok()) {
+      shard_failures_.fetch_add(1, std::memory_order_relaxed);
+      if (options_.allow_partial &&
+          fetched[i].status().code() != StatusCode::kInvalidArgument &&
+          fetched[i].status().code() != StatusCode::kNotFound) {
+        partial = true;
+        continue;
+      }
+      if (fetched[i].status().code() == StatusCode::kDeadlineExceeded) {
+        deadline_misses_.fetch_add(1, std::memory_order_relaxed);
+      }
+      return fetched[i].status();
+    }
+    if (shards_[s]->cache != nullptr) {
+      std::string key = SearchService::CacheKeyFor(
+          shards_[s]->epoch.load(std::memory_order_acquire), query);
+      shards_[s]->cache->Insert(key, *fetched[i]);
+    }
+  }
+
+  // Merge: shard vertex sets are disjoint, so concatenation is the union;
+  // rank with the same deterministic order a monolithic evaluation uses,
+  // then apply the top-k cut. Cache hits must be copied (the cache keeps
+  // its entry); freshly fetched results are uniquely owned and moved.
+  QueryResult merged;
+  merged.algorithm = query.algorithm;
+  auto fold = [&merged](const QueryResult& r) {
+    merged.breakdown.layer = std::max(merged.breakdown.layer,
+                                      r.breakdown.layer);
+    merged.breakdown.generalized_answers += r.breakdown.generalized_answers;
+    merged.breakdown.candidate_roots += r.breakdown.candidate_roots;
+  };
+  for (size_t s = 0; s < n; ++s) {
+    if (per_shard[s] == nullptr) continue;  // filled from cache only
+    fold(*per_shard[s]);
+    merged.answers.insert(merged.answers.end(), per_shard[s]->answers.begin(),
+                          per_shard[s]->answers.end());
+  }
+  for (size_t i = 0; i < missing.size(); ++i) {
+    if (!fetched[i].ok()) continue;  // allow_partial skip
+    fold(*fetched[i]);
+    std::vector<Answer>& answers = fetched[i]->answers;
+    if (merged.answers.empty()) {
+      merged.answers = std::move(answers);
+    } else {
+      merged.answers.insert(merged.answers.end(),
+                            std::make_move_iterator(answers.begin()),
+                            std::make_move_iterator(answers.end()));
+    }
+  }
+  SortAnswers(merged.answers);
+  if (query.eval.top_k > 0 && merged.answers.size() > query.eval.top_k) {
+    merged.answers.resize(query.eval.top_k);
+  }
+  merged.breakdown.final_answers = merged.answers.size();
+  merged.wall_ms = timer.ElapsedMillis();
+  if (partial) partial_results_.fetch_add(1, std::memory_order_relaxed);
+  completed_.fetch_add(1, std::memory_order_relaxed);
+  latency_.Record(merged.wall_ms);
+  return merged;
+}
+
+uint64_t ShardedSearchService::BumpEpoch() {
+  // Best effort on the remote side; coordinator caches are invalidated
+  // unconditionally (a shard whose bump failed keeps serving the same index,
+  // so refilled entries stay correct).
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    auto bumped = substrate_->BumpEpoch(s);
+    if (bumped.ok()) {
+      shards_[s]->epoch.store(*bumped, std::memory_order_release);
+    }
+    if (shards_[s]->cache != nullptr) shards_[s]->cache->Clear();
+  }
+  return epoch_.fetch_add(1, std::memory_order_acq_rel) + 1;
+}
+
+ServiceStats ShardedSearchService::Snapshot() const {
+  ServiceStats s;
+  s.submitted = submitted_.load(std::memory_order_relaxed);
+  s.rejected_invalid = rejected_invalid_.load(std::memory_order_relaxed);
+  s.completed = completed_.load(std::memory_order_relaxed);
+  s.deadline_misses = deadline_misses_.load(std::memory_order_relaxed);
+  // Fan-out counters ride the batch fields: one "batch" per fan-out wave,
+  // batched_queries = shard requests actually sent (cache misses only).
+  s.batches = s.completed;
+  s.batched_queries = shard_queries_.load(std::memory_order_relaxed);
+  s.mean_batch_size =
+      s.batches ? static_cast<double>(s.batched_queries) / s.batches : 0;
+  for (const auto& per : shards_) {
+    if (per->cache == nullptr) continue;
+    AnswerCacheStats cs = per->cache->stats();
+    s.cache_hits += cs.hits;
+    s.cache_misses += cs.misses;
+    s.cache_evictions += cs.evictions;
+    s.cache_entries += cs.entries;
+  }
+  s.cache_hit_ratio = (s.cache_hits + s.cache_misses)
+                          ? static_cast<double>(s.cache_hits) /
+                                static_cast<double>(s.cache_hits +
+                                                    s.cache_misses)
+                          : 0;
+  s.shard_failures = shard_failures_.load(std::memory_order_relaxed);
+  s.partial_results = partial_results_.load(std::memory_order_relaxed);
+  s.p50_ms = latency_.Quantile(0.50);
+  s.p95_ms = latency_.Quantile(0.95);
+  s.p99_ms = latency_.Quantile(0.99);
+  s.uptime_s = uptime_.ElapsedSeconds();
+  s.throughput_qps =
+      s.uptime_s > 0 ? static_cast<double>(s.completed) / s.uptime_s : 0;
+  s.epoch = epoch();
+  return s;
+}
+
+std::vector<std::string> ShardedSearchService::AlgorithmNames() const {
+  return algorithms_;
+}
+
+ServiceIdentity ShardedSearchService::Identity() const {
+  return ServiceIdentity{.fingerprint = 0,
+                         .num_layers = num_layers_,
+                         .shard_id = 0,
+                         .num_shards = 0};
+}
+
+}  // namespace bigindex

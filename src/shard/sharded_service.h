@@ -1,0 +1,131 @@
+// ShardedSearchService — the scatter-gather coordinator (DESIGN.md §9).
+//
+// One QueryService over N shards of a ShardSubstrate:
+//
+//   client → [validate + normalize + deadline]          (caller's thread)
+//          → per-shard answer-cache probes              (epoch-keyed)
+//          → fan-out to cache-missing shards            (ExecutorPool)
+//          → per-shard cache fills
+//          → merge: concat + rank + top-k cut
+//
+// Merge semantics: shard vertex sets are disjoint, so per-shard answer sets
+// are disjoint and the merged set is their concatenation — no cross-shard
+// dedup exists to do. Ranking uses the same deterministic AnswerLess order
+// as a monolithic evaluation, then applies the top-k cut. Under the
+// connectivity-closed shard mode no answer spans shards, so with top_k=0
+// the merged set is *exactly* the monolithic answer set for every algorithm
+// at every layer (the differential gate in tests/shard_test.cpp); with a
+// top-k cut the merged ranking equals the monolithic ranking whenever
+// scores are exact (layer 0, or exact mode's verified scores).
+//
+// Caches are per shard and epoch-keyed: the coordinator tracks each shard's
+// epoch (learned at Attach, advanced by BumpEpoch) and keys shard s's cache
+// on (epoch_s, query identity). A repeat query after one shard's rebuild
+// re-fans only to that shard. Bump shard epochs *through the coordinator*;
+// a worker bumped behind its back serves fresh answers to direct clients
+// while the coordinator's cache keeps handing out the old generation.
+//
+// Deadlines ride in EngineQuery::eval.deadline: every shard sees the same
+// deadline, expired queries are rejected before fan-out, and one slow shard
+// turns into DeadlineExceeded for the whole query (all-or-nothing; there
+// are no partial answer sets unless allow_partial opts in).
+
+#ifndef BIGINDEX_SHARD_SHARDED_SERVICE_H_
+#define BIGINDEX_SHARD_SHARDED_SERVICE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "engine/executor.h"
+#include "server/answer_cache.h"
+#include "server/query_service.h"
+#include "shard/substrate.h"
+#include "util/timer.h"
+
+namespace bigindex {
+
+struct ShardedServiceOptions {
+  /// Fan-out pool threads. 0 = serial fan-out (still correct, just no
+  /// overlap); ExecutorPool::kHardwareConcurrency = one per hardware
+  /// thread. The pool is shared by concurrent coordinator queries
+  /// (ParallelFor is re-entrant across threads).
+  size_t fanout_threads = 0;
+
+  /// Per-shard answer caches (each shard gets its own AnswerCache with
+  /// these options). enable_cache=false drops them entirely.
+  bool enable_cache = true;
+  AnswerCacheOptions cache;
+
+  /// Deadline applied to queries that arrive without one; 0 = none.
+  double default_deadline_ms = 0;
+
+  /// If true, a failed shard (unreachable, overloaded) is skipped and the
+  /// merge proceeds over the shards that answered — availability over
+  /// exactness, counted in stats. If false (default), any shard failure
+  /// fails the query with that shard's status.
+  bool allow_partial = false;
+};
+
+class ShardedSearchService : public QueryService {
+ public:
+  /// `substrate` is borrowed and must outlive the service.
+  explicit ShardedSearchService(ShardSubstrate* substrate,
+                                ShardedServiceOptions options = {});
+
+  /// Fetches every shard's Info and verifies the fleet is coherent: shard
+  /// ids form the exact cover 0..N-1 of one num_shards (monolithic workers
+  /// are accepted only for N=1) and algorithm sets agree. Layer counts may
+  /// differ (a small shard can summarize away in fewer layers); Identity()
+  /// reports the deepest. Must succeed before Query()/BumpEpoch();
+  /// FailedPrecondition otherwise.
+  Status Attach();
+
+  // QueryService interface. Identity() presents the coordinator as a
+  // whole-graph service (shard=0/0): clients are not supposed to care that
+  // shards exist behind it.
+  StatusOr<QueryResult> Query(EngineQuery query) override;
+  uint64_t epoch() const override {
+    return epoch_.load(std::memory_order_acquire);
+  }
+  uint64_t BumpEpoch() override;
+  ServiceStats Snapshot() const override;
+  std::vector<std::string> AlgorithmNames() const override;
+  ServiceIdentity Identity() const override;
+
+  bool attached() const { return attached_.load(std::memory_order_acquire); }
+  size_t num_shards() const { return substrate_->num_shards(); }
+
+ private:
+  struct PerShard {
+    std::unique_ptr<AnswerCache> cache;  // null when caching is disabled
+    std::atomic<uint64_t> epoch{1};      // the shard's epoch as last seen
+  };
+
+  ShardSubstrate* substrate_;
+  ShardedServiceOptions options_;
+  ExecutorPool pool_;
+  Timer uptime_;
+
+  std::atomic<bool> attached_{false};
+  std::vector<std::unique_ptr<PerShard>> shards_;
+  std::vector<std::string> algorithms_;  // common set, from Attach
+  uint32_t num_layers_ = 0;              // deepest shard layer count
+
+  std::atomic<uint64_t> epoch_{1};
+  std::atomic<uint64_t> submitted_{0};
+  std::atomic<uint64_t> rejected_invalid_{0};
+  std::atomic<uint64_t> completed_{0};
+  std::atomic<uint64_t> deadline_misses_{0};
+  std::atomic<uint64_t> shard_queries_{0};   // fan-out requests actually sent
+  std::atomic<uint64_t> shard_failures_{0};  // failed shard requests
+  std::atomic<uint64_t> partial_results_{0};
+  LatencyHistogram latency_;
+};
+
+}  // namespace bigindex
+
+#endif  // BIGINDEX_SHARD_SHARDED_SERVICE_H_

@@ -1,0 +1,69 @@
+// ShardSubstrate — "where a shard lives" as an interface the coordinator is
+// generic over (DESIGN.md §9).
+//
+// A substrate exposes N shards, each serving the BiG-index of one slice of
+// the data graph. The coordinator (sharded_service.h) fans every query out
+// to all shards through this interface and merges the per-shard top-k; it
+// never knows whether a shard is a QueryEngine on a thread pool in this
+// process (InProcessSubstrate), a bigindex_serverd process on this machine,
+// or a remote node across the network (RemoteSubstrate — the transport is
+// the line protocol either way).
+//
+// Contracts every substrate implements:
+//   * Answers are in GLOBAL vertex ids. In-process shards translate through
+//     the shard's local->global remap (ShardRemapService); remote shard
+//     workers translate server-side, so the wire only ever carries global
+//     ids. Keyword label ids need no translation (ExtractShard preserves
+//     labels).
+//   * Query() is safe to call concurrently, for different shards and for
+//     the same shard (the coordinator fans out from concurrent connection
+//     threads). Implementations serialize internally where needed.
+//   * Per-query failures are returned as statuses, never thrown; an
+//     unreachable remote shard surfaces as kUnavailable.
+
+#ifndef BIGINDEX_SHARD_SUBSTRATE_H_
+#define BIGINDEX_SHARD_SUBSTRATE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "engine/query_engine.h"
+#include "util/status.h"
+
+namespace bigindex {
+
+/// What one shard reports about itself (the protocol INFO verb's payload).
+/// The coordinator verifies these at attach time: shard ids must form an
+/// exact cover 0..N-1 of a common num_shards, and layer counts and
+/// algorithm sets must agree, so a misassembled fleet fails fast instead of
+/// silently merging answers from incompatible indexes.
+struct ShardInfo {
+  uint64_t epoch = 0;
+  uint64_t fingerprint = 0;  // index-image checksum; 0 for built-in-memory
+  uint32_t num_layers = 0;
+  uint32_t shard_id = 0;
+  uint32_t num_shards = 0;  // 0 = the worker serves a monolithic index
+  std::vector<std::string> algorithms;
+};
+
+class ShardSubstrate {
+ public:
+  virtual ~ShardSubstrate() = default;
+
+  virtual size_t num_shards() const = 0;
+
+  /// Identity of shard `shard` (attach-time verification, epoch probes).
+  virtual StatusOr<ShardInfo> Info(size_t shard) = 0;
+
+  /// Evaluates `query` on shard `shard`. Answers use global vertex ids.
+  virtual StatusOr<QueryResult> Query(size_t shard,
+                                      const EngineQuery& query) = 0;
+
+  /// Invalidates shard `shard`'s answer cache; returns its new epoch.
+  virtual StatusOr<uint64_t> BumpEpoch(size_t shard) = 0;
+};
+
+}  // namespace bigindex
+
+#endif  // BIGINDEX_SHARD_SUBSTRATE_H_

@@ -1,0 +1,525 @@
+// Shard-substrate tests: the scatter-gather acceptance gate (sharded
+// answers identical to monolithic for 2 and 4 shards, both substrates, all
+// registered algorithms at every layer, over the seeded random-graph
+// harness), the INFO verb, ProtocolClient timeout/retry semantics,
+// coordinator attach validation, per-shard epoch-keyed caching, deadlines,
+// and the sharded index-image round-trip (tools/ci.sh re-runs the
+// concurrency-relevant suites under ThreadSanitizer).
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/big_index.h"
+#include "core/index_image.h"
+#include "engine/query_engine.h"
+#include "search/answer.h"
+#include "search/partitioner.h"
+#include "search/rclique.h"
+#include "server/line_protocol.h"
+#include "server/protocol_client.h"
+#include "server/search_service.h"
+#include "server/tcp_server.h"
+#include "shard/in_process_substrate.h"
+#include "shard/remote_substrate.h"
+#include "shard/shard_build.h"
+#include "shard/sharded_service.h"
+#include "testing/random_graph.h"
+#include "util/random.h"
+#include "util/timer.h"
+
+namespace bigindex {
+namespace {
+
+using testing::MakeRandomGraph;
+using testing::MakeRandomOntologyDag;
+using testing::RandomGraphOptions;
+
+// The acceptance gate runs this many seeds; override downwards with
+// BIGINDEX_SHARD_GATE_SEEDS for slow instrumented runs (TSan).
+int GateSeeds() {
+  const char* env = std::getenv("BIGINDEX_SHARD_GATE_SEEDS");
+  int seeds = env != nullptr ? std::atoi(env) : 100;
+  return seeds > 0 ? seeds : 100;
+}
+
+RandomGraphOptions GraphOptions(uint64_t seed) {
+  RandomGraphOptions opts;
+  opts.num_vertices = 30 + seed % 70;
+  opts.edge_density = 0.5 + 0.03 * static_cast<double>(seed % 40);
+  opts.num_labels = 6;
+  opts.label_skew = seed % 3 ? 0.0 : 0.8;
+  opts.seed = seed;
+  return opts;
+}
+
+Ontology TestOntology() {
+  return MakeRandomOntologyDag({.num_leaves = 6, .height = 3, .seed = 7});
+}
+
+// r-clique's default registration caps answers internally at top_k=10; the
+// gate compares full answer sets, so every engine (monolithic and every
+// shard) re-registers it uncapped.
+void UncapRClique(QueryEngine& engine) {
+  engine.Register(
+      std::make_unique<RCliqueAlgorithm>(RCliqueOptions{.r = 4, .top_k = 0}));
+}
+
+InProcessSubstrateOptions SubstrateOptions() {
+  InProcessSubstrateOptions opts;
+  opts.configure_engine = UncapRClique;
+  return opts;
+}
+
+constexpr const char* kAlgorithms[] = {"bkws", "blinks", "r-clique",
+                                       "bidirectional"};
+
+std::vector<Answer> Sorted(std::vector<Answer> answers) {
+  SortAnswers(answers);
+  return answers;
+}
+
+/// One shard worker fleet: every shard of an InProcessSubstrate fronted by
+/// its own TcpServer on an ephemeral loopback port — the single-process
+/// stand-in for N bigindex_serverd --shard-of processes.
+struct RemoteFleet {
+  std::vector<std::unique_ptr<TcpServer>> servers;
+  std::vector<ShardEndpoint> endpoints;
+
+  explicit RemoteFleet(InProcessSubstrate& substrate) {
+    for (size_t s = 0; s < substrate.num_shards(); ++s) {
+      servers.push_back(std::make_unique<TcpServer>(
+          substrate.shard_service(s), nullptr, TcpServerOptions{.port = 0}));
+      Status started = servers.back()->Start();
+      EXPECT_TRUE(started.ok()) << started.ToString();
+      endpoints.push_back({"127.0.0.1", servers.back()->port()});
+    }
+  }
+  ~RemoteFleet() {
+    for (auto& server : servers) server->Stop();
+  }
+};
+
+// --- The differential acceptance gate -------------------------------------
+
+TEST(ShardDifferentialGate, ShardedEqualsMonolithicBothSubstrates) {
+  const int seeds = GateSeeds();
+  for (int seed = 1; seed <= seeds; ++seed) {
+    Graph g = MakeRandomGraph(GraphOptions(seed));
+    Ontology ontology = TestOntology();
+
+    auto mono_index = BigIndex::Build(g, &ontology, {.max_layers = 2});
+    ASSERT_TRUE(mono_index.ok());
+    QueryEngine mono(std::move(mono_index).value());
+    UncapRClique(mono);
+    const size_t mono_layers = mono.index().NumLayers();
+
+    Rng rng(seed * 1009);
+    EngineQuery base;
+    base.keywords = {static_cast<LabelId>(rng.Uniform(6)),
+                     static_cast<LabelId>(rng.Uniform(6))};
+    base.NormalizeKeywords();
+
+    for (size_t n : {2u, 4u}) {
+      auto sharded = BuildShardedIndex(
+          g, &ontology,
+          {.plan = {.num_shards = n}, .index = {.max_layers = 2}});
+      ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
+      auto substrate = InProcessSubstrate::Create(
+          std::move(sharded->shards), SubstrateOptions());
+      ASSERT_TRUE(substrate.ok()) << substrate.status().ToString();
+
+      ShardedSearchService local(substrate->get());
+      ASSERT_TRUE(local.Attach().ok());
+
+      RemoteFleet fleet(**substrate);
+      RemoteSubstrate remote(fleet.endpoints);
+      ShardedSearchService wire(&remote);
+      Status attached = wire.Attach();
+      ASSERT_TRUE(attached.ok()) << attached.ToString();
+
+      for (const char* algo : kAlgorithms) {
+        EngineQuery q = base;
+        q.algorithm = algo;
+        q.eval.top_k = 0;  // full-set equality at every layer
+        for (int layer = 0; layer <= static_cast<int>(mono_layers); ++layer) {
+          q.eval.forced_layer = layer;
+          auto expected = mono.Evaluate(q);
+          ASSERT_TRUE(expected.ok()) << expected.status().ToString();
+          auto via_local = local.Query(q);
+          ASSERT_TRUE(via_local.ok()) << via_local.status().ToString();
+          ASSERT_EQ(Sorted(via_local->answers), Sorted(expected->answers))
+              << "in-process: seed " << seed << " shards " << n << " algo "
+              << algo << " layer " << layer;
+          auto via_wire = wire.Query(q);
+          ASSERT_TRUE(via_wire.ok()) << via_wire.status().ToString();
+          ASSERT_EQ(Sorted(via_wire->answers), Sorted(expected->answers))
+              << "remote: seed " << seed << " shards " << n << " algo "
+              << algo << " layer " << layer;
+        }
+        // Top-k ranking agreement where scores are exact (layer 0).
+        q.eval.forced_layer = 0;
+        q.eval.top_k = 3;
+        auto expected = mono.Evaluate(q);
+        ASSERT_TRUE(expected.ok());
+        auto via_local = local.Query(q);
+        ASSERT_TRUE(via_local.ok());
+        ASSERT_EQ(via_local->answers, expected->answers)
+            << "top-k: seed " << seed << " shards " << n << " algo " << algo;
+        auto via_wire = wire.Query(q);
+        ASSERT_TRUE(via_wire.ok());
+        ASSERT_EQ(via_wire->answers, expected->answers);
+      }
+    }
+  }
+}
+
+// --- Coordinator behavior --------------------------------------------------
+
+struct CoordinatorFixture {
+  Graph graph;
+  Ontology ontology = TestOntology();
+  std::unique_ptr<InProcessSubstrate> substrate;
+
+  explicit CoordinatorFixture(uint64_t seed = 11, size_t num_shards = 2) {
+    graph = MakeRandomGraph(GraphOptions(seed));
+    auto sharded = BuildShardedIndex(
+        graph, &ontology,
+        {.plan = {.num_shards = num_shards}, .index = {.max_layers = 2}});
+    substrate = std::move(
+        InProcessSubstrate::Create(std::move(sharded->shards),
+                                   SubstrateOptions()))
+                    .value();
+  }
+
+  EngineQuery Query(const char* algo = "bkws") {
+    EngineQuery q;
+    q.algorithm = algo;
+    q.keywords = {0, 1};
+    return q;
+  }
+};
+
+TEST(ShardCoordinator, QueryBeforeAttachFails) {
+  CoordinatorFixture fx;
+  ShardedSearchService service(fx.substrate.get());
+  auto result = service.Query(fx.Query());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(ShardCoordinator, RejectsInvalidQueries) {
+  CoordinatorFixture fx;
+  ShardedSearchService service(fx.substrate.get());
+  ASSERT_TRUE(service.Attach().ok());
+  EngineQuery empty = fx.Query();
+  empty.keywords.clear();
+  EXPECT_EQ(service.Query(empty).status().code(),
+            StatusCode::kInvalidArgument);
+  EngineQuery unknown = fx.Query("no-such-algo");
+  EXPECT_EQ(service.Query(unknown).status().code(), StatusCode::kNotFound);
+}
+
+TEST(ShardCoordinator, ExpiredDeadlineRejectedBeforeFanOut) {
+  CoordinatorFixture fx;
+  ShardedSearchService service(fx.substrate.get());
+  ASSERT_TRUE(service.Attach().ok());
+  EngineQuery q = fx.Query();
+  q.eval.deadline = Deadline::After(0);
+  while (!q.eval.deadline.Expired()) {
+  }
+  auto result = service.Query(q);
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(service.Snapshot().deadline_misses, 1u);
+}
+
+TEST(ShardCoordinator, PerShardCachesHitOnRepeatAndInvalidateOnBump) {
+  CoordinatorFixture fx;
+  ShardedSearchService service(fx.substrate.get());
+  ASSERT_TRUE(service.Attach().ok());
+  EngineQuery q = fx.Query();
+
+  auto first = service.Query(q);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(service.Snapshot().batched_queries, 2u);  // both shards fanned
+
+  auto second = service.Query(q);
+  ASSERT_TRUE(second.ok());
+  // Both shards answered from the coordinator's caches: no new fan-out.
+  EXPECT_EQ(service.Snapshot().batched_queries, 2u);
+  EXPECT_EQ(Sorted(second->answers), Sorted(first->answers));
+
+  service.BumpEpoch();
+  auto third = service.Query(q);
+  ASSERT_TRUE(third.ok());
+  EXPECT_EQ(service.Snapshot().batched_queries, 4u);  // re-fanned after bump
+  EXPECT_EQ(Sorted(third->answers), Sorted(first->answers));
+}
+
+TEST(ShardCoordinator, CacheDisabledAlwaysFansOut) {
+  CoordinatorFixture fx;
+  ShardedSearchService service(fx.substrate.get(), {.enable_cache = false});
+  ASSERT_TRUE(service.Attach().ok());
+  EngineQuery q = fx.Query();
+  ASSERT_TRUE(service.Query(q).ok());
+  ASSERT_TRUE(service.Query(q).ok());
+  EXPECT_EQ(service.Snapshot().batched_queries, 4u);
+}
+
+TEST(ShardCoordinator, ParallelFanOutMatchesSerial) {
+  CoordinatorFixture fx(13, 4);
+  ShardedSearchService serial(fx.substrate.get(), {.enable_cache = false});
+  ShardedSearchService parallel(
+      fx.substrate.get(), {.fanout_threads = 4, .enable_cache = false});
+  ASSERT_TRUE(serial.Attach().ok());
+  ASSERT_TRUE(parallel.Attach().ok());
+  for (const char* algo : kAlgorithms) {
+    EngineQuery q = fx.Query(algo);
+    auto a = serial.Query(q);
+    auto b = parallel.Query(q);
+    ASSERT_TRUE(a.ok() && b.ok());
+    EXPECT_EQ(Sorted(a->answers), Sorted(b->answers));
+  }
+}
+
+TEST(ShardCoordinator, AttachRejectsShardsOutOfOrder) {
+  CoordinatorFixture fx;
+  RemoteFleet fleet(*fx.substrate);
+  std::vector<ShardEndpoint> reversed(fleet.endpoints.rbegin(),
+                                      fleet.endpoints.rend());
+  RemoteSubstrate remote(reversed);
+  ShardedSearchService service(&remote);
+  Status attached = service.Attach();
+  EXPECT_EQ(attached.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(ShardCoordinator, AttachRejectsWrongFleetSize) {
+  CoordinatorFixture fx;  // shards built for num_shards=2
+  RemoteFleet fleet(*fx.substrate);
+  std::vector<ShardEndpoint> half = {fleet.endpoints[0]};
+  RemoteSubstrate remote(half);
+  ShardedSearchService service(&remote);
+  EXPECT_EQ(service.Attach().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(ShardCoordinator, AttachFailsWhenShardUnreachable) {
+  CoordinatorFixture fx;
+  RemoteFleet fleet(*fx.substrate);
+  std::vector<ShardEndpoint> endpoints = fleet.endpoints;
+  endpoints[1].port = 1;  // nothing listens there
+  RemoteSubstrate remote(endpoints,
+                         {.connect_timeout_ms = 100, .max_attempts = 1});
+  ShardedSearchService service(&remote);
+  EXPECT_EQ(service.Attach().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(ShardCoordinator, AllowPartialServesSurvivingShards) {
+  CoordinatorFixture fx;
+  RemoteFleet fleet(*fx.substrate);
+  RemoteSubstrate remote(fleet.endpoints,
+                         {.connect_timeout_ms = 100, .max_attempts = 1});
+
+  ShardedSearchService strict(&remote, {.enable_cache = false});
+  ASSERT_TRUE(strict.Attach().ok());
+  ShardedSearchService lenient(
+      &remote, {.enable_cache = false, .allow_partial = true});
+  ASSERT_TRUE(lenient.Attach().ok());
+
+  fleet.servers[1]->Stop();  // shard 1 goes dark after attach
+
+  EngineQuery q = fx.Query();
+  auto failed = strict.Query(q);
+  EXPECT_EQ(failed.status().code(), StatusCode::kUnavailable);
+
+  auto partial = lenient.Query(q);
+  ASSERT_TRUE(partial.ok()) << partial.status().ToString();
+  // What did arrive is exactly shard 0's contribution.
+  auto direct = fx.substrate->Query(0, q);
+  ASSERT_TRUE(direct.ok());
+  EXPECT_EQ(Sorted(partial->answers), Sorted(direct->answers));
+}
+
+// --- Substrate contracts ---------------------------------------------------
+
+TEST(ShardSubstrate, InProcessRejectsMisnumberedShards) {
+  CoordinatorFixture fx;
+  Graph g = MakeRandomGraph(GraphOptions(3));
+  auto sharded = BuildShardedIndex(
+      g, &fx.ontology, {.plan = {.num_shards = 2}, .index = {}});
+  ASSERT_TRUE(sharded.ok());
+  std::vector<BuiltShard> shards = std::move(sharded->shards);
+  std::swap(shards[0], shards[1]);  // identities no longer match positions
+  EXPECT_FALSE(InProcessSubstrate::Create(std::move(shards)).ok());
+}
+
+TEST(ShardSubstrate, OutOfRangeShardIsRejected) {
+  CoordinatorFixture fx;
+  EXPECT_EQ(fx.substrate->Query(7, fx.Query()).status().code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ(fx.substrate->Info(7).status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(fx.substrate->BumpEpoch(7).status().code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(ShardSubstrate, InfoReportsShardIdentity) {
+  CoordinatorFixture fx;
+  for (size_t s = 0; s < fx.substrate->num_shards(); ++s) {
+    auto info = fx.substrate->Info(s);
+    ASSERT_TRUE(info.ok());
+    EXPECT_EQ(info->shard_id, s);
+    EXPECT_EQ(info->num_shards, 2u);
+    EXPECT_EQ(info->epoch, 1u);
+    EXPECT_EQ(info->algorithms.size(), 4u);
+  }
+}
+
+// --- INFO verb + wire plumbing ---------------------------------------------
+
+TEST(InfoVerb, RoundTripsIdentityOverTheWire) {
+  CoordinatorFixture fx;
+  RemoteFleet fleet(*fx.substrate);
+  RemoteSubstrate remote(fleet.endpoints);
+  for (size_t s = 0; s < 2; ++s) {
+    auto info = remote.Info(s);
+    ASSERT_TRUE(info.ok()) << info.status().ToString();
+    auto direct = fx.substrate->Info(s);
+    ASSERT_TRUE(direct.ok());
+    EXPECT_EQ(info->epoch, direct->epoch);
+    EXPECT_EQ(info->fingerprint, direct->fingerprint);
+    EXPECT_EQ(info->num_layers, direct->num_layers);
+    EXPECT_EQ(info->shard_id, direct->shard_id);
+    EXPECT_EQ(info->num_shards, direct->num_shards);
+    EXPECT_EQ(info->algorithms, direct->algorithms);
+  }
+}
+
+TEST(InfoVerb, ParseInfoLineRejectsGarbage) {
+  WireInfo info;
+  EXPECT_FALSE(ParseInfoLine("OK nope", &info).ok());
+  EXPECT_FALSE(ParseInfoLine("", &info).ok());
+  Status ok = ParseInfoLine(
+      "OK epoch=3 checksum=ff layers=2 shard=1/4 algos=a,b", &info);
+  ASSERT_TRUE(ok.ok()) << ok.ToString();
+  EXPECT_EQ(info.epoch, 3u);
+  EXPECT_EQ(info.fingerprint, 0xffu);
+  EXPECT_EQ(info.num_layers, 2u);
+  EXPECT_EQ(info.shard_id, 1u);
+  EXPECT_EQ(info.num_shards, 4u);
+  EXPECT_EQ(info.algorithms, (std::vector<std::string>{"a", "b"}));
+}
+
+// --- ProtocolClient connect semantics --------------------------------------
+
+TEST(ProtocolClient, UnreachablePortSurfacesUnavailable) {
+  ProtocolClient client("127.0.0.1", 1,
+                        {.connect_timeout_ms = 100,
+                         .max_attempts = 2,
+                         .backoff_base_ms = 10,
+                         .backoff_cap_ms = 20});
+  Timer t;
+  Status connected = client.Connect();
+  EXPECT_EQ(connected.code(), StatusCode::kUnavailable);
+  // Bounded: 2 attempts + one 10ms backoff, far below a kernel TCP timeout.
+  EXPECT_LT(t.ElapsedMillis(), 5000.0);
+  EXPECT_FALSE(client.connected());
+}
+
+TEST(ProtocolClient, ResolveFailureIsInvalidArgumentWithoutRetry) {
+  ProtocolClient client("no.such.host.invalid", 7419,
+                        {.max_attempts = 4, .backoff_base_ms = 1000});
+  Timer t;
+  Status connected = client.Connect();
+  EXPECT_EQ(connected.code(), StatusCode::kInvalidArgument);
+  // No retry/backoff on permanent errors (4 attempts would sleep seconds).
+  EXPECT_LT(t.ElapsedMillis(), 1000.0);
+}
+
+TEST(ProtocolClient, RequestReconnectsAfterServerRestart) {
+  CoordinatorFixture fx;
+  TcpServer server(fx.substrate->shard_service(0), nullptr,
+                   TcpServerOptions{.port = 0});
+  ASSERT_TRUE(server.Start().ok());
+  ProtocolClient client("127.0.0.1", server.port());
+  auto first = client.Request("info");
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  server.Stop();
+  // The lost connection surfaces as Unavailable...
+  EXPECT_EQ(client.Request("info").status().code(), StatusCode::kUnavailable);
+}
+
+// --- Sharded index images --------------------------------------------------
+
+TEST(ShardImage, RoundTripsShardIdentityAndRemap) {
+  Graph g = MakeRandomGraph(GraphOptions(5));
+  Ontology ontology = TestOntology();
+  auto sharded = BuildShardedIndex(
+      g, &ontology, {.plan = {.num_shards = 2}, .index = {.max_layers = 2}});
+  ASSERT_TRUE(sharded.ok());
+
+  LabelDictionary dict;
+  for (size_t l = 0; l < ontology.LabelSlots(); ++l) {
+    dict.Intern("L" + std::to_string(l));
+  }
+  std::string prefix =
+      ::testing::TempDir() + "/shard_image_" + std::to_string(::getpid());
+  ASSERT_TRUE(SaveShardImages(*sharded, dict, prefix).ok());
+
+  for (const BuiltShard& built : sharded->shards) {
+    std::string path =
+        ShardImagePath(prefix, built.shard.shard_id, built.shard.num_shards);
+    auto info = InspectIndexImage(path);
+    ASSERT_TRUE(info.ok()) << info.status().ToString();
+    EXPECT_EQ(info->shard_id, built.shard.shard_id);
+    EXPECT_EQ(info->num_shards, 2u);
+    EXPECT_NE(info->fingerprint, 0u);
+
+    LabelDictionary load_dict;
+    for (size_t l = 0; l < ontology.LabelSlots(); ++l) {
+      load_dict.Intern("L" + std::to_string(l));
+    }
+    ShardImageInfo loaded_shard;
+    auto loaded =
+        LoadIndexImage(path, load_dict, &ontology, {}, &loaded_shard);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    EXPECT_EQ(loaded_shard.shard_id, built.shard.shard_id);
+    EXPECT_EQ(loaded_shard.num_shards, built.shard.num_shards);
+    EXPECT_EQ(loaded_shard.global_of, built.shard.global_of);
+    EXPECT_EQ(loaded->NumLayers(), built.index.NumLayers());
+    std::remove(path.c_str());
+  }
+}
+
+TEST(ShardImage, CorruptedShardMapFailsLoudly) {
+  Graph g = MakeRandomGraph(GraphOptions(6));
+  Ontology ontology = TestOntology();
+  auto sharded = BuildShardedIndex(
+      g, &ontology, {.plan = {.num_shards = 2}, .index = {.max_layers = 1}});
+  ASSERT_TRUE(sharded.ok());
+  LabelDictionary dict;
+  for (size_t l = 0; l < ontology.LabelSlots(); ++l) {
+    dict.Intern("L" + std::to_string(l));
+  }
+  std::ostringstream out;
+  ASSERT_TRUE(WriteIndexImage(sharded->shards[1].index, dict,
+                              sharded->shards[1].shard, out)
+                  .ok());
+  auto bytes = std::make_shared<std::string>(out.str());
+  // Flip one byte in the trailing SHARDMAP payload (the remap array).
+  ASSERT_GT(bytes->size(), 16u);
+  (*bytes)[bytes->size() - 8] ^= 0x40;
+  LabelDictionary load_dict;
+  auto loaded = LoadIndexImageFromBuffer(
+      std::shared_ptr<const std::string>(bytes), load_dict, &ontology);
+  EXPECT_FALSE(loaded.ok());
+}
+
+}  // namespace
+}  // namespace bigindex

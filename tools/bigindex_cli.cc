@@ -18,7 +18,15 @@
 //           Evaluate a batch of queries (one comma-separated keyword list
 //           per line) through the QueryEngine's thread pool.
 //   inspect <index.img>
-//           Dump the header and section table of a flat index image.
+//           Dump the header and section table of a flat index image,
+//           including the shard identity and content fingerprint.
+//   shard   <graph.in> <ontology.in> <num_shards> [image-prefix] [layers]
+//           [--shard-mode wcc|bfs] [--bfs-block N]
+//           Plan an N-way shard cover and print its balance and
+//           boundary-cut statistics. With an image prefix, additionally
+//           build every shard's index and write one relocatable shard image
+//           per shard under the "<prefix>.shard<k>of<n>.img" convention
+//           bigindex_serverd --shard-of loads.
 //
 // Index files may be either the text format (core/index_io.h) or a flat
 // mmap image (core/index_image.h); readers sniff the magic and pick the
@@ -31,6 +39,7 @@
 //
 // Exit status: 0 on success, 1 on any error (message on stderr).
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -68,7 +77,10 @@ int Usage() {
                "<bkws|blinks|rclique|bidi> <kw1,kw2,...> [top_k]\n"
                "  bigindex_cli batch <graph> <ontology> <index> "
                "<bkws|blinks|rclique|bidi> <queries.txt> [threads] [top_k]\n"
-               "  bigindex_cli inspect <index.img>\n");
+               "  bigindex_cli inspect <index.img>\n"
+               "  bigindex_cli shard <graph> <ontology> <num_shards>"
+               " [image-prefix] [layers]\n"
+               "               [--shard-mode wcc|bfs] [--bfs-block N]\n");
   return 1;
 }
 
@@ -328,6 +340,13 @@ int CmdInspect(int argc, char** argv) {
   std::printf("  size:     %llu bytes\n",
               static_cast<unsigned long long>(info->file_size));
   std::printf("  layers:   %u\n", info->num_layers);
+  if (info->num_shards != 0) {
+    std::printf("  shard:    %u/%u\n", info->shard_id, info->num_shards);
+  } else {
+    std::printf("  shard:    monolithic\n");
+  }
+  std::printf("  fingerprint: 0x%016llx\n",
+              static_cast<unsigned long long>(info->fingerprint));
   std::printf("  sections: %zu\n", info->sections.size());
   std::printf("  %-4s %-8s %-6s %-12s %-12s %-18s %s\n", "#", "kind", "layer",
               "offset", "length", "checksum", "ok");
@@ -349,6 +368,81 @@ int CmdInspect(int argc, char** argv) {
   return 0;
 }
 
+int CmdShard(int argc, char** argv) {
+  ShardBuildOptions opt;
+  std::vector<char*> pos;
+  for (int i = 0; i < argc; ++i) {
+    auto next = [&](const char* flag) -> char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: %s needs a value\n", flag);
+        std::exit(Usage());
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--shard-mode") == 0) {
+      const char* mode = next("--shard-mode");
+      if (std::strcmp(mode, "wcc") == 0) {
+        opt.plan.mode = ShardMode::kConnectivityClosed;
+      } else if (std::strcmp(mode, "bfs") == 0) {
+        opt.plan.mode = ShardMode::kBfsBlocks;
+      } else {
+        std::fprintf(stderr, "error: unknown shard mode %s\n", mode);
+        return Usage();
+      }
+    } else if (std::strcmp(argv[i], "--bfs-block") == 0) {
+      opt.plan.bfs_block_size = static_cast<size_t>(std::atoi(next(
+          "--bfs-block")));
+    } else {
+      pos.push_back(argv[i]);
+    }
+  }
+  if (pos.size() < 3) return Usage();
+  auto loaded = LoadGraphAndOntology(pos[0], pos[1]);
+  if (!loaded.ok()) return Fail(loaded.status());
+  opt.plan.num_shards = static_cast<size_t>(std::atoi(pos[2]));
+  std::string prefix = pos.size() > 3 ? pos[3] : "";
+  if (pos.size() > 4) {
+    opt.index.max_layers = static_cast<size_t>(std::atoi(pos[4]));
+  }
+
+  auto plan = PlanShards(loaded->graph, opt.plan);
+  if (!plan.ok()) return Fail(plan.status());
+  size_t n = plan->num_shards();
+  size_t min_size = plan->NumVertices(), max_size = 0;
+  std::printf("shard plan: %zu shard(s) over |V|=%zu, mode=%s\n", n,
+              plan->NumVertices(),
+              plan->mode() == ShardMode::kConnectivityClosed ? "wcc" : "bfs");
+  for (uint32_t s = 0; s < n; ++s) {
+    size_t size = plan->ShardMembers(s).size();
+    min_size = std::min(min_size, size);
+    max_size = std::max(max_size, size);
+    std::printf("  shard %-4u |V|=%zu\n", s, size);
+  }
+  double ideal = static_cast<double>(plan->NumVertices()) / n;
+  std::printf("balance: min=%zu max=%zu ideal=%.1f imbalance=%.3f\n",
+              min_size, max_size, ideal, ideal > 0 ? max_size / ideal : 0.0);
+  std::printf("boundary manifest: %zu cut edge(s) (%.4f%% of |E|)\n",
+              plan->CutEdges().size(),
+              loaded->graph.NumEdges()
+                  ? 100.0 * plan->CutEdges().size() / loaded->graph.NumEdges()
+                  : 0.0);
+
+  if (prefix.empty()) return 0;
+  Timer t;
+  auto sharded = BuildShardedIndex(loaded->graph, &loaded->ontology, opt);
+  if (!sharded.ok()) return Fail(sharded.status());
+  BIGINDEX_RETURN_IF_ERROR_CLI(
+      SaveShardImages(*sharded, loaded->dict, prefix));
+  std::printf("built %zu shard index(es) in %.1f ms; wrote:\n",
+              sharded->shards.size(), t.ElapsedMillis());
+  for (const BuiltShard& shard : sharded->shards) {
+    std::printf("  %s\n",
+                ShardImagePath(prefix, shard.shard.shard_id,
+                               shard.shard.num_shards).c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 }  // namespace bigindex
 
@@ -362,5 +456,6 @@ int main(int argc, char** argv) {
   if (std::strcmp(cmd, "query") == 0) return CmdQuery(argc - 2, argv + 2);
   if (std::strcmp(cmd, "batch") == 0) return CmdBatch(argc - 2, argv + 2);
   if (std::strcmp(cmd, "inspect") == 0) return CmdInspect(argc - 2, argv + 2);
+  if (std::strcmp(cmd, "shard") == 0) return CmdShard(argc - 2, argv + 2);
   return Usage();
 }

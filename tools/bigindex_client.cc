@@ -1,8 +1,11 @@
 // bigindex_client — line-protocol client for bigindex_serverd.
 //
 // Two modes:
-//   bigindex_client --connect <host> <port>
-//       Connects over TCP, forwards stdin lines, prints response blocks.
+//   bigindex_client --connect <host> <port> [--connect-timeout-ms N]
+//                   [--connect-retries N]
+//       Connects over TCP (bounded connect timeout, exponential-backoff
+//       retry — an unreachable server exits with a kUnavailable message
+//       instead of hanging), forwards stdin lines, prints response blocks.
 //   bigindex_client --inprocess [dataset] [scale] [layers]
 //       Spins up the whole serving stack (dataset → index → engine →
 //       SearchService) inside this process and feeds stdin lines straight
@@ -11,11 +14,6 @@
 //
 // Reads requests from stdin (one per line; '#' comments and blank lines are
 // skipped) until EOF or a `quit` command.
-
-#include <arpa/inet.h>
-#include <netdb.h>
-#include <sys/socket.h>
-#include <unistd.h>
 
 #include <cstdio>
 #include <cstdlib>
@@ -33,6 +31,8 @@ int Usage() {
   std::fprintf(stderr,
                "usage:\n"
                "  bigindex_client --connect <host> <port>\n"
+               "                  [--connect-timeout-ms N]"
+               " [--connect-retries N]\n"
                "  bigindex_client --inprocess [dataset] [scale] [layers]\n");
   return 1;
 }
@@ -78,70 +78,56 @@ int RunInProcess(int argc, char** argv) {
 
 int RunConnect(int argc, char** argv) {
   if (argc < 2) return Usage();
-  const char* host = argv[0];
-  const char* port = argv[1];
-
-  addrinfo hints{};
-  hints.ai_family = AF_INET;
-  hints.ai_socktype = SOCK_STREAM;
-  addrinfo* addrs = nullptr;
-  int rc = ::getaddrinfo(host, port, &hints, &addrs);
-  if (rc != 0) {
-    std::fprintf(stderr, "error: resolve %s: %s\n", host, gai_strerror(rc));
-    return 1;
-  }
-  int fd = -1;
-  for (addrinfo* a = addrs; a != nullptr; a = a->ai_next) {
-    fd = ::socket(a->ai_family, a->ai_socktype, a->ai_protocol);
-    if (fd < 0) continue;
-    if (::connect(fd, a->ai_addr, a->ai_addrlen) == 0) break;
-    ::close(fd);
-    fd = -1;
-  }
-  ::freeaddrinfo(addrs);
-  if (fd < 0) {
-    std::fprintf(stderr, "error: cannot connect to %s:%s\n", host, port);
-    return 1;
+  const std::string host = argv[0];
+  const uint16_t port = static_cast<uint16_t>(std::atoi(argv[1]));
+  ProtocolClientOptions options;
+  for (int i = 2; i < argc; ++i) {
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: %s needs a value\n", flag);
+        std::exit(Usage());
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--connect-timeout-ms") == 0) {
+      options.connect_timeout_ms = std::atoi(next("--connect-timeout-ms"));
+    } else if (std::strcmp(argv[i], "--connect-retries") == 0) {
+      // N retries = 1 initial attempt + N backed-off re-dials.
+      options.max_attempts =
+          1 + static_cast<size_t>(std::atoi(next("--connect-retries")));
+    } else {
+      std::fprintf(stderr, "error: unknown flag %s\n", argv[i]);
+      return Usage();
+    }
   }
 
-  // Request/response lockstep: send a line, then read blocks until the
-  // terminating '.' line before sending the next.
+  ProtocolClient client(host, port, options);
+  Status connected = client.Connect();
+  if (!connected.ok()) {
+    std::fprintf(stderr, "error: %s\n", connected.ToString().c_str());
+    return 1;
+  }
+
+  // Request/response lockstep: send a line, then print the response block
+  // (the client strips the terminating '.'; re-add it so scripted consumers
+  // of our stdout see the same framing the raw protocol uses).
   std::string line;
-  std::string buffer;
-  char chunk[4096];
   while (std::getline(std::cin, line)) {
     if (SkippableLine(line)) continue;
-    line += '\n';
-    if (::write(fd, line.data(), line.size()) !=
-        static_cast<ssize_t>(line.size())) {
-      std::fprintf(stderr, "error: connection lost\n");
+    if (line == "quit") {
+      // The server closes the connection after `quit`; the lockstep reader
+      // would report that as an error, so just stop cleanly.
       break;
     }
-    bool block_done = false;
-    while (!block_done) {
-      size_t nl;
-      while ((nl = buffer.find('\n')) != std::string::npos) {
-        std::string resp = buffer.substr(0, nl);
-        buffer.erase(0, nl + 1);
-        std::printf("%s\n", resp.c_str());
-        if (resp == ".") {
-          block_done = true;
-          break;
-        }
-      }
-      if (block_done) break;
-      ssize_t n = ::read(fd, chunk, sizeof(chunk));
-      if (n <= 0) {
-        std::fprintf(stderr, "error: connection closed by server\n");
-        ::close(fd);
-        return 1;
-      }
-      buffer.append(chunk, static_cast<size_t>(n));
+    auto block = client.Request(line);
+    if (!block.ok()) {
+      std::fprintf(stderr, "error: %s\n", block.status().ToString().c_str());
+      return 1;
     }
+    for (const std::string& resp : *block) std::printf("%s\n", resp.c_str());
+    std::printf(".\n");
     std::fflush(stdout);
-    if (line == "quit\n") break;
   }
-  ::close(fd);
   return 0;
 }
 

@@ -12,6 +12,26 @@
 //                    [--queue N] [--max-batch N] [--linger-ms F] [--cache N]
 //                    [--deadline-ms F] [--reject-oldest]
 //                    [--metrics-port N] [--trace]
+//                    [--shards N --shard-of K [--shard-mode wcc|bfs]
+//                     [--bfs-block N]]
+//                    [--coordinator HOST:PORT,HOST:PORT,...]
+//
+// Three serving modes (DESIGN.md §9):
+//   * monolithic (default): one index over the whole graph.
+//   * shard worker (--shards N --shard-of K): plans the N-way shard cover
+//     over the dataset (PlanShards is deterministic, so all workers agree
+//     without coordination), builds only shard K's index, and serves it
+//     behind a global-id remap. With --index-image PREFIX the worker
+//     saves/loads "PREFIX.shard<K>of<N>.img". All workers must be launched
+//     with identical dataset/shard flags.
+//   * coordinator (--coordinator h:p,...): no index at all; attaches a
+//     scatter-gather ShardedSearchService over the listed shard workers
+//     (in shard-id order) and serves the same line protocol. The dataset
+//     flags are still used to build the label dictionary for keyword-name
+//     parsing. --cache sizes the per-shard answer caches, --deadline-ms the
+//     default fan-out deadline, --allow-partial opts into serving partial
+//     merges when a shard is down, and --attach-retries bounds startup
+//     waiting for workers to come up.
 //
 //   --index-image PATH mmaps a flat index image (core/index_image.h) instead
 //   of rebuilding the hierarchy at startup, cutting cold start from seconds
@@ -56,8 +76,50 @@ int Usage() {
       "                        [--queue N] [--max-batch N] [--linger-ms F]\n"
       "                        [--cache N] [--deadline-ms F]\n"
       "                        [--reject-oldest] [--metrics-port N]"
-      " [--trace]\n");
+      " [--trace]\n"
+      "                        [--shards N --shard-of K"
+      " [--shard-mode wcc|bfs] [--bfs-block N]]\n"
+      "                        [--coordinator HOST:PORT,...]"
+      " [--allow-partial] [--attach-retries N]\n");
   return 1;
+}
+
+/// Parses "host:port,host:port,..." into shard endpoints.
+StatusOr<std::vector<ShardEndpoint>> ParseEndpoints(const std::string& spec) {
+  std::vector<ShardEndpoint> endpoints;
+  size_t start = 0;
+  while (start <= spec.size()) {
+    size_t comma = spec.find(',', start);
+    if (comma == std::string::npos) comma = spec.size();
+    std::string entry = spec.substr(start, comma - start);
+    size_t colon = entry.rfind(':');
+    if (colon == std::string::npos || colon + 1 >= entry.size()) {
+      return Status::InvalidArgument("bad endpoint '" + entry +
+                                     "' (want HOST:PORT)");
+    }
+    ShardEndpoint ep;
+    ep.host = entry.substr(0, colon);
+    ep.port = static_cast<uint16_t>(std::atoi(entry.c_str() + colon + 1));
+    if (ep.host.empty() || ep.port == 0) {
+      return Status::InvalidArgument("bad endpoint '" + entry + "'");
+    }
+    endpoints.push_back(std::move(ep));
+    start = comma + 1;
+  }
+  return endpoints;
+}
+
+/// Blocks until SIGINT/SIGTERM, then stops the servers. Callers drain their
+/// own service and print final stats afterwards.
+void ServeUntilSignal(TcpServer& server, MetricsHttpServer* scrape) {
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  while (!g_stop) {
+    pause();  // wake on any signal; g_stop decides whether to exit
+  }
+  std::fprintf(stderr, "shutting down...\n");
+  if (scrape != nullptr) scrape->Stop();
+  server.Stop();
 }
 
 int Run(int argc, char** argv) {
@@ -72,6 +134,11 @@ int Run(int argc, char** argv) {
   QueryEngineOptions engine_opts{.num_threads =
                                      ExecutorPool::kHardwareConcurrency};
   SearchServiceOptions service_opts;
+  ShardPlanOptions plan_opts;  // plan_opts.num_shards > 1 => worker mode
+  int shard_of = -1;
+  std::string coordinator_spec;
+  bool allow_partial = false;
+  size_t attach_retries = 10;
 
   for (int i = 1; i < argc; ++i) {
     auto next = [&](const char* flag) -> const char* {
@@ -117,6 +184,30 @@ int Run(int argc, char** argv) {
           static_cast<uint16_t>(std::atoi(next("--metrics-port")));
     } else if (std::strcmp(argv[i], "--trace") == 0) {
       trace_from_start = true;
+    } else if (std::strcmp(argv[i], "--shards") == 0) {
+      plan_opts.num_shards =
+          static_cast<size_t>(std::atoi(next("--shards")));
+    } else if (std::strcmp(argv[i], "--shard-of") == 0) {
+      shard_of = std::atoi(next("--shard-of"));
+    } else if (std::strcmp(argv[i], "--shard-mode") == 0) {
+      const char* mode = next("--shard-mode");
+      if (std::strcmp(mode, "wcc") == 0) {
+        plan_opts.mode = ShardMode::kConnectivityClosed;
+      } else if (std::strcmp(mode, "bfs") == 0) {
+        plan_opts.mode = ShardMode::kBfsBlocks;
+      } else {
+        std::fprintf(stderr, "error: unknown shard mode %s\n", mode);
+        return Usage();
+      }
+    } else if (std::strcmp(argv[i], "--bfs-block") == 0) {
+      plan_opts.bfs_block_size =
+          static_cast<size_t>(std::atoi(next("--bfs-block")));
+    } else if (std::strcmp(argv[i], "--coordinator") == 0) {
+      coordinator_spec = next("--coordinator");
+    } else if (std::strcmp(argv[i], "--allow-partial") == 0) {
+      allow_partial = true;
+    } else if (std::strcmp(argv[i], "--attach-retries") == 0) {
+      attach_retries = static_cast<size_t>(std::atoi(next("--attach-retries")));
     } else {
       std::fprintf(stderr, "error: unknown flag %s\n", argv[i]);
       return Usage();
@@ -126,6 +217,19 @@ int Run(int argc, char** argv) {
   // Before the build so construction spans (build/*, bisim/*) are captured.
   if (trace_from_start) Tracer::Global().SetEnabled(true);
 
+  if (!coordinator_spec.empty() && shard_of >= 0) {
+    std::fprintf(stderr,
+                 "error: --coordinator and --shard-of are exclusive\n");
+    return Usage();
+  }
+  if (shard_of >= 0 && (plan_opts.num_shards < 1 ||
+                        static_cast<uint32_t>(shard_of) >=
+                            plan_opts.num_shards)) {
+    std::fprintf(stderr, "error: --shard-of %d out of range for --shards %zu\n",
+                 shard_of, plan_opts.num_shards);
+    return Usage();
+  }
+
   std::fprintf(stderr, "building dataset %s at scale %.4f...\n",
                dataset_name.c_str(), scale);
   auto ds = MakeDataset(dataset_name, scale);
@@ -133,6 +237,141 @@ int Run(int argc, char** argv) {
     std::fprintf(stderr, "error: %s\n", ds.status().ToString().c_str());
     return 1;
   }
+
+  if (!coordinator_spec.empty()) {
+    // Coordinator: scatter-gather over remote shard workers; the dataset is
+    // only needed for its label dictionary (keyword-name parsing).
+    auto endpoints = ParseEndpoints(coordinator_spec);
+    if (!endpoints.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   endpoints.status().ToString().c_str());
+      return 1;
+    }
+    RemoteSubstrate substrate(std::move(endpoints).value());
+    ShardedServiceOptions copts;
+    copts.fanout_threads = engine_opts.num_threads;
+    copts.enable_cache = service_opts.enable_cache;
+    copts.cache = service_opts.cache;
+    copts.default_deadline_ms = service_opts.default_deadline_ms;
+    copts.allow_partial = allow_partial;
+    ShardedSearchService coordinator(&substrate, copts);
+    Status attached = Status::Unavailable("attach not tried");
+    for (size_t attempt = 0; attempt <= attach_retries; ++attempt) {
+      if (attempt > 0) usleep(500 * 1000);  // workers may still be starting
+      attached = coordinator.Attach();
+      if (attached.ok()) break;
+    }
+    if (!attached.ok()) {
+      std::fprintf(stderr, "error: %s\n", attached.ToString().c_str());
+      return 1;
+    }
+    TcpServer server(&coordinator, ds->dict.get(), tcp);
+    Status started = server.Start();
+    if (!started.ok()) {
+      std::fprintf(stderr, "error: %s\n", started.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr,
+                 "bigindex_serverd coordinator on port %u over %zu shards\n",
+                 server.port(), coordinator.num_shards());
+    ServeUntilSignal(server, nullptr);
+    std::fprintf(stderr, "final stats: %s\n",
+                 coordinator.Snapshot().ToString().c_str());
+    return 0;
+  }
+
+  if (shard_of >= 0) {
+    // Shard worker: build (or load) just our slice of the deterministic
+    // shard plan and serve it behind a local→global id remap.
+    ShardBuildOptions build_opts;
+    build_opts.plan = plan_opts;
+    build_opts.index = {.max_layers = layers,
+                        .build = {.num_threads = build_threads}};
+    const std::string image_path =
+        index_image_path.empty()
+            ? std::string()
+            : ShardImagePath(index_image_path,
+                             static_cast<uint32_t>(shard_of),
+                             static_cast<uint32_t>(plan_opts.num_shards));
+    StatusOr<BuiltShard> built = Status::Unavailable("shard not initialized");
+    if (!image_path.empty() && LooksLikeIndexImage(image_path)) {
+      Timer load_timer;
+      ShardImageInfo shard_info;
+      auto loaded = LoadIndexImage(image_path, *ds->dict,
+                                   &ds->ontology.ontology, {}, &shard_info);
+      if (!loaded.ok()) {
+        std::fprintf(stderr, "error: %s\n",
+                     loaded.status().ToString().c_str());
+        return 1;
+      }
+      if (shard_info.shard_id != static_cast<uint32_t>(shard_of) ||
+          shard_info.num_shards != plan_opts.num_shards) {
+        std::fprintf(stderr,
+                     "error: %s holds shard %u/%u, flags say %d/%zu\n",
+                     image_path.c_str(), shard_info.shard_id,
+                     shard_info.num_shards, shard_of, plan_opts.num_shards);
+        return 1;
+      }
+      std::fprintf(stderr, "shard %d/%zu mmapped from %s in %.2f ms\n",
+                   shard_of, plan_opts.num_shards, image_path.c_str(),
+                   load_timer.ElapsedMillis());
+      built = BuiltShard{std::move(loaded).value(), std::move(shard_info)};
+    } else {
+      Timer build_timer;
+      built = BuildOneShard(ds->graph, &ds->ontology.ontology, build_opts,
+                            static_cast<uint32_t>(shard_of));
+      if (!built.ok()) {
+        std::fprintf(stderr, "error: %s\n",
+                     built.status().ToString().c_str());
+        return 1;
+      }
+      std::fprintf(stderr,
+                   "shard %d/%zu: |V|=%zu, %zu layers, %.1f ms build\n",
+                   shard_of, plan_opts.num_shards,
+                   built->shard.global_of.size(), built->index.NumLayers(),
+                   build_timer.ElapsedMillis());
+      if (!image_path.empty()) {
+        Status saved = SaveIndexImageFile(built->index, *ds->dict,
+                                          built->shard, image_path);
+        if (!saved.ok()) {
+          std::fprintf(stderr, "error: %s\n", saved.ToString().c_str());
+          return 1;
+        }
+        std::fprintf(stderr, "saved shard image to %s\n", image_path.c_str());
+      }
+    }
+    uint64_t fingerprint = 0;
+    if (!image_path.empty()) {
+      auto info = InspectIndexImage(image_path);
+      if (info.ok()) fingerprint = info->fingerprint;
+    }
+    uint32_t num_layers = static_cast<uint32_t>(built->index.NumLayers());
+    auto engine = std::make_shared<const QueryEngine>(
+        std::move(built->index), engine_opts);
+    SearchService service(engine, service_opts);
+    service.set_identity(ServiceIdentity{
+        .fingerprint = fingerprint,
+        .num_layers = num_layers,
+        .shard_id = static_cast<uint32_t>(shard_of),
+        .num_shards = static_cast<uint32_t>(plan_opts.num_shards),
+    });
+    ShardRemapService remapped(&service,
+                               std::move(built->shard.global_of));
+    TcpServer server(&remapped, ds->dict.get(), tcp);
+    Status started = server.Start();
+    if (!started.ok()) {
+      std::fprintf(stderr, "error: %s\n", started.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "bigindex_serverd shard %d/%zu on port %u\n",
+                 shard_of, plan_opts.num_shards, server.port());
+    ServeUntilSignal(server, nullptr);
+    service.Shutdown();
+    std::fprintf(stderr, "final stats: %s\n",
+                 service.Snapshot().ToString().c_str());
+    return 0;
+  }
+
   StatusOr<BigIndex> index = Status::Unavailable("index not initialized");
   if (!index_image_path.empty() && LooksLikeIndexImage(index_image_path)) {
     Timer load_timer;
@@ -200,15 +439,7 @@ int Run(int argc, char** argv) {
                  scrape.port());
   }
 
-  std::signal(SIGINT, HandleSignal);
-  std::signal(SIGTERM, HandleSignal);
-  while (!g_stop) {
-    pause();  // wake on any signal; g_stop decides whether to exit
-  }
-
-  std::fprintf(stderr, "shutting down...\n");
-  scrape.Stop();
-  server.Stop();
+  ServeUntilSignal(server, &scrape);
   service.Shutdown();
   std::fprintf(stderr, "final stats: %s\n",
                service.Snapshot().ToString().c_str());

@@ -1,11 +1,12 @@
 #!/usr/bin/env bash
 # CI entry point: tier-1 correctness, then a ThreadSanitizer pass over the
-# engine + serving + observability + parallel-construction + CSR-differential
-# tests (the suites that exercise cross-thread sharing), then an ASan+UBSan
-# pass over the index-image fuzz and binary-io suites (hostile-bytes paths),
-# then a docs-link check, a metrics-overhead smoke, a parallel-construction
-# smoke, an index-image cold-start smoke, and a short serving-layer load
-# smoke.
+# engine + serving + shard-substrate + observability + parallel-construction
+# + CSR-differential tests (the suites that exercise cross-thread sharing)
+# plus the multi-process coordinator/shard integration test, then an
+# ASan+UBSan pass over the index-image fuzz and binary-io suites
+# (hostile-bytes paths), then a docs-link check, a metrics-overhead smoke, a
+# parallel-construction smoke, an index-image cold-start smoke, the shard
+# scatter-gather throughput gate, and a short serving-layer load smoke.
 #
 #   tools/ci.sh [jobs]
 #
@@ -21,13 +22,23 @@ cmake --build build -j"$JOBS"
 ctest --test-dir build --output-on-failure -j"$JOBS"
 
 echo
-echo "=== tsan: engine + server tests (build-tsan/) ==="
+echo "=== tsan: engine + server + shard tests (build-tsan/) ==="
 cmake -B build-tsan -S . -DBIGINDEX_SANITIZE=thread >/dev/null
-cmake --build build-tsan -j"$JOBS" --target bigindex_tests
-# halt_on_error makes any race a hard failure rather than a log line.
-TSAN_OPTIONS="halt_on_error=1" \
+cmake --build build-tsan -j"$JOBS" --target bigindex_tests bigindex_serverd \
+  bigindex_client
+# halt_on_error makes any race a hard failure rather than a log line. The
+# shard differential gate runs at reduced seeds under TSan (full strength in
+# the tier-1 pass above); the coordinator fan-out, substrates, and protocol
+# client run in full.
+TSAN_OPTIONS="halt_on_error=1" BIGINDEX_SHARD_GATE_SEEDS=5 \
   ./build-tsan/tests/bigindex_tests \
-  --gtest_filter='ExecutorPool*:QueryContext*:QueryEngine*:Deadline*:AnswerCache*:SearchService*:LineProtocol*:TcpServer*:Metrics*:Trace*:ParallelBisim*:BuildDeterminism*:CsrDifferential*'
+  --gtest_filter='ExecutorPool*:QueryContext*:QueryEngine*:Deadline*:AnswerCache*:SearchService*:LineProtocol*:TcpServer*:Metrics*:Trace*:ParallelBisim*:BuildDeterminism*:CsrDifferential*:ShardCoordinator*:ShardSubstrate*:ShardDifferentialGate*:ProtocolClient*:InfoVerb*'
+
+echo
+echo "=== tsan: multi-process coordinator/shard integration ==="
+# Two shard worker processes + a scatter-gather coordinator, differentially
+# checked against a monolithic server — all four processes TSan-built.
+tools/shard_integration.sh build-tsan
 
 echo
 echo "=== asan+ubsan: index-image fuzz + binary io (build-asan/) ==="
@@ -60,6 +71,13 @@ echo "=== smoke: index image cold start (load correctness + >=10x) ==="
 # Saves a small index in both formats and fails unless the mmap image loads
 # correctly (identical answers) and beats the parsing loader by >= 10x.
 ./build/bench/bench_index_load --check
+
+echo
+echo "=== smoke: shard scatter-gather gate (1-shard >= 0.9x monolithic) ==="
+# Fails unless the 1-shard coordinator stays within 0.9x of the monolithic
+# service on the same workload AND answers are identical at 1/2/4 shards.
+BIGINDEX_BENCH_SCALE="${BIGINDEX_BENCH_SCALE:-0.002}" \
+  ./build/bench/bench_shards --smoke
 
 echo
 echo "=== smoke: serving-layer load generator (~2s) ==="
