@@ -1,0 +1,200 @@
+// Live-update maintenance cost: incremental (delta-propagating) refinement
+// vs forced-wholesale re-summarization vs a full from-scratch rebuild, as a
+// function of the dirty-set size (net edge changes per batch).
+//
+// The paper (Sec. 3.2) adopts incremental bisimulation maintenance and
+// notes the index "can be recomputed occasionally"; the numbers to check
+// here are (a) how many layers the seeded localized refinement
+// (update/incremental.h) keeps on the incremental path as the dirty set
+// grows (the fallback_dirty_ratio knob trips past the crossover), and
+// (b) the wall-clock split — per-layer cost is dominated by configuration
+// + generalization + the O(V+E) dirty/correspondence scans, which every
+// path shares, so do not expect the refinement savings alone to beat a
+// from-scratch rebuild at bench scales (see EXPERIMENTS.md).
+// All three paths produce byte-identical indexes; the differential gate in
+// tests/update_differential_test.cpp enforces that, and --smoke re-checks
+// it here on every CI run.
+//
+//   bench_maintenance [--smoke]
+//
+// --smoke: tiny preset; one mixed batch through all three paths, exits
+// non-zero unless the three serialized indexes are identical. Used by
+// tools/ci.sh.
+
+#include <cstring>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "bench_util.h"
+
+using namespace bigindex;
+using namespace bigindex::bench;
+
+namespace {
+
+std::string SerializeIndex(const BigIndex& index, const LabelDictionary& dict) {
+  std::ostringstream out;
+  Status s = WriteIndex(index, dict, out);
+  if (!s.ok()) {
+    std::fprintf(stderr, "serialize: %s\n", s.ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(out).str();
+}
+
+/// `count` edge toggles: half removals of present edges, half additions of
+/// random (mostly absent) pairs — the steady-state update mix.
+std::vector<GraphUpdate> MakeBatch(const Graph& g, size_t count,
+                                   uint64_t seed) {
+  Rng rng(seed);
+  const auto edges = g.Edges();
+  std::vector<GraphUpdate> batch;
+  batch.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    if (i % 2 == 0 && !edges.empty()) {
+      auto [u, v] = edges[rng.Uniform(edges.size())];
+      batch.push_back({GraphUpdate::Kind::kRemoveEdge, u, v});
+    } else {
+      batch.push_back(
+          {GraphUpdate::Kind::kAddEdge,
+           static_cast<VertexId>(rng.Uniform(g.NumVertices())),
+           static_cast<VertexId>(rng.Uniform(g.NumVertices()))});
+    }
+  }
+  return batch;
+}
+
+BigIndex MustMaintain(const BigIndex& index,
+                      const std::vector<GraphUpdate>& batch,
+                      const MaintainOptions& opt,
+                      MaintainReport* report = nullptr) {
+  auto result = MaintainIndex(index, batch, opt, report);
+  if (!result.ok()) {
+    std::fprintf(stderr, "maintain: %s\n", result.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(result).value();
+}
+
+int RunSmoke() {
+  auto ds = MakeDataset("yago3", 0.002);
+  if (!ds.ok()) {
+    std::fprintf(stderr, "%s\n", ds.status().ToString().c_str());
+    return 1;
+  }
+  auto index =
+      BigIndex::Build(ds->graph, &ds->ontology.ontology, {.max_layers = 3});
+  if (!index.ok()) {
+    std::fprintf(stderr, "%s\n", index.status().ToString().c_str());
+    return 1;
+  }
+  auto batch = MakeBatch(ds->graph, 8, 42);
+
+  MaintainReport report;
+  BigIndex incremental =
+      MustMaintain(*index, batch, MaintainOptions{}, &report);
+  BigIndex wholesale =
+      MustMaintain(*index, batch, {.force_wholesale = true});
+  auto updated = ApplyUpdates(ds->graph, batch);
+  if (!updated.ok()) {
+    std::fprintf(stderr, "%s\n", updated.status().ToString().c_str());
+    return 1;
+  }
+  auto rebuilt = BigIndex::Build(*updated, &ds->ontology.ontology,
+                                 index->options());
+  if (!rebuilt.ok()) {
+    std::fprintf(stderr, "%s\n", rebuilt.status().ToString().c_str());
+    return 1;
+  }
+
+  const std::string inc = SerializeIndex(incremental, *ds->dict);
+  if (inc != SerializeIndex(wholesale, *ds->dict) ||
+      inc != SerializeIndex(*rebuilt, *ds->dict)) {
+    std::fprintf(stderr,
+                 "FAIL: incremental / wholesale / rebuild disagree "
+                 "(|V|=%zu, batch=%zu)\n",
+                 ds->graph.NumVertices(), batch.size());
+    return 1;
+  }
+  size_t incremental_layers = 0;
+  for (const MaintainLayerReport& lr : report.layers) {
+    if (lr.mode == LayerMaintenance::kIncremental) ++incremental_layers;
+  }
+  std::printf("maintenance smoke OK: incremental == wholesale == rebuild "
+              "(|V|=%zu, +%zu -%zu edges, %zu/%zu layers incremental)\n",
+              ds->graph.NumVertices(), report.delta.added.size(),
+              report.delta.removed.size(), incremental_layers,
+              report.layers.size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "--smoke") == 0) return RunSmoke();
+
+  PrintHeader("Live-update maintenance — incremental vs wholesale vs rebuild",
+              "Sec. 3.2 (maintenance of BiG-index)");
+  double scale = BenchScale();
+
+  auto ds = MakeDataset("yago3", scale);
+  if (!ds.ok()) {
+    std::fprintf(stderr, "%s\n", ds.status().ToString().c_str());
+    return 1;
+  }
+  auto index =
+      BigIndex::Build(ds->graph, &ds->ontology.ontology, {.max_layers = 4});
+  if (!index.ok()) {
+    std::fprintf(stderr, "%s\n", index.status().ToString().c_str());
+    return 1;
+  }
+  Timer build_timer;
+  auto rebuilt_once =
+      BigIndex::Build(ds->graph, &ds->ontology.ontology, {.max_layers = 4});
+  const double full_build_ms = build_timer.ElapsedMillis();
+  if (!rebuilt_once.ok()) {
+    std::fprintf(stderr, "%s\n", rebuilt_once.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("yago3 |V|=%zu |E|=%zu, %zu layers; from-scratch build "
+              "%.1f ms\n\n",
+              ds->graph.NumVertices(), ds->graph.NumEdges(),
+              index->NumLayers(), full_build_ms);
+
+  std::printf("%8s %8s %12s %12s %12s %10s %12s\n", "batch", "dirty",
+              "inc(ms)", "whole(ms)", "rebuild(ms)", "inc-layers",
+              "speedup-vs-rb");
+  for (size_t count : {size_t{1}, size_t{4}, size_t{16}, size_t{64},
+                       size_t{256}, size_t{1024}}) {
+    auto batch = MakeBatch(ds->graph, count, 1000 + count);
+    auto delta = NormalizeUpdates(ds->graph, batch);
+    if (!delta.ok()) continue;
+
+    MaintainReport report;
+    double inc_ms = MedianMs(3, [&] {
+      MustMaintain(*index, batch, MaintainOptions{}, &report);
+    });
+    double whole_ms = MedianMs(3, [&] {
+      MustMaintain(*index, batch, {.force_wholesale = true});
+    });
+    double rebuild_ms = MedianMs(3, [&] {
+      auto updated = ApplyUpdates(ds->graph, batch);
+      auto r = BigIndex::Build(*updated, &ds->ontology.ontology,
+                               index->options());
+      if (!r.ok()) std::exit(1);
+    });
+
+    size_t incremental_layers = 0;
+    for (const MaintainLayerReport& lr : report.layers) {
+      if (lr.mode == LayerMaintenance::kIncremental) ++incremental_layers;
+    }
+    std::printf("%8zu %8zu %12.2f %12.2f %12.2f %7zu/%zu %11.2fx\n", count,
+                delta->added.size() + delta->removed.size(), inc_ms, whole_ms,
+                rebuild_ms, incremental_layers, report.layers.size(),
+                inc_ms > 0 ? rebuild_ms / inc_ms : 0.0);
+  }
+  std::printf("\ninc-layers: layers refined via the seeded localized path "
+              "(rest: wholesale or copied).\n");
+  return 0;
+}

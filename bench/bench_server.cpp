@@ -10,20 +10,27 @@
 //      serial dispatch (max_batch=1) over the same 8-thread engine pool;
 //   3. an open-loop burst against a small admission queue with tight
 //      deadlines — demonstrates non-blocking backpressure (rejections and
-//      deadline misses, no hangs, no partial answers).
+//      deadline misses, no hangs, no partial answers);
+//   4. mixed read/update serving (ISSUE 8): 95% reads / 5% single-edge
+//      updates through the full LiveUpdater + RCU epoch-swap path — read
+//      tail latency must stay bounded while writers churn epochs, and
+//      every read completes against a consistent engine snapshot.
 //
 // `bench_server --smoke` shrinks every phase for CI (tools/ci.sh runs it on
 // every pass).
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstring>
 #include <future>
 #include <memory>
+#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "bench_util.h"
+#include "update/live_updater.h"
 
 using namespace bigindex;
 using namespace bigindex::bench;
@@ -69,6 +76,13 @@ LoadReport RunClosedLoop(SearchService& service,
   report.qps = report.ok / t.ElapsedSeconds();
   report.stats = service.Snapshot();
   return report;
+}
+
+/// Destructive percentile over raw latency samples (sorts in place).
+double Pct(std::vector<double>& ms, double p) {
+  if (ms.empty()) return 0;
+  std::sort(ms.begin(), ms.end());
+  return ms[static_cast<size_t>(p * (ms.size() - 1))];
 }
 
 void PrintReport(const char* name, const LoadReport& r) {
@@ -197,6 +211,82 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(deadline),
                 static_cast<unsigned long long>(other));
     std::printf("final: %s\n", service.Snapshot().ToString().c_str());
+  }
+
+  // --- 4. mixed read/update serving (95/5) -------------------------------
+  {
+    std::printf("\nmixed read/update (95/5): each client issues 1 update "
+                "per 20 ops; updates run delta maintenance + engine build "
+                "+ RCU epoch swap behind the writer mutex\n");
+    SearchService service(engine, {.max_linger_ms = 0.2});
+    LiveUpdater updater(index, engine,
+                        {.engine = {.num_threads = 8}});
+    updater.set_swap([&service](std::shared_ptr<const QueryEngine> next) {
+      return service.SwapEngine(std::move(next));
+    });
+    service.set_updater([&updater](std::span<const GraphUpdate> updates) {
+      return updater.Apply(updates);
+    });
+
+    const auto edges = index->base().Edges();
+    std::atomic<bool> stop{false};
+    std::atomic<uint64_t> read_ok{0}, read_err{0};
+    std::atomic<uint64_t> update_ok{0}, update_err{0};
+    std::mutex lat_mutex;
+    std::vector<double> update_ms;
+    std::vector<std::thread> threads;
+    threads.reserve(clients);
+    for (size_t c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c] {
+        size_t i = c * 3;
+        std::vector<double> local;
+        // Each client toggles its own edge (distinct per client, so every
+        // update has a net effect and runs the full maintenance path).
+        auto [u, v] = edges[(c * 997) % edges.size()];
+        bool removed = false;
+        while (!stop.load(std::memory_order_relaxed)) {
+          if (i++ % 20 == 19) {
+            const GraphUpdate op{removed ? GraphUpdate::Kind::kAddEdge
+                                         : GraphUpdate::Kind::kRemoveEdge,
+                                 u, v};
+            removed = !removed;
+            Timer t;
+            auto r = service.ApplyUpdate(std::span<const GraphUpdate>(&op, 1));
+            local.push_back(t.ElapsedMillis());
+            (r.ok() ? update_ok : update_err)
+                .fetch_add(1, std::memory_order_relaxed);
+          } else {
+            auto r = service.Query(queries[i % queries.size()]);
+            (r.ok() ? read_ok : read_err)
+                .fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+        std::lock_guard<std::mutex> lock(lat_mutex);
+        update_ms.insert(update_ms.end(), local.begin(), local.end());
+      });
+    }
+    Timer t;
+    std::this_thread::sleep_for(std::chrono::duration<double>(duration * 2));
+    stop = true;
+    for (auto& th : threads) th.join();
+    const double secs = t.ElapsedSeconds();
+    ServiceStats stats = service.Snapshot();
+    std::printf("reads:   %10.1f q/s  ok=%-8llu err=%-6llu p50=%.3fms "
+                "p95=%.3fms p99=%.3fms hit=%.2f\n",
+                read_ok.load() / secs,
+                static_cast<unsigned long long>(read_ok.load()),
+                static_cast<unsigned long long>(read_err.load()), stats.p50_ms,
+                stats.p95_ms, stats.p99_ms, stats.cache_hit_ratio);
+    const double upd_p50 = Pct(update_ms, 0.5);
+    const double upd_p95 = Pct(update_ms, 0.95);
+    const double upd_max = update_ms.empty() ? 0.0 : update_ms.back();
+    std::printf("updates: %10.1f u/s  ok=%-8llu err=%-6llu p50=%.1fms "
+                "p95=%.1fms max=%.1fms (serialized on the writer mutex)\n",
+                update_ok.load() / secs,
+                static_cast<unsigned long long>(update_ok.load()),
+                static_cast<unsigned long long>(update_err.load()), upd_p50,
+                upd_p95, upd_max);
+    std::printf("final: %s\n", stats.ToString().c_str());
   }
   return 0;
 }

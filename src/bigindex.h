@@ -69,6 +69,10 @@
 #include "shard/shard_build.h"      // IWYU pragma: export
 #include "shard/sharded_service.h"  // IWYU pragma: export
 #include "shard/substrate.h"        // IWYU pragma: export
+#include "update/incremental.h"     // IWYU pragma: export
+#include "update/live_updater.h"    // IWYU pragma: export
+#include "update/maintain.h"        // IWYU pragma: export
+#include "update/version_store.h"   // IWYU pragma: export
 #include "util/random.h"            // IWYU pragma: export
 #include "util/status.h"            // IWYU pragma: export
 #include "util/timer.h"             // IWYU pragma: export

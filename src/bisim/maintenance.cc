@@ -1,30 +1,68 @@
 #include "bisim/maintenance.h"
 
 #include <algorithm>
-#include <set>
+#include <cassert>
+#include <map>
+#include <utility>
 
 namespace bigindex {
 
-StatusOr<Graph> ApplyUpdates(const Graph& g,
-                             std::span<const GraphUpdate> updates) {
+StatusOr<UpdateDelta> NormalizeUpdates(const Graph& g,
+                                       std::span<const GraphUpdate> updates) {
   const size_t n = g.NumVertices();
-  std::set<std::pair<VertexId, VertexId>> edges;
-  for (const auto& [u, v] : g.Edges()) edges.emplace(u, v);
+  // Last op on an edge wins; earlier ops on the same edge are redundant.
+  std::map<std::pair<VertexId, VertexId>, bool> last_op;  // -> present after
+  size_t redundant = 0;
   for (const GraphUpdate& up : updates) {
     if (up.source >= n || up.target >= n) {
       return Status::InvalidArgument("update references out-of-range vertex");
     }
-    if (up.kind == GraphUpdate::Kind::kAddEdge) {
-      edges.emplace(up.source, up.target);
-    } else {
-      edges.erase({up.source, up.target});
+    auto [it, inserted] = last_op.emplace(
+        std::make_pair(up.source, up.target),
+        up.kind == GraphUpdate::Kind::kAddEdge);
+    if (!inserted) {
+      ++redundant;  // an earlier op on this edge is superseded
+      it->second = up.kind == GraphUpdate::Kind::kAddEdge;
     }
   }
+  UpdateDelta delta;
+  delta.redundant = redundant;
+  for (const auto& [edge, present_after] : last_op) {
+    const bool present_before = g.HasEdge(edge.first, edge.second);
+    if (present_after == present_before) {
+      ++delta.redundant;  // net no-op against the current graph
+    } else if (present_after) {
+      delta.added.push_back(edge);
+    } else {
+      delta.removed.push_back(edge);
+    }
+  }
+  // std::map iteration already yields (source, target) order.
+  return delta;
+}
+
+Graph ApplyDelta(const Graph& g, const UpdateDelta& delta) {
+  const size_t n = g.NumVertices();
   GraphBuilder builder;
-  builder.Reserve(n, edges.size());
+  builder.Reserve(n, g.NumEdges() + delta.added.size());
   for (VertexId v = 0; v < n; ++v) builder.AddVertex(g.label(v));
-  for (const auto& [u, v] : edges) builder.AddEdge(u, v);
-  return builder.Build();
+  for (const auto& [u, v] : g.Edges()) {
+    if (!std::binary_search(delta.removed.begin(), delta.removed.end(),
+                            std::make_pair(u, v))) {
+      builder.AddEdge(u, v);
+    }
+  }
+  for (const auto& [u, v] : delta.added) builder.AddEdge(u, v);
+  auto built = builder.Build();
+  assert(built.ok());  // endpoints validated by NormalizeUpdates
+  return std::move(built).value();
+}
+
+StatusOr<Graph> ApplyUpdates(const Graph& g,
+                             std::span<const GraphUpdate> updates) {
+  auto delta = NormalizeUpdates(g, updates);
+  if (!delta.ok()) return delta.status();
+  return ApplyDelta(g, *delta);
 }
 
 bool GraphsIdentical(const Graph& a, const Graph& b) {

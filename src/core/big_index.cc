@@ -100,11 +100,12 @@ StatusOr<BigIndex> BigIndex::Build(Graph base, const Ontology* ontology,
 }
 
 StatusOr<BigIndex> BigIndex::FromParts(Graph base, const Ontology* ontology,
-                                       std::vector<IndexLayer> layers) {
+                                       std::vector<IndexLayer> layers,
+                                       const BigIndexOptions& options) {
   if (ontology == nullptr) {
     return Status::InvalidArgument("ontology must not be null");
   }
-  BigIndex index(std::move(base), ontology, BigIndexOptions{});
+  BigIndex index(std::move(base), ontology, options);
   const Graph* lower = &index.base_;
   for (const IndexLayer& layer : layers) {
     if (layer.mapping.NumVertices() != lower->NumVertices() ||

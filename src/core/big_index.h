@@ -79,10 +79,14 @@ class BigIndex {
   static StatusOr<BigIndex> Build(Graph base, const Ontology* ontology,
                                   const BigIndexOptions& options = {});
 
-  /// Reassembles an index from serialized parts (see core/index_io.h).
-  /// Validates layer-to-layer consistency (mapping domains/codomains).
+  /// Reassembles an index from serialized parts (see core/index_io.h) or
+  /// from incremental maintenance (update/maintain.h). Validates
+  /// layer-to-layer consistency (mapping domains/codomains). `options`
+  /// become the index's stored options (serialized images don't carry them;
+  /// maintenance passes the predecessor's so rebuild behavior is stable).
   static StatusOr<BigIndex> FromParts(Graph base, const Ontology* ontology,
-                                      std::vector<IndexLayer> layers);
+                                      std::vector<IndexLayer> layers,
+                                      const BigIndexOptions& options = {});
 
   /// Number of summary layers h (layers are numbered 1..h; 0 is the base).
   size_t NumLayers() const { return layers_.size(); }

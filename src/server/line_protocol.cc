@@ -172,6 +172,7 @@ std::string HandleQuery(QueryService& service, const LabelDictionary* dict,
 
 std::string HandleInfo(QueryService& service) {
   ServiceIdentity id = service.Identity();
+  ServiceStats stats = service.Snapshot();
   std::ostringstream out;
   out << "OK epoch=" << service.epoch() << " checksum=" << std::hex
       << id.fingerprint << std::dec << " layers=" << id.num_layers
@@ -181,7 +182,64 @@ std::string HandleInfo(QueryService& service) {
     if (i) out << ',';
     out << algos[i];
   }
+  // Live-update health; older ParseInfoLine implementations skip unknown
+  // keys, so these are backward-compatible additions.
+  out << " updates=" << stats.updates_applied << '/' << stats.updates_rejected
+      << '/' << stats.update_fallbacks;
+  out.precision(1);
+  out << " epoch_age_s=" << std::fixed << stats.epoch_age_s;
   out << "\n.\n";
+  return out.str();
+}
+
+/// Parses one "add:<u>:<v>" / "remove:<u>:<v>" op token.
+Status ParseUpdateOp(const std::string& token, GraphUpdate* out) {
+  size_t c1 = token.find(':');
+  size_t c2 = c1 == std::string::npos ? std::string::npos
+                                      : token.find(':', c1 + 1);
+  if (c2 == std::string::npos) {
+    return Status::InvalidArgument("malformed update op '" + token +
+                                   "' (want add:<u>:<v> or remove:<u>:<v>)");
+  }
+  std::string kind = token.substr(0, c1);
+  std::string u = token.substr(c1 + 1, c2 - c1 - 1);
+  std::string v = token.substr(c2 + 1);
+  if (kind == "add") {
+    out->kind = GraphUpdate::Kind::kAddEdge;
+  } else if (kind == "remove") {
+    out->kind = GraphUpdate::Kind::kRemoveEdge;
+  } else {
+    return Status::InvalidArgument("unknown update op kind '" + kind + "'");
+  }
+  if (!AllDigits(u) || !AllDigits(v)) {
+    return Status::InvalidArgument("bad vertex id in update op '" + token +
+                                   "'");
+  }
+  out->source = static_cast<VertexId>(std::strtoul(u.c_str(), nullptr, 10));
+  out->target = static_cast<VertexId>(std::strtoul(v.c_str(), nullptr, 10));
+  return Status::OK();
+}
+
+std::string HandleUpdate(QueryService& service,
+                         const std::vector<std::string>& tokens) {
+  if (tokens.size() < 2) {
+    return ErrBlock("usage: update (add:<u>:<v>|remove:<u>:<v>)...");
+  }
+  std::vector<GraphUpdate> updates;
+  updates.reserve(tokens.size() - 1);
+  for (size_t i = 1; i < tokens.size(); ++i) {
+    GraphUpdate up;
+    Status parsed = ParseUpdateOp(tokens[i], &up);
+    if (!parsed.ok()) return ErrBlock(parsed);
+    updates.push_back(up);
+  }
+  StatusOr<UpdateOutcome> outcome = service.ApplyUpdate(updates);
+  if (!outcome.ok()) return ErrBlock(outcome.status());
+  std::ostringstream out;
+  out << "OK applied=" << outcome->applied << " skipped=" << outcome->skipped
+      << " rebuilt=" << outcome->layers_rebuilt
+      << " epoch=" << outcome->epoch << " mode=" << UpdateModeName(
+             outcome->mode) << "\n.\n";
   return out.str();
 }
 
@@ -211,6 +269,9 @@ LineHandler::Result LineHandler::Handle(const std::string& line) {
   if (cmd == "bump") {
     return {"OK epoch=" + std::to_string(service_->BumpEpoch()) + "\n.\n",
             false};
+  }
+  if (cmd == "update") {
+    return {HandleUpdate(*service_, tokens), false};
   }
   if (cmd == "algos") {
     std::string out = "OK";
@@ -376,6 +437,59 @@ Status ParseInfoLine(const std::string& line, WireInfo* out) {
   }
   if (!saw_epoch || !saw_shard) {
     return Status::IOError("INFO response missing required fields: '" +
+                           line + "'");
+  }
+  return Status::OK();
+}
+
+std::string FormatUpdateLine(std::span<const GraphUpdate> updates) {
+  std::ostringstream out;
+  out << "update";
+  for (const GraphUpdate& up : updates) {
+    out << (up.kind == GraphUpdate::Kind::kAddEdge ? " add:" : " remove:")
+        << up.source << ':' << up.target;
+  }
+  return out.str();
+}
+
+Status ParseUpdateOutcomeLine(const std::string& line, UpdateOutcome* out) {
+  *out = UpdateOutcome{};
+  std::vector<std::string> tokens = Tokenize(line);
+  if (tokens.empty() || tokens[0] != "OK") {
+    return Status::IOError("not an UPDATE response: '" + line + "'");
+  }
+  bool saw_applied = false, saw_epoch = false;
+  for (size_t i = 1; i < tokens.size(); ++i) {
+    size_t eq = tokens[i].find('=');
+    if (eq == std::string::npos) continue;
+    std::string key = tokens[i].substr(0, eq);
+    std::string value = tokens[i].substr(eq + 1);
+    if (key == "applied") {
+      saw_applied = true;
+      out->applied = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (key == "skipped") {
+      out->skipped = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (key == "rebuilt") {
+      out->layers_rebuilt = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (key == "epoch") {
+      saw_epoch = true;
+      out->epoch = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (key == "mode") {
+      if (value == "none") {
+        out->mode = UpdateOutcome::Mode::kNone;
+      } else if (value == "incremental") {
+        out->mode = UpdateOutcome::Mode::kIncremental;
+      } else if (value == "wholesale") {
+        out->mode = UpdateOutcome::Mode::kWholesale;
+      } else if (value == "rebuild") {
+        out->mode = UpdateOutcome::Mode::kRebuild;
+      } else {
+        return Status::IOError("unknown update mode '" + value + "'");
+      }
+    }
+  }
+  if (!saw_applied || !saw_epoch) {
+    return Status::IOError("UPDATE response missing required fields: '" +
                            line + "'");
   }
   return Status::OK();

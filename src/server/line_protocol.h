@@ -12,10 +12,16 @@
 //   trace dump       chrome://tracing JSON (single line) of buffered spans
 //   trace clear      drop all buffered spans
 //   bump             bump the index epoch (invalidates the answer cache)
+//   update <op> ...  apply an edge-update batch to the served index; each op
+//                    is add:<u>:<v> or remove:<u>:<v> with global vertex
+//                    ids. Response: OK applied=A skipped=S rebuilt=K
+//                    epoch=E mode=none|incremental|wholesale|rebuild.
+//                    Read-only services answer ERR Unimplemented.
 //   algos            registered algorithm names
 //   info             index identity: epoch, image checksum, layer count,
 //                    shard id/count, algorithm names — what the shard
-//                    coordinator verifies at attach time
+//                    coordinator verifies at attach time — plus live-update
+//                    counters (updates=a/r/f) and epoch age
 //   ping             liveness probe
 //   quit             close the session
 //
@@ -43,6 +49,7 @@
 #define BIGINDEX_SERVER_LINE_PROTOCOL_H_
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -105,8 +112,18 @@ struct WireInfo {
 };
 
 /// Parses the "OK epoch=... checksum=... layers=... shard=i/n algos=a,b"
-/// head line of an INFO response.
+/// head line of an INFO response. Unknown keys are skipped, so newer
+/// servers' extra fields (updates=, epoch_age_s=) parse cleanly.
 Status ParseInfoLine(const std::string& line, WireInfo* out);
+
+/// Serializes an edge-update batch as one UPDATE request line
+/// ("update add:0:1 remove:2:3 ...", global vertex ids).
+std::string FormatUpdateLine(std::span<const GraphUpdate> updates);
+
+/// Parses the "OK applied=... skipped=... rebuilt=... epoch=... mode=..."
+/// head line of an UPDATE response. applied= and epoch= are required;
+/// unknown keys are skipped.
+Status ParseUpdateOutcomeLine(const std::string& line, UpdateOutcome* out);
 
 }  // namespace bigindex
 

@@ -20,11 +20,14 @@
 #ifndef BIGINDEX_SERVER_QUERY_SERVICE_H_
 #define BIGINDEX_SERVER_QUERY_SERVICE_H_
 
+#include <algorithm>
 #include <cstdint>
+#include <span>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "bisim/maintenance.h"
 #include "engine/query_engine.h"
 #include "server/service_stats.h"
 #include "util/status.h"
@@ -47,6 +50,40 @@ struct ServiceIdentity {
   friend bool operator==(const ServiceIdentity&,
                          const ServiceIdentity&) = default;
 };
+
+/// Result of applying one edge-update batch through a service (the UPDATE
+/// verb). `applied` counts net edge changes, `skipped` the rest of the
+/// batch (redundant ops, and — on shard workers — edges owned by another
+/// shard), so applied + skipped == batch size at every level; a coordinator
+/// sums applied across shards (vertex ownership is disjoint).
+struct UpdateOutcome {
+  /// How the successor index was produced (worst layer for a monolithic
+  /// service, worst shard for a coordinator).
+  enum class Mode {
+    kNone,         // batch had no net effect; no new index version
+    kIncremental,  // every rebuilt layer used seeded localized refinement
+    kWholesale,    // >= 1 layer re-summarized wholesale
+    kRebuild,      // full BigIndex::Build (greedy-config indexes)
+  };
+
+  uint64_t applied = 0;
+  uint64_t skipped = 0;
+  uint64_t layers_rebuilt = 0;
+  /// Serving epoch after the apply (unchanged when mode == kNone).
+  uint64_t epoch = 0;
+  Mode mode = Mode::kNone;
+};
+
+/// Wire/logging name of an UpdateOutcome::Mode.
+inline const char* UpdateModeName(UpdateOutcome::Mode mode) {
+  switch (mode) {
+    case UpdateOutcome::Mode::kNone: return "none";
+    case UpdateOutcome::Mode::kIncremental: return "incremental";
+    case UpdateOutcome::Mode::kWholesale: return "wholesale";
+    case UpdateOutcome::Mode::kRebuild: return "rebuild";
+  }
+  return "unknown";
+}
 
 class QueryService {
  public:
@@ -71,6 +108,17 @@ class QueryService {
 
   /// The identity of the index behind this service (see ServiceIdentity).
   virtual ServiceIdentity Identity() const = 0;
+
+  /// Applies an edge-update batch to the served index and publishes the
+  /// successor under a new epoch (the UPDATE verb). Non-pure with an
+  /// Unimplemented default: most services are read-only unless an embedder
+  /// wires a write path (SearchService::set_updater, ShardedSearchService
+  /// over updatable substrates).
+  virtual StatusOr<UpdateOutcome> ApplyUpdate(
+      std::span<const GraphUpdate> updates) {
+    (void)updates;
+    return Status::Unimplemented("service is read-only");
+  }
 };
 
 /// Adapter that makes a shard worker speak global vertex ids: forwards every
@@ -116,7 +164,45 @@ class ShardRemapService : public QueryService {
   }
   ServiceIdentity Identity() const override { return inner_->Identity(); }
 
+  /// Translates global endpoints to shard-local ids and forwards only edges
+  /// whose BOTH endpoints this shard owns; the rest count as skipped (the
+  /// coordinator broadcasts a batch to every shard, and ownership is
+  /// disjoint, so exactly one shard applies each intra-shard edge).
+  StatusOr<UpdateOutcome> ApplyUpdate(
+      std::span<const GraphUpdate> updates) override {
+    if (global_of_.empty()) return inner_->ApplyUpdate(updates);
+    std::vector<GraphUpdate> local;
+    local.reserve(updates.size());
+    uint64_t unowned = 0;
+    for (const GraphUpdate& up : updates) {
+      VertexId ls, lt;
+      if (LocalOf(up.source, &ls) && LocalOf(up.target, &lt)) {
+        local.push_back({up.kind, ls, lt});
+      } else {
+        ++unowned;
+      }
+    }
+    if (local.empty()) {
+      UpdateOutcome outcome;
+      outcome.skipped = updates.size();
+      outcome.epoch = inner_->epoch();
+      return outcome;
+    }
+    StatusOr<UpdateOutcome> outcome = inner_->ApplyUpdate(local);
+    if (outcome.ok()) outcome->skipped += unowned;
+    return outcome;
+  }
+
  private:
+  /// global -> local via binary search: global_of_ is strictly ascending
+  /// (ExtractShard's order-preserving invariant).
+  bool LocalOf(VertexId global, VertexId* local) const {
+    auto it = std::lower_bound(global_of_.begin(), global_of_.end(), global);
+    if (it == global_of_.end() || *it != global) return false;
+    *local = static_cast<VertexId>(it - global_of_.begin());
+    return true;
+  }
+
   QueryService* inner_;
   std::vector<VertexId> global_of_;
 };

@@ -26,6 +26,9 @@ struct ServerMetrics {
   Counter& batched_queries;
   Counter& cache_hits;
   Counter& cache_misses;
+  Counter& updates_applied;
+  Counter& updates_rejected;
+  Counter& update_fallbacks;
   Histogram& request_ms;
   Gauge& queue_depth;
 
@@ -51,6 +54,13 @@ struct ServerMetrics {
                          "Answer-cache hits at admission"),
           reg.GetCounter("bigindex_server_cache_misses_total",
                          "Answer-cache misses at admission"),
+          reg.GetCounter("bigindex_server_updates_applied_total",
+                         "Net edge changes applied through the UPDATE path"),
+          reg.GetCounter("bigindex_server_updates_rejected_total",
+                         "Update batches rejected (no updater or error)"),
+          reg.GetCounter("bigindex_server_update_fallbacks_total",
+                         "Update batches that fell back to wholesale or "
+                         "full rebuild"),
           reg.GetHistogram("bigindex_server_request_ms",
                            "Admission-to-completion latency, ms"),
           reg.GetGauge("bigindex_server_queue_depth",
@@ -116,7 +126,7 @@ std::future<StatusOr<QueryResult>> SearchService::SubmitAsync(
   submitted_.fetch_add(1, std::memory_order_relaxed);
   sm.requests.Inc();
 
-  Status valid = engine_->Validate(query);
+  Status valid = engine_snapshot()->Validate(query);
   if (!valid.ok()) {
     rejected_invalid_.fetch_add(1, std::memory_order_relaxed);
     sm.rejected_invalid.Inc();
@@ -188,12 +198,54 @@ StatusOr<QueryResult> SearchService::Query(EngineQuery query) {
 }
 
 uint64_t SearchService::BumpEpoch() {
-  return epoch_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  const uint64_t epoch = epoch_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  epoch_changed_at_s_.store(uptime_.ElapsedSeconds(),
+                            std::memory_order_relaxed);
+  return epoch;
+}
+
+uint64_t SearchService::SwapEngine(std::shared_ptr<const QueryEngine> engine) {
+  {
+    std::lock_guard<std::mutex> lock(engine_mutex_);
+    engine_ = std::move(engine);
+  }
+  // Publish-then-bump (see header): the new engine must be visible before
+  // any cache entry can carry the new epoch.
+  return BumpEpoch();
+}
+
+StatusOr<UpdateOutcome> SearchService::ApplyUpdate(
+    std::span<const GraphUpdate> updates) {
+  TRACE_SPAN("server/update");
+  ServerMetrics& sm = ServerMetrics::Get();
+  if (!updater_) {
+    updates_rejected_.fetch_add(1, std::memory_order_relaxed);
+    sm.updates_rejected.Inc();
+    return Status::Unimplemented("service has no update path wired");
+  }
+  StatusOr<UpdateOutcome> outcome = updater_(updates);
+  if (!outcome.ok()) {
+    updates_rejected_.fetch_add(1, std::memory_order_relaxed);
+    sm.updates_rejected.Inc();
+    return outcome;
+  }
+  // A no-net-effect batch swaps nothing; report the unchanged epoch.
+  if (outcome->epoch == 0) outcome->epoch = epoch();
+  updates_applied_.fetch_add(outcome->applied, std::memory_order_relaxed);
+  sm.updates_applied.Inc(outcome->applied);
+  if (outcome->mode == UpdateOutcome::Mode::kWholesale ||
+      outcome->mode == UpdateOutcome::Mode::kRebuild) {
+    update_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+    sm.update_fallbacks.Inc();
+  }
+  return outcome;
 }
 
 std::vector<std::string> SearchService::AlgorithmNames() const {
+  // Named pin: the returned string_views point into the engine's registry.
+  std::shared_ptr<const QueryEngine> engine = engine_snapshot();
   std::vector<std::string> names;
-  for (std::string_view name : engine_->AlgorithmNames()) {
+  for (std::string_view name : engine->AlgorithmNames()) {
     names.emplace_back(name);
   }
   return names;
@@ -245,7 +297,7 @@ void SearchService::BatcherLoop() {
     // dispatch gains nothing from waiting longer, while a deep queue
     // dispatches immediately at full size without entering the loop.
     const size_t target =
-        std::min(options_.max_batch_size, engine_->num_slots());
+        std::min(options_.max_batch_size, engine_snapshot()->num_slots());
     if (batch.size() < target && options_.max_linger_ms > 0) {
       auto linger_until =
           std::chrono::steady_clock::now() +
@@ -320,8 +372,13 @@ void SearchService::ProcessBatch(std::vector<Pending> batch) {
   sm.batches.Inc();
   sm.batched_queries.Inc(queries.size());
 
-  StatusOr<std::vector<QueryResult>> results =
-      engine_->EvaluateBatch(queries);
+  // Pin the engine AFTER the batch is assembled: every member captured its
+  // cache-key epoch at admission (before this point), so the snapshot is at
+  // least as new as any epoch in the batch — the other half of SwapEngine's
+  // publish-then-bump ordering. The pin also keeps a concurrently swapped-out
+  // engine alive until this batch completes (RCU grace period).
+  std::shared_ptr<const QueryEngine> engine = engine_snapshot();
+  StatusOr<std::vector<QueryResult>> results = engine->EvaluateBatch(queries);
   if (!results.ok()) {
     // Unreachable after per-request Validate(); resolve rather than wedge.
     for (Pending& p : live) p.promise.set_value(results.status());
@@ -373,6 +430,12 @@ ServiceStats SearchService::Snapshot() const {
   s.throughput_qps =
       s.uptime_s > 0 ? static_cast<double>(s.completed) / s.uptime_s : 0;
   s.epoch = epoch_.load(std::memory_order_acquire);
+  s.updates_applied = updates_applied_.load(std::memory_order_relaxed);
+  s.updates_rejected = updates_rejected_.load(std::memory_order_relaxed);
+  s.update_fallbacks = update_fallbacks_.load(std::memory_order_relaxed);
+  s.epoch_age_s =
+      s.uptime_s - epoch_changed_at_s_.load(std::memory_order_relaxed);
+  if (s.epoch_age_s < 0) s.epoch_age_s = 0;  // clock reads raced; clamp
   return s;
 }
 

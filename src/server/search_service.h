@@ -37,9 +37,11 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
 #include <thread>
 #include <vector>
@@ -136,11 +138,42 @@ class SearchService : public QueryService {
   /// Not thread-safe against serving: call before traffic starts.
   void set_identity(const ServiceIdentity& identity) { identity_ = identity; }
 
+  /// Wires the write path (a LiveUpdater::Apply in practice). Without one,
+  /// ApplyUpdate returns Unimplemented. Not thread-safe against serving:
+  /// call before traffic starts.
+  using Updater =
+      std::function<StatusOr<UpdateOutcome>(std::span<const GraphUpdate>)>;
+  void set_updater(Updater updater) { updater_ = std::move(updater); }
+
+  /// Applies one update batch through the wired updater and folds the
+  /// outcome into the service counters. The updater itself is expected to
+  /// call SwapEngine() once its successor engine is published (the
+  /// publish-then-bump ordering documented on SwapEngine).
+  StatusOr<UpdateOutcome> ApplyUpdate(
+      std::span<const GraphUpdate> updates) override;
+
+  /// RCU swap: installs `engine` as the serving engine, then bumps the
+  /// epoch, and returns the new epoch. The ordering is load-bearing for
+  /// cache coherence: the engine is published BEFORE the bump, and readers
+  /// pin their engine snapshot AFTER capturing their cache-key epoch — so a
+  /// cache entry keyed with epoch E was always computed on the engine of
+  /// epoch E or newer. In-flight batches keep evaluating against the engine
+  /// they pinned; the old engine is destroyed when the last of them drops
+  /// its reference.
+  uint64_t SwapEngine(std::shared_ptr<const QueryEngine> engine);
+
   /// Idempotent; also run by the destructor.
   void Shutdown();
 
   const SearchServiceOptions& options() const { return options_; }
-  const QueryEngine& engine() const { return *engine_; }
+
+  /// Pins the current serving engine. The snapshot stays valid (and
+  /// immutable) for as long as the caller holds it, across any number of
+  /// concurrent SwapEngine calls.
+  std::shared_ptr<const QueryEngine> engine_snapshot() const {
+    std::lock_guard<std::mutex> lock(engine_mutex_);
+    return engine_;
+  }
 
   /// The cache key for `query` at `epoch` — the query's semantic identity.
   /// Exposed for tests; keywords must already be normalized.
@@ -159,9 +192,11 @@ class SearchService : public QueryService {
   void CompleteOk(Pending& p, QueryResult result);
   void CompleteDeadline(Pending& p, const char* stage);
 
+  mutable std::mutex engine_mutex_;  // guards engine_ (swap vs snapshot)
   std::shared_ptr<const QueryEngine> engine_;
   SearchServiceOptions options_;
   ServiceIdentity identity_;
+  Updater updater_;
   AnswerCache cache_;
   Timer uptime_;
 
@@ -180,6 +215,12 @@ class SearchService : public QueryService {
   std::atomic<uint64_t> deadline_misses_{0};
   std::atomic<uint64_t> batches_{0};
   std::atomic<uint64_t> batched_queries_{0};
+  std::atomic<uint64_t> updates_applied_{0};
+  std::atomic<uint64_t> updates_rejected_{0};
+  std::atomic<uint64_t> update_fallbacks_{0};
+  /// Uptime-relative seconds of the last BumpEpoch (0 = service start), so
+  /// epoch age is two atomic reads instead of a racy shared Timer.
+  std::atomic<double> epoch_changed_at_s_{0};
   LatencyHistogram latency_;
 };
 

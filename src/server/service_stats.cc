@@ -13,7 +13,8 @@ std::string ServiceStats::ToString() const {
       "batches=%llu mean_batch=%.2f cache_hits=%llu cache_misses=%llu "
       "cache_evictions=%llu cache_entries=%zu hit_ratio=%.3f "
       "p50_ms=%.3f p95_ms=%.3f p99_ms=%.3f qps=%.1f uptime_s=%.1f epoch=%llu"
-      " shard_failures=%llu partial=%llu",
+      " epoch_age_s=%.1f updates_applied=%llu updates_rejected=%llu"
+      " update_fallbacks=%llu shard_failures=%llu partial=%llu",
       static_cast<unsigned long long>(submitted),
       static_cast<unsigned long long>(rejected_invalid),
       static_cast<unsigned long long>(rejected_overload), queue_depth,
@@ -24,7 +25,10 @@ std::string ServiceStats::ToString() const {
       static_cast<unsigned long long>(cache_misses),
       static_cast<unsigned long long>(cache_evictions), cache_entries,
       cache_hit_ratio, p50_ms, p95_ms, p99_ms, throughput_qps, uptime_s,
-      static_cast<unsigned long long>(epoch),
+      static_cast<unsigned long long>(epoch), epoch_age_s,
+      static_cast<unsigned long long>(updates_applied),
+      static_cast<unsigned long long>(updates_rejected),
+      static_cast<unsigned long long>(update_fallbacks),
       static_cast<unsigned long long>(shard_failures),
       static_cast<unsigned long long>(partial_results));
   return buf;

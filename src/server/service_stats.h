@@ -53,6 +53,12 @@ struct ServiceStats {
   double throughput_qps = 0;       // completed / uptime
   uint64_t epoch = 0;              // current cache epoch
 
+  // Live updates (UPDATE verb; zero on read-only services).
+  uint64_t updates_applied = 0;    // net edge changes applied
+  uint64_t updates_rejected = 0;   // batches rejected (no updater / error)
+  uint64_t update_fallbacks = 0;   // batches served wholesale / full rebuild
+  double epoch_age_s = 0;          // seconds since the last epoch bump
+
   // Scatter-gather coordination (zero on non-sharded services). The
   // coordinator also repurposes batches/batched_queries as fan-out waves /
   // shard requests actually sent.

@@ -23,9 +23,12 @@ StatusOr<std::unique_ptr<InProcessSubstrate>> InProcessSubstrate::Create(
     auto shard = std::make_unique<Shard>();
     uint32_t num_layers =
         static_cast<uint32_t>(built.index.NumLayers());
-    auto engine = std::make_unique<QueryEngine>(
-        std::move(built.index),
-        QueryEngineOptions{.num_threads = options.engine_threads});
+    // The index is held behind a shared_ptr so the live updater can pin the
+    // current generation while it builds a successor (RCU hand-off).
+    auto index = std::make_shared<const BigIndex>(std::move(built.index));
+    const QueryEngineOptions engine_opts{.num_threads =
+                                             options.engine_threads};
+    auto engine = std::make_unique<QueryEngine>(index, engine_opts);
     if (options.configure_engine) options.configure_engine(*engine);
     shard->engine = std::shared_ptr<const QueryEngine>(std::move(engine));
     shard->service =
@@ -38,6 +41,23 @@ StatusOr<std::unique_ptr<InProcessSubstrate>> InProcessSubstrate::Create(
     });
     shard->remapped = std::make_unique<ShardRemapService>(
         shard->service.get(), std::move(built.shard.global_of));
+    if (options.enable_updates) {
+      LiveUpdaterOptions updater_opts;
+      updater_opts.maintain = options.maintain;
+      updater_opts.engine = engine_opts;
+      updater_opts.configure_engine = options.configure_engine;
+      shard->updater = std::make_unique<LiveUpdater>(
+          std::move(index), shard->engine, std::move(updater_opts));
+      SearchService* service = shard->service.get();
+      shard->updater->set_swap(
+          [service](std::shared_ptr<const QueryEngine> engine) {
+            return service->SwapEngine(std::move(engine));
+          });
+      LiveUpdater* updater = shard->updater.get();
+      service->set_updater([updater](std::span<const GraphUpdate> updates) {
+        return updater->Apply(updates);
+      });
+    }
     substrate->shards_.push_back(std::move(shard));
   }
   return substrate;
@@ -75,6 +95,14 @@ StatusOr<QueryResult> InProcessSubstrate::Query(size_t shard,
 StatusOr<uint64_t> InProcessSubstrate::BumpEpoch(size_t shard) {
   BIGINDEX_RETURN_IF_ERROR(CheckShard(shard));
   return shards_[shard]->remapped->BumpEpoch();
+}
+
+StatusOr<UpdateOutcome> InProcessSubstrate::Update(
+    size_t shard, std::span<const GraphUpdate> updates) {
+  BIGINDEX_RETURN_IF_ERROR(CheckShard(shard));
+  // The remapped service translates global -> local ids and skips edges this
+  // shard does not own; without a wired updater it answers Unimplemented.
+  return shards_[shard]->remapped->ApplyUpdate(updates);
 }
 
 }  // namespace bigindex

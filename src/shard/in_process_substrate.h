@@ -21,6 +21,8 @@
 #include "server/search_service.h"
 #include "shard/shard_build.h"
 #include "shard/substrate.h"
+#include "update/live_updater.h"
+#include "update/maintain.h"
 
 namespace bigindex {
 
@@ -34,8 +36,16 @@ struct InProcessSubstrateOptions {
   /// Optional hook run on each shard's engine after construction, before
   /// serving starts — e.g. to re-register algorithms with non-default
   /// options. Must configure every shard identically, or the merged answer
-  /// set loses its equivalence to a monolithic evaluation.
+  /// set loses its equivalence to a monolithic evaluation. Live updates
+  /// re-run the hook on each successor engine.
   std::function<void(QueryEngine&)> configure_engine;
+
+  /// Wire a per-shard LiveUpdater so Update() serves the UPDATE verb.
+  /// Disabling makes the substrate read-only (Update → Unimplemented).
+  bool enable_updates = true;
+
+  /// Incremental-maintenance knobs for the per-shard updaters.
+  MaintainOptions maintain;
 };
 
 class InProcessSubstrate : public ShardSubstrate {
@@ -50,6 +60,8 @@ class InProcessSubstrate : public ShardSubstrate {
   StatusOr<QueryResult> Query(size_t shard,
                               const EngineQuery& query) override;
   StatusOr<uint64_t> BumpEpoch(size_t shard) override;
+  StatusOr<UpdateOutcome> Update(size_t shard,
+                                 std::span<const GraphUpdate> updates) override;
 
   /// The shard's serving stack (global-id view), e.g. to front one shard of
   /// this substrate with a TcpServer in tests.
@@ -62,6 +74,9 @@ class InProcessSubstrate : public ShardSubstrate {
     std::shared_ptr<const QueryEngine> engine;
     std::unique_ptr<SearchService> service;
     std::unique_ptr<ShardRemapService> remapped;
+    // Declared last: the updater's lambdas hold raw pointers to `service`,
+    // so it must be destroyed first.
+    std::unique_ptr<LiveUpdater> updater;
   };
 
   InProcessSubstrate() = default;

@@ -86,6 +86,19 @@ StatusOr<QueryResult> RemoteSubstrate::Query(size_t shard,
   return result;
 }
 
+StatusOr<UpdateOutcome> RemoteSubstrate::Update(
+    size_t shard, std::span<const GraphUpdate> updates) {
+  BIGINDEX_RETURN_IF_ERROR(CheckShard(shard));
+  auto lines = RequestLocked(shard, FormatUpdateLine(updates));
+  if (!lines.ok()) return lines.status();
+  if (lines->empty()) return Status::IOError("empty update response");
+  const std::string& head = lines->front();
+  if (head.starts_with("ERR")) return ParseErrLine(head);
+  UpdateOutcome outcome;
+  BIGINDEX_RETURN_IF_ERROR(ParseUpdateOutcomeLine(head, &outcome));
+  return outcome;
+}
+
 StatusOr<uint64_t> RemoteSubstrate::BumpEpoch(size_t shard) {
   BIGINDEX_RETURN_IF_ERROR(CheckShard(shard));
   auto lines = RequestLocked(shard, "bump");

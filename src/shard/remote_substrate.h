@@ -44,6 +44,8 @@ class RemoteSubstrate : public ShardSubstrate {
   StatusOr<QueryResult> Query(size_t shard,
                               const EngineQuery& query) override;
   StatusOr<uint64_t> BumpEpoch(size_t shard) override;
+  StatusOr<UpdateOutcome> Update(size_t shard,
+                                 std::span<const GraphUpdate> updates) override;
 
  private:
   struct Shard {

@@ -204,7 +204,77 @@ uint64_t ShardedSearchService::BumpEpoch() {
     }
     if (shards_[s]->cache != nullptr) shards_[s]->cache->Clear();
   }
-  return epoch_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  const uint64_t epoch = epoch_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  epoch_changed_at_s_.store(uptime_.ElapsedSeconds(),
+                            std::memory_order_relaxed);
+  return epoch;
+}
+
+StatusOr<UpdateOutcome> ShardedSearchService::ApplyUpdate(
+    std::span<const GraphUpdate> updates) {
+  if (!attached()) {
+    updates_rejected_.fetch_add(1, std::memory_order_relaxed);
+    return Status::FailedPrecondition("coordinator is not attached");
+  }
+  const size_t n = shards_.size();
+  std::vector<StatusOr<UpdateOutcome>> per(
+      n, Status::Unavailable("shard update not run"));
+  pool_.ParallelFor(n, [&](size_t /*slot*/, size_t s) {
+    per[s] = substrate_->Update(s, updates);
+  });
+
+  // Fold the per-shard outcomes. Epochs and caches of the shards that DID
+  // change are advanced even when another shard failed, so the coordinator
+  // never serves stale cached answers over a half-applied fleet.
+  UpdateOutcome merged;
+  bool any_changed = false;
+  Status first_failure = Status::OK();
+  for (size_t s = 0; s < n; ++s) {
+    if (!per[s].ok()) {
+      shard_failures_.fetch_add(1, std::memory_order_relaxed);
+      if (first_failure.ok()) first_failure = per[s].status();
+      continue;
+    }
+    merged.applied += per[s]->applied;
+    merged.layers_rebuilt += per[s]->layers_rebuilt;
+    // Mode severity: none < incremental < wholesale < rebuild (the enum's
+    // declaration order); report the fleet's worst.
+    if (per[s]->mode > merged.mode) merged.mode = per[s]->mode;
+    if (per[s]->mode != UpdateOutcome::Mode::kNone) {
+      any_changed = true;
+      shards_[s]->epoch.store(per[s]->epoch, std::memory_order_release);
+      if (shards_[s]->cache != nullptr) shards_[s]->cache->Clear();
+    }
+  }
+  if (!first_failure.ok()) {
+    updates_rejected_.fetch_add(1, std::memory_order_relaxed);
+    if (any_changed) {
+      // Partially applied: advance our epoch so clients re-query through
+      // fresh caches; the caller retries the batch (retry is idempotent —
+      // applied ops normalize to net no-ops).
+      epoch_.fetch_add(1, std::memory_order_acq_rel);
+      epoch_changed_at_s_.store(uptime_.ElapsedSeconds(),
+                                std::memory_order_relaxed);
+    }
+    return first_failure;
+  }
+
+  // Ownership is disjoint, so summed applied <= batch size and the
+  // coordinator-level accounting mirrors a monolithic server's.
+  merged.skipped = updates.size() - merged.applied;
+  if (any_changed) {
+    merged.epoch = epoch_.fetch_add(1, std::memory_order_acq_rel) + 1;
+    epoch_changed_at_s_.store(uptime_.ElapsedSeconds(),
+                              std::memory_order_relaxed);
+  } else {
+    merged.epoch = epoch();
+  }
+  updates_applied_.fetch_add(merged.applied, std::memory_order_relaxed);
+  if (merged.mode == UpdateOutcome::Mode::kWholesale ||
+      merged.mode == UpdateOutcome::Mode::kRebuild) {
+    update_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return merged;
 }
 
 ServiceStats ShardedSearchService::Snapshot() const {
@@ -234,6 +304,9 @@ ServiceStats ShardedSearchService::Snapshot() const {
                           : 0;
   s.shard_failures = shard_failures_.load(std::memory_order_relaxed);
   s.partial_results = partial_results_.load(std::memory_order_relaxed);
+  s.updates_applied = updates_applied_.load(std::memory_order_relaxed);
+  s.updates_rejected = updates_rejected_.load(std::memory_order_relaxed);
+  s.update_fallbacks = update_fallbacks_.load(std::memory_order_relaxed);
   s.p50_ms = latency_.Quantile(0.50);
   s.p95_ms = latency_.Quantile(0.95);
   s.p99_ms = latency_.Quantile(0.99);
@@ -241,6 +314,9 @@ ServiceStats ShardedSearchService::Snapshot() const {
   s.throughput_qps =
       s.uptime_s > 0 ? static_cast<double>(s.completed) / s.uptime_s : 0;
   s.epoch = epoch();
+  s.epoch_age_s =
+      s.uptime_s - epoch_changed_at_s_.load(std::memory_order_relaxed);
+  if (s.epoch_age_s < 0) s.epoch_age_s = 0;
   return s;
 }
 

@@ -37,6 +37,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -96,6 +97,23 @@ class ShardedSearchService : public QueryService {
   std::vector<std::string> AlgorithmNames() const override;
   ServiceIdentity Identity() const override;
 
+  /// Broadcasts the batch to every shard in parallel (each shard applies
+  /// only the edges it owns and skips the rest — see ShardSubstrate::Update),
+  /// advances the changed shards' epochs, clears their coordinator-side
+  /// caches, and bumps the coordinator's own epoch when anything changed.
+  /// `applied` is summed across shards (vertex ownership is disjoint);
+  /// `skipped` = batch size − applied, so the coordinator-level accounting
+  /// matches a monolithic server's. Under wcc-mode plans a cross-shard edge
+  /// add is owned by no shard and counts as skipped — a documented
+  /// limitation (see DESIGN.md §"Live updates").
+  ///
+  /// On a shard failure the batch may be PARTIALLY applied across the fleet;
+  /// the returned status names the failing shard. Re-sending the same batch
+  /// is safe: updates are normalized against each shard's current graph, so
+  /// already-applied ops become net no-ops on retry.
+  StatusOr<UpdateOutcome> ApplyUpdate(
+      std::span<const GraphUpdate> updates) override;
+
   bool attached() const { return attached_.load(std::memory_order_acquire); }
   size_t num_shards() const { return substrate_->num_shards(); }
 
@@ -123,6 +141,11 @@ class ShardedSearchService : public QueryService {
   std::atomic<uint64_t> shard_queries_{0};   // fan-out requests actually sent
   std::atomic<uint64_t> shard_failures_{0};  // failed shard requests
   std::atomic<uint64_t> partial_results_{0};
+  std::atomic<uint64_t> updates_applied_{0};
+  std::atomic<uint64_t> updates_rejected_{0};
+  std::atomic<uint64_t> update_fallbacks_{0};
+  std::atomic<double> epoch_changed_at_s_{0};  // uptime-relative, like
+                                               // SearchService's
   LatencyHistogram latency_;
 };
 

@@ -25,10 +25,12 @@
 #define BIGINDEX_SHARD_SUBSTRATE_H_
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "engine/query_engine.h"
+#include "server/query_service.h"
 #include "util/status.h"
 
 namespace bigindex {
@@ -62,6 +64,18 @@ class ShardSubstrate {
 
   /// Invalidates shard `shard`'s answer cache; returns its new epoch.
   virtual StatusOr<uint64_t> BumpEpoch(size_t shard) = 0;
+
+  /// Applies an edge-update batch (GLOBAL vertex ids) to shard `shard`.
+  /// The shard applies the ops whose edges it owns and counts the rest as
+  /// skipped, so a coordinator can broadcast one batch to every shard and
+  /// sum `applied` (vertex ownership is disjoint). Non-pure with an
+  /// Unimplemented default: substrates without a write path stay valid.
+  virtual StatusOr<UpdateOutcome> Update(size_t shard,
+                                         std::span<const GraphUpdate> updates) {
+    (void)shard;
+    (void)updates;
+    return Status::Unimplemented("substrate is read-only");
+  }
 };
 
 }  // namespace bigindex

@@ -1,0 +1,276 @@
+#include "update/incremental.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <unordered_map>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace bigindex {
+namespace {
+
+// FNV-1a over a word sequence (same scheme as bisim/bisimulation.cc);
+// collisions are resolved by full comparison in the group map.
+uint64_t HashWords(std::span<const uint32_t> v) {
+  uint64_t h = 1469598103934665603ULL;
+  for (uint32_t x : v) {
+    h ^= x;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+struct SigKey {
+  std::vector<uint32_t> words;
+  uint64_t hash;
+  bool operator==(const SigKey& o) const {
+    return hash == o.hash && words == o.words;
+  }
+};
+
+struct SigKeyHash {
+  size_t operator()(const SigKey& k) const { return k.hash; }
+};
+
+// Renumbers `block` in first-occurrence order over the vertex scan — the
+// numbering ComputeBisimulation's final interner round produces — and
+// materializes the quotient summary exactly as bisim/bisimulation.cc does,
+// so serialized results are byte-identical to a from-scratch run.
+BisimResult Finalize(const Graph& g, std::vector<uint32_t>& block,
+                     size_t id_bound, size_t rounds) {
+  const size_t n = g.NumVertices();
+  std::vector<uint32_t> dense(id_bound, std::numeric_limits<uint32_t>::max());
+  size_t num_blocks = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    uint32_t& d = dense[block[v]];
+    if (d == std::numeric_limits<uint32_t>::max()) {
+      d = static_cast<uint32_t>(num_blocks++);
+    }
+    block[v] = d;
+  }
+
+  BisimResult result;
+  result.refinement_rounds = rounds;
+  result.mapping = BisimMapping(block, num_blocks);
+
+  TRACE_SPAN("bisim/materialize");
+  GraphBuilder builder;
+  builder.Reserve(num_blocks, g.NumEdges());
+  {
+    std::vector<LabelId> super_label(num_blocks, kInvalidLabel);
+    for (VertexId v = 0; v < n; ++v) super_label[block[v]] = g.label(v);
+    for (size_t s = 0; s < num_blocks; ++s) builder.AddVertex(super_label[s]);
+  }
+  const CsrView out = g.Out();
+  for (VertexId u = 0; u < n; ++u) {
+    const auto [b, e] = out[u];
+    for (uint64_t i = b; i < e; ++i) {
+      builder.AddEdge(block[u], block[out.Slot(i)]);  // dups collapse in Build
+    }
+  }
+  auto built = builder.Build();
+  assert(built.ok());
+  result.summary = std::move(built).value();
+  return result;
+}
+
+}  // namespace
+
+StatusOr<BisimResult> IncrementalBisimulation(
+    const Graph& g, std::span<const VertexId> seed_partition,
+    std::span<const VertexId> dirty, const IncrementalBisimOptions& options,
+    IncrementalBisimStats* stats) {
+  TRACE_SPAN("update/incremental_bisim");
+  static Counter& runs = MetricsRegistry::Global().GetCounter(
+      "bigindex_update_incremental_runs_total",
+      "Incremental bisimulation invocations");
+  static Counter& fallbacks = MetricsRegistry::Global().GetCounter(
+      "bigindex_update_incremental_fallback_total",
+      "Incremental invocations that fell back to wholesale refinement");
+  static Counter& resigned = MetricsRegistry::Global().GetCounter(
+      "bigindex_update_resigned_vertices_total",
+      "Vertex signatures recomputed by the localized split pass");
+  runs.Inc();
+
+  const size_t n = g.NumVertices();
+  if (seed_partition.size() != n) {
+    return Status::InvalidArgument("seed partition size != vertex count");
+  }
+  for (VertexId v : dirty) {
+    if (v >= n) return Status::InvalidArgument("dirty vertex out of range");
+  }
+  IncrementalBisimStats local_stats;
+  IncrementalBisimStats& st = stats != nullptr ? *stats : local_stats;
+  st = IncrementalBisimStats{};
+  st.dirty_seed = dirty.size();
+
+  if (static_cast<double>(dirty.size()) >
+      options.fallback_dirty_ratio * static_cast<double>(n)) {
+    st.fell_back = true;
+    fallbacks.Inc();
+    return ComputeBisimulation(g, {.pool = options.pool});
+  }
+
+  // Densify the seed into block ids 0..B-1 (first-occurrence order; the
+  // final Finalize renumber makes the choice here irrelevant to output) and
+  // build block -> members lists, members ascending.
+  std::vector<uint32_t> block(n);
+  std::vector<std::vector<VertexId>> members_of;
+  {
+    std::unordered_map<VertexId, uint32_t> dense;
+    dense.reserve(n / 4 + 16);
+    for (VertexId v = 0; v < n; ++v) {
+      auto [it, inserted] = dense.try_emplace(
+          seed_partition[v], static_cast<uint32_t>(members_of.size()));
+      if (inserted) members_of.emplace_back();
+      block[v] = it->second;
+      members_of[it->second].push_back(v);
+    }
+  }
+
+  // Worklist refinement. dirty_flag/dirty_list carry the *next* round's
+  // frontier; per round we collect the blocks containing frontier vertices,
+  // re-sign every member of those blocks against the current partition, and
+  // split by (label, sorted-unique out-neighbor block set). The group
+  // holding the block's first member keeps the block id; other groups take
+  // fresh ids, and their members' in-neighbors join the next frontier
+  // (their signatures now see a different block id).
+  const CsrView out = g.Out();
+  const CsrView in = g.In();
+  std::vector<char> dirty_flag(n, 0);
+  std::vector<VertexId> frontier;
+  frontier.reserve(dirty.size());
+  for (VertexId v : dirty) {
+    if (!dirty_flag[v]) {
+      dirty_flag[v] = 1;
+      frontier.push_back(v);
+    }
+  }
+
+  std::vector<char> touched_flag(members_of.size(), 0);
+  std::vector<uint32_t> touched;
+  std::vector<VertexId> moved;
+  size_t rounds = 0;
+  while (!frontier.empty()) {
+    TRACE_SPAN("update/split_round");
+    ++rounds;
+    touched.clear();
+    for (VertexId v : frontier) {
+      dirty_flag[v] = 0;
+      const uint32_t b = block[v];
+      if (b >= touched_flag.size()) touched_flag.resize(b + 1, 0);
+      if (!touched_flag[b]) {
+        touched_flag[b] = 1;
+        touched.push_back(b);
+      }
+    }
+    frontier.clear();
+    std::sort(touched.begin(), touched.end());
+
+    moved.clear();
+    for (uint32_t b : touched) {
+      touched_flag[b] = 0;
+      std::vector<VertexId>& mem = members_of[b];
+      if (mem.size() <= 1) continue;  // singletons cannot split
+
+      // Group members by signature, first-occurrence group order (members
+      // are ascending, so group 0 holds mem[0] and keeps the id).
+      std::unordered_map<SigKey, uint32_t, SigKeyHash> group_of;
+      std::vector<std::vector<VertexId>> groups;
+      SigKey key;
+      for (VertexId v : mem) {
+        key.words.clear();
+        key.words.push_back(g.label(v));
+        const size_t first = key.words.size();
+        const auto [s, e] = out[v];
+        for (uint64_t i = s; i < e; ++i) {
+          key.words.push_back(block[out.Slot(i)]);
+        }
+        std::sort(key.words.begin() + first, key.words.end());
+        key.words.erase(
+            std::unique(key.words.begin() + first, key.words.end()),
+            key.words.end());
+        key.hash = HashWords(key.words);
+        auto [it, inserted] =
+            group_of.try_emplace(key, static_cast<uint32_t>(groups.size()));
+        if (inserted) groups.emplace_back();
+        groups[it->second].push_back(v);
+      }
+      st.vertices_resigned += mem.size();
+      if (groups.size() <= 1) continue;
+
+      mem = std::move(groups.front());
+      for (size_t j = 1; j < groups.size(); ++j) {
+        const uint32_t fresh = static_cast<uint32_t>(members_of.size());
+        for (VertexId v : groups[j]) {
+          block[v] = fresh;
+          moved.push_back(v);
+        }
+        members_of.push_back(std::move(groups[j]));
+        touched_flag.push_back(0);
+      }
+    }
+
+    for (VertexId v : moved) {
+      const auto [s, e] = in[v];
+      for (uint64_t i = s; i < e; ++i) {
+        const VertexId u = in.Slot(i);
+        if (!dirty_flag[u]) {
+          dirty_flag[u] = 1;
+          frontier.push_back(u);
+        }
+      }
+    }
+  }
+  st.split_rounds = rounds;
+  resigned.Inc(st.vertices_resigned);
+
+  // Phase 2: the split-stable partition P may still be finer than maximal
+  // bisimulation (updates can *merge* blocks). P is stable and
+  // label-uniform, so max-bisim(g) is the pullback of max-bisim(g/P):
+  // quotient, summarize the (summary-sized) quotient, compose.
+  std::vector<uint32_t> p1(n);
+  size_t p1_blocks = 0;
+  {
+    std::vector<uint32_t> dense(members_of.size(),
+                                std::numeric_limits<uint32_t>::max());
+    for (VertexId v = 0; v < n; ++v) {
+      uint32_t& d = dense[block[v]];
+      if (d == std::numeric_limits<uint32_t>::max()) {
+        d = static_cast<uint32_t>(p1_blocks++);
+      }
+      p1[v] = d;
+    }
+  }
+  st.quotient_vertices = p1_blocks;
+
+  Graph quotient;
+  {
+    TRACE_SPAN("update/quotient");
+    GraphBuilder qb;
+    qb.Reserve(p1_blocks, g.NumEdges());
+    std::vector<LabelId> qlabel(p1_blocks, kInvalidLabel);
+    for (VertexId v = 0; v < n; ++v) qlabel[p1[v]] = g.label(v);
+    for (size_t s = 0; s < p1_blocks; ++s) qb.AddVertex(qlabel[s]);
+    for (VertexId u = 0; u < n; ++u) {
+      const auto [s, e] = out[u];
+      for (uint64_t i = s; i < e; ++i) qb.AddEdge(p1[u], p1[out.Slot(i)]);
+    }
+    auto built = qb.Build();
+    assert(built.ok());
+    quotient = std::move(built).value();
+  }
+  BisimResult merged = ComputeBisimulation(quotient, {.pool = options.pool});
+
+  std::vector<uint32_t> final_block(n);
+  for (VertexId v = 0; v < n; ++v) {
+    final_block[v] = merged.mapping.SuperOf(p1[v]);
+  }
+  return Finalize(g, final_block, merged.mapping.NumSupernodes(),
+                  rounds + merged.refinement_rounds);
+}
+
+}  // namespace bigindex

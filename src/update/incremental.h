@@ -1,0 +1,97 @@
+// Delta-propagating incremental bisimulation (Sec. 3.2, "Maintenance of
+// BiG-index"; cf. Deng et al. TKDE'13 and Luo et al.'s localized
+// maintenance, arXiv 1210.0748).
+//
+// Instead of re-refining a whole layer after an edge batch, the caller
+// supplies the previous stable partition as a *seed* plus the set of
+// vertices whose local signature may have drifted from what that stability
+// proved. Refinement then runs in two exact phases:
+//
+//   Phase 1 (split): a worklist pass that re-signs only blocks containing
+//   dirty vertices, splits them by (label, out-neighbor block set), and
+//   marks in-neighbors of moved vertices dirty for the next round. At
+//   fixpoint this yields the *coarsest stable refinement of the seed* —
+//   splits are forced (any stable refinement must make them) and untouched
+//   blocks stay signature-uniform by a transfer argument (none of their
+//   members' out-neighbors ever changed block).
+//
+//   Phase 2 (merge): removals — and additions — can make previously
+//   distinct blocks bisimilar, which splitting alone can never undo. Since
+//   the phase-1 partition P is stable and label-uniform, max-bisim(G) is
+//   exactly the pullback of max-bisim(G/P): we materialize the quotient
+//   graph (summary-sized, so this is cheap) and run the ordinary
+//   ComputeBisimulation on it.
+//
+// The composed partition is renumbered in first-occurrence order over the
+// vertex scan and the summary is materialized exactly as
+// bisim/bisimulation.cc does, so the returned BisimResult is byte-identical
+// (summary + mapping) to a from-scratch ComputeBisimulation of the updated
+// graph — the differential harness in tests/update_differential_test.cpp
+// holds this to serialized-image equality over random update streams.
+//
+// When the dirty set exceeds IncrementalBisimOptions::fallback_dirty_ratio
+// of the graph, the localized pass would touch most blocks anyway and the
+// function falls back to wholesale ComputeBisimulation (still exact).
+
+#ifndef BIGINDEX_UPDATE_INCREMENTAL_H_
+#define BIGINDEX_UPDATE_INCREMENTAL_H_
+
+#include <span>
+#include <vector>
+
+#include "bisim/bisimulation.h"
+#include "graph/graph.h"
+#include "graph/types.h"
+#include "util/status.h"
+
+namespace bigindex {
+
+class ExecutorPool;
+
+/// Options for IncrementalBisimulation.
+struct IncrementalBisimOptions {
+  /// When |dirty| > fallback_dirty_ratio * |V|, skip the localized pass and
+  /// recompute wholesale. 0 forces wholesale; >= 1 never falls back.
+  double fallback_dirty_ratio = 0.25;
+
+  /// Worker pool forwarded to wholesale/quotient ComputeBisimulation calls
+  /// (the localized split pass itself is serial — its work set is small by
+  /// construction). Output is byte-identical for every pool size.
+  ExecutorPool* pool = nullptr;
+};
+
+/// Diagnostics from one IncrementalBisimulation call.
+struct IncrementalBisimStats {
+  bool fell_back = false;       // used wholesale ComputeBisimulation
+  size_t dirty_seed = 0;        // dirty vertices handed in by the caller
+  size_t split_rounds = 0;      // phase-1 worklist rounds
+  size_t vertices_resigned = 0; // signature recomputations in phase 1
+  size_t quotient_vertices = 0; // |P1| fed to the phase-2 merge
+};
+
+/// Computes the maximal (successor) bisimulation of `g`, seeded with a
+/// previous partition.
+///
+/// `seed_partition` has one entry per vertex of `g`; block ids may be
+/// arbitrary (they are densified internally). `dirty` lists vertices whose
+/// signature the seed's stability no longer vouches for.
+///
+/// Precondition (the caller's obligation; maintain.cc derives it from the
+/// layer correspondence): for any two vertices u, v in the same seed block
+/// with NEITHER listed in `dirty`, u and v carry the same label and the
+/// same set of seed blocks over their out-neighbors. Dirty closure under
+/// refinement is handled internally. Violating the precondition can yield a
+/// partition coarser than maximal bisimulation; it is not checked at
+/// runtime — the differential tests guard it.
+///
+/// Returns a BisimResult byte-identical to ComputeBisimulation(g) with
+/// default options (refinement_rounds is diagnostics-only and differs).
+StatusOr<BisimResult> IncrementalBisimulation(
+    const Graph& g, std::span<const VertexId> seed_partition,
+    std::span<const VertexId> dirty,
+    const IncrementalBisimOptions& options = {},
+    IncrementalBisimStats* stats = nullptr);
+
+}  // namespace bigindex
+
+#endif  // BIGINDEX_UPDATE_INCREMENTAL_H_

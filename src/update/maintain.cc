@@ -1,0 +1,260 @@
+#include "update/maintain.h"
+
+#include <algorithm>
+#include <optional>
+#include <utility>
+
+#include "engine/executor.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "ontology/config.h"
+
+namespace bigindex {
+namespace {
+
+// Vertex correspondence between one old layer and the same layer of the
+// successor index. Entries are kInvalidVertex where no counterpart exists;
+// `to_new`/`to_old` are mutually inverse on valid entries (block member
+// sets are disjoint, so the member-set match below is injective).
+struct Correspondence {
+  std::vector<VertexId> to_new;  // old vertex -> new vertex
+  std::vector<VertexId> to_old;  // new vertex -> old vertex
+  bool usable = false;           // false once the old stack runs out
+
+  static Correspondence Identity(size_t n) {
+    Correspondence c;
+    c.usable = true;
+    c.to_new.resize(n);
+    c.to_old.resize(n);
+    for (size_t v = 0; v < n; ++v) {
+      c.to_new[v] = static_cast<VertexId>(v);
+      c.to_old[v] = static_cast<VertexId>(v);
+    }
+    return c;
+  }
+
+  bool IsTotalIdentity() const {
+    if (!usable || to_new.size() != to_old.size()) return false;
+    for (size_t v = 0; v < to_new.size(); ++v) {
+      if (to_new[v] != static_cast<VertexId>(v)) return false;
+    }
+    return true;
+  }
+};
+
+size_t CountWholesale(const MaintainReport& rep) {
+  size_t n = 0;
+  for (const MaintainLayerReport& l : rep.layers) {
+    if (l.mode == LayerMaintenance::kWholesale) ++n;
+  }
+  return n;
+}
+
+}  // namespace
+
+size_t MaintainReport::LayersRebuilt() const {
+  size_t n = 0;
+  for (const MaintainLayerReport& l : layers) {
+    if (l.mode != LayerMaintenance::kCopied) ++n;
+  }
+  return n;
+}
+
+StatusOr<BigIndex> MaintainIndex(const BigIndex& index,
+                                 std::span<const GraphUpdate> updates,
+                                 const MaintainOptions& options,
+                                 MaintainReport* report) {
+  TRACE_SPAN("update/maintain");
+  static Counter& layers_maintained = MetricsRegistry::Global().GetCounter(
+      "bigindex_update_maintained_layers_total",
+      "Layers produced by incremental maintenance (any mode)");
+  static Counter& layers_fallback = MetricsRegistry::Global().GetCounter(
+      "bigindex_update_fallback_layers_total",
+      "Layers re-summarized wholesale instead of incrementally");
+
+  MaintainReport local_report;
+  MaintainReport& rep = report != nullptr ? *report : local_report;
+  rep = MaintainReport{};
+
+  auto delta = NormalizeUpdates(index.base(), updates);
+  if (!delta.ok()) return delta.status();
+  rep.delta = std::move(*delta);
+  if (rep.delta.empty()) return index;  // shallow copy; nothing to do
+
+  Graph new_base = ApplyDelta(index.base(), rep.delta);
+  const Ontology* ontology = &index.ontology();
+  const BigIndexOptions& opts = index.options();
+
+  if (opts.use_greedy_config) {
+    // Algorithm 1's cost model samples the graph; stored configs are not
+    // stable under updates, so nothing can be reused soundly.
+    rep.full_rebuild = true;
+    auto rebuilt = BigIndex::Build(std::move(new_base), ontology, opts);
+    if (!rebuilt.ok()) return rebuilt.status();
+    MaintainLayerReport wholesale;
+    wholesale.mode = LayerMaintenance::kWholesale;
+    rep.layers.assign(rebuilt->NumLayers(), wholesale);
+    layers_maintained.Inc(rep.layers.size());
+    layers_fallback.Inc(rep.layers.size());
+    return rebuilt;
+  }
+
+  std::optional<ExecutorPool> owned_pool;
+  if (opts.build.num_threads != 0) owned_pool.emplace(opts.build.num_threads);
+  ExecutorPool* pool = owned_pool ? &*owned_pool : nullptr;
+  const BisimOptions wholesale_opts{.pool = pool};
+
+  std::vector<IndexLayer> new_layers;
+  new_layers.reserve(opts.max_layers);
+  Correspondence corr = Correspondence::Identity(new_base.NumVertices());
+
+  const Graph* cur_new = &new_base;
+  for (size_t i = 1; i <= opts.max_layers; ++i) {
+    TRACE_SPAN("update/layer");
+    const bool have_old_layer = i <= index.NumLayers();
+    const Graph& old_below = index.LayerGraph(i - 1);
+
+    // Strongest case: the layer below is unchanged, vertex-for-vertex. Build
+    // is a deterministic function of (layer graph, ontology, options), so
+    // the old stack from here up — including its stopping point — is exactly
+    // what a from-scratch rebuild would produce.
+    if (corr.IsTotalIdentity() && GraphsIdentical(*cur_new, old_below)) {
+      for (size_t j = i; j <= index.NumLayers(); ++j) {
+        new_layers.push_back(index.Layer(j));
+        rep.layers.push_back({LayerMaintenance::kCopied, {}});
+      }
+      break;
+    }
+
+    GeneralizationConfig config;
+    {
+      TRACE_SPAN("build/config");
+      config = FullOneStepConfiguration(*cur_new, *ontology);
+    }
+    BIGINDEX_RETURN_IF_ERROR(config.Validate(*ontology));
+    const bool config_matches =
+        have_old_layer && config.mappings() == index.Layer(i).config.mappings();
+
+    Graph generalized;
+    {
+      TRACE_SPAN("build/generalize");
+      generalized = Generalize(*cur_new, config);
+    }
+
+    MaintainLayerReport lrep;
+    BisimResult bisim;
+    if (!options.force_wholesale && config_matches && corr.usable) {
+      // Transport the old partition into a seed: corresponded vertices keep
+      // their old block, orphans get fresh singletons. Dirty = orphans +
+      // vertices whose generalized label or (correspondence-mapped)
+      // out-neighborhood drifted — exactly the vertices whose signature the
+      // old stability proof no longer covers.
+      const BisimMapping& old_map = index.Layer(i).mapping;
+      const size_t n = cur_new->NumVertices();
+      std::vector<VertexId> seed(n), dirty, mapped;
+      VertexId fresh = static_cast<VertexId>(index.LayerGraph(i).NumVertices());
+      for (VertexId x = 0; x < n; ++x) {
+        const VertexId s =
+            x < corr.to_old.size() ? corr.to_old[x] : kInvalidVertex;
+        if (s == kInvalidVertex) {
+          seed[x] = fresh++;
+          dirty.push_back(x);
+          continue;
+        }
+        seed[x] = old_map.SuperOf(s);
+        if (config.Generalize(cur_new->label(x)) !=
+            config.Generalize(old_below.label(s))) {
+          dirty.push_back(x);
+          continue;
+        }
+        mapped.clear();
+        bool drifted = false;
+        for (VertexId t : old_below.OutNeighbors(s)) {
+          const VertexId y = corr.to_new[t];
+          if (y == kInvalidVertex) {
+            drifted = true;
+            break;
+          }
+          mapped.push_back(y);
+        }
+        if (!drifted) {
+          std::sort(mapped.begin(), mapped.end());
+          auto out = cur_new->OutNeighbors(x);
+          drifted = !std::equal(mapped.begin(), mapped.end(), out.begin(),
+                                out.end());
+        }
+        if (drifted) dirty.push_back(x);
+      }
+
+      IncrementalBisimOptions iopts;
+      iopts.fallback_dirty_ratio = options.fallback_dirty_ratio;
+      iopts.pool = pool;
+      auto result =
+          IncrementalBisimulation(generalized, seed, dirty, iopts, &lrep.stats);
+      if (!result.ok()) return result.status();
+      bisim = std::move(*result);
+      lrep.mode = lrep.stats.fell_back ? LayerMaintenance::kWholesale
+                                       : LayerMaintenance::kIncremental;
+    } else {
+      bisim = ComputeBisimulation(generalized, wholesale_opts);
+      lrep.mode = LayerMaintenance::kWholesale;
+    }
+
+    // Build's exact stop test.
+    const double ratio =
+        cur_new->Size() == 0
+            ? 1.0
+            : static_cast<double>(bisim.summary.Size()) / cur_new->Size();
+    if (config.empty() && ratio > opts.stop_ratio) break;
+
+    // Correspondence for the next level: old layer-i supernode s matches new
+    // supernode t iff s's members map (through the level-below
+    // correspondence) exactly onto t's members.
+    Correspondence next;
+    if (have_old_layer && corr.usable) {
+      const Graph& old_layer_graph = index.LayerGraph(i);
+      const BisimMapping& old_map = index.Layer(i).mapping;
+      next.usable = true;
+      next.to_new.assign(old_layer_graph.NumVertices(), kInvalidVertex);
+      next.to_old.assign(bisim.summary.NumVertices(), kInvalidVertex);
+      std::vector<VertexId> mapped;
+      for (VertexId s = 0; s < old_layer_graph.NumVertices(); ++s) {
+        mapped.clear();
+        bool ok = true;
+        for (VertexId m : old_map.Members(s)) {
+          const VertexId y = corr.to_new[m];
+          if (y == kInvalidVertex) {
+            ok = false;
+            break;
+          }
+          mapped.push_back(y);
+        }
+        if (!ok || mapped.empty()) continue;
+        std::sort(mapped.begin(), mapped.end());
+        const VertexId t = bisim.mapping.SuperOf(mapped[0]);
+        auto members = bisim.mapping.Members(t);
+        if (std::equal(mapped.begin(), mapped.end(), members.begin(),
+                       members.end())) {
+          next.to_new[s] = t;
+          next.to_old[t] = s;
+        }
+      }
+    }
+
+    IndexLayer layer;
+    layer.config = std::move(config);
+    layer.graph = std::move(bisim.summary);
+    layer.mapping = std::move(bisim.mapping);
+    new_layers.push_back(std::move(layer));
+    rep.layers.push_back(std::move(lrep));
+    cur_new = &new_layers.back().graph;
+    corr = std::move(next);
+  }
+
+  layers_maintained.Inc(rep.layers.size());
+  layers_fallback.Inc(CountWholesale(rep));
+  return BigIndex::FromParts(std::move(new_base), ontology,
+                             std::move(new_layers), opts);
+}
+
+}  // namespace bigindex

@@ -1,0 +1,96 @@
+// Whole-index incremental maintenance: applies a GraphUpdate batch to a
+// BigIndex and produces the successor index *as if rebuilt from scratch*,
+// propagating the update delta up the layer hierarchy only while block
+// signatures actually change (Sec. 3.2; ROADMAP open item 4).
+//
+// The loop mirrors BigIndex::Build layer by layer — recompute the
+// configuration, Generalize, summarize, apply Build's exact stop test — so
+// the result is byte-identical to BigIndex::Build on the updated base graph
+// even when the layer count drifts. Summarization per layer is:
+//
+//   * incremental (IncrementalBisimulation) when the recomputed
+//     configuration equals the stored one and a supernode correspondence
+//     from the old layer below survives: the old partition transports into
+//     a seed, and only vertices whose label or out-neighborhood (through
+//     the correspondence) drifted are marked dirty;
+//   * a verbatim copy of the old layers when the correspondence below is
+//     the identity and the layer graphs are identical — Build is
+//     deterministic, so everything above is provably unchanged;
+//   * wholesale ComputeBisimulation otherwise (config drift, new layers
+//     beyond the old stack, or dirty frontier past the fallback threshold —
+//     the latter handled inside IncrementalBisimulation).
+//
+// Greedy-config indexes (use_greedy_config) fall back to a full
+// BigIndex::Build: Algorithm 1's cost model samples the graph, so layer
+// configs are not stable under updates and nothing can be reused soundly.
+//
+// The input index is not modified; the caller owns publication (see
+// update/version_store.h and update/live_updater.h for the RCU serving
+// path).
+
+#ifndef BIGINDEX_UPDATE_MAINTAIN_H_
+#define BIGINDEX_UPDATE_MAINTAIN_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "bisim/maintenance.h"
+#include "core/big_index.h"
+#include "update/incremental.h"
+#include "util/status.h"
+
+namespace bigindex {
+
+/// Options for MaintainIndex.
+struct MaintainOptions {
+  /// Dirty-frontier ratio above which a layer is re-summarized wholesale
+  /// (forwarded to IncrementalBisimOptions::fallback_dirty_ratio).
+  double fallback_dirty_ratio = 0.25;
+
+  /// Force wholesale re-summarization of every layer (testing/bench knob;
+  /// output is identical either way).
+  bool force_wholesale = false;
+};
+
+/// How one layer of the successor index was produced.
+enum class LayerMaintenance {
+  kIncremental,  // seeded localized refinement
+  kWholesale,    // full ComputeBisimulation of the generalized layer
+  kCopied,       // old layer reused verbatim (provably unchanged)
+};
+
+/// Per-layer maintenance diagnostics.
+struct MaintainLayerReport {
+  LayerMaintenance mode = LayerMaintenance::kWholesale;
+  IncrementalBisimStats stats;  // meaningful for kIncremental
+};
+
+/// Diagnostics from one MaintainIndex call.
+struct MaintainReport {
+  /// Net effect of the batch against the base graph (see NormalizeUpdates).
+  UpdateDelta delta;
+
+  /// True when the index was rebuilt via BigIndex::Build (greedy-config
+  /// indexes); `layers` is empty in that case.
+  bool full_rebuild = false;
+
+  std::vector<MaintainLayerReport> layers;
+
+  /// Layers not reused verbatim (kIncremental + kWholesale + full rebuild).
+  size_t LayersRebuilt() const;
+};
+
+/// Applies `updates` to `index`'s base graph and returns the successor
+/// index, equal — summary graphs, mappings, configs, serialized bytes — to
+/// BigIndex::Build(updated base, ontology, index.options()). `index` is
+/// unchanged. A batch with no net effect returns a (shallow) copy of
+/// `index` and an empty report delta.
+StatusOr<BigIndex> MaintainIndex(const BigIndex& index,
+                                 std::span<const GraphUpdate> updates,
+                                 const MaintainOptions& options = {},
+                                 MaintainReport* report = nullptr);
+
+}  // namespace bigindex
+
+#endif  // BIGINDEX_UPDATE_MAINTAIN_H_

@@ -19,6 +19,7 @@
 #include <utility>
 #include <vector>
 
+#include "bisim/maintenance.h"
 #include "core/big_index.h"
 #include "core/index_image.h"
 #include "engine/query_engine.h"
@@ -519,6 +520,181 @@ TEST(ShardImage, CorruptedShardMapFailsLoudly) {
   auto loaded = LoadIndexImageFromBuffer(
       std::shared_ptr<const std::string>(bytes), load_dict, &ontology);
   EXPECT_FALSE(loaded.ok());
+}
+
+// --- Live updates through the coordinator ----------------------------------
+
+GraphUpdate AddEdgeOp(VertexId u, VertexId v) {
+  return {GraphUpdate::Kind::kAddEdge, u, v};
+}
+GraphUpdate RemoveEdgeOp(VertexId u, VertexId v) {
+  return {GraphUpdate::Kind::kRemoveEdge, u, v};
+}
+
+TEST(ShardedUpdate, BeforeAttachFailsAndCountsRejected) {
+  CoordinatorFixture fx;
+  ShardedSearchService service(fx.substrate.get());
+  EXPECT_EQ(
+      service.ApplyUpdate(std::vector<GraphUpdate>{AddEdgeOp(0, 1)})
+          .status()
+          .code(),
+      StatusCode::kFailedPrecondition);
+  EXPECT_EQ(service.Snapshot().updates_rejected, 1u);
+}
+
+// The sharded post-update differential: remove an existing edge through the
+// in-process coordinator, re-add it through the wire coordinator, and at
+// each state the merged answers must equal a monolithic engine on the same
+// graph for every algorithm at every layer. Under the default
+// connectivity-closed plan both endpoints of any existing edge are on one
+// shard, so each batch applies on exactly one worker and skips elsewhere.
+TEST(ShardedUpdate, BroadcastMatchesMonolithicBothSubstrates) {
+  Graph g = MakeRandomGraph(GraphOptions(21));
+  Ontology ontology = TestOntology();
+  const auto edges = g.Edges();
+  ASSERT_FALSE(edges.empty());
+  const auto [u, v] = edges[edges.size() / 2];
+
+  auto sharded = BuildShardedIndex(
+      g, &ontology, {.plan = {.num_shards = 2}, .index = {.max_layers = 2}});
+  ASSERT_TRUE(sharded.ok());
+  auto substrate = InProcessSubstrate::Create(std::move(sharded->shards),
+                                              SubstrateOptions());
+  ASSERT_TRUE(substrate.ok()) << substrate.status().ToString();
+
+  // Caches off: both coordinators mutate the same substrate, and a
+  // coordinator only learns of epoch bumps it issued itself (the documented
+  // bump-through-the-coordinator contract).
+  ShardedSearchService local(substrate->get(), {.enable_cache = false});
+  ASSERT_TRUE(local.Attach().ok());
+  RemoteFleet fleet(**substrate);
+  RemoteSubstrate remote(fleet.endpoints);
+  ShardedSearchService wire(&remote, {.enable_cache = false});
+  ASSERT_TRUE(wire.Attach().ok());
+
+  auto expect_matches_monolithic = [&](const Graph& state,
+                                       const std::string& context) {
+    auto mono_index = BigIndex::Build(state, &ontology, {.max_layers = 2});
+    ASSERT_TRUE(mono_index.ok());
+    QueryEngine mono(std::move(mono_index).value());
+    UncapRClique(mono);
+    for (const char* algo : kAlgorithms) {
+      EngineQuery q;
+      q.algorithm = algo;
+      q.keywords = {0, 1};
+      q.eval.top_k = 0;
+      for (int layer = 0; layer <= static_cast<int>(mono.index().NumLayers());
+           ++layer) {
+        q.eval.forced_layer = layer;
+        auto expected = mono.Evaluate(q);
+        ASSERT_TRUE(expected.ok());
+        auto via_local = local.Query(q);
+        ASSERT_TRUE(via_local.ok()) << via_local.status().ToString();
+        ASSERT_EQ(Sorted(via_local->answers), Sorted(expected->answers))
+            << context << " local algo " << algo << " layer " << layer;
+        auto via_wire = wire.Query(q);
+        ASSERT_TRUE(via_wire.ok()) << via_wire.status().ToString();
+        ASSERT_EQ(Sorted(via_wire->answers), Sorted(expected->answers))
+            << context << " wire algo " << algo << " layer " << layer;
+      }
+    }
+  };
+
+  // Remove through the in-process coordinator.
+  const uint64_t epoch_before = local.epoch();
+  auto removed =
+      local.ApplyUpdate(std::vector<GraphUpdate>{RemoveEdgeOp(u, v)});
+  ASSERT_TRUE(removed.ok()) << removed.status().ToString();
+  EXPECT_EQ(removed->applied, 1u);
+  EXPECT_EQ(removed->skipped, 0u);
+  EXPECT_NE(removed->mode, UpdateOutcome::Mode::kNone);
+  EXPECT_GT(removed->epoch, epoch_before);
+  auto delta = NormalizeUpdates(g, std::vector<GraphUpdate>{RemoveEdgeOp(u, v)});
+  ASSERT_TRUE(delta.ok());
+  Graph without = ApplyDelta(g, *delta);
+  expect_matches_monolithic(without, "after remove");
+  EXPECT_EQ(local.Snapshot().updates_applied, 1u);
+
+  // Re-add over the wire (RemoteSubstrate -> UPDATE verb -> worker).
+  auto readded = wire.ApplyUpdate(std::vector<GraphUpdate>{AddEdgeOp(u, v)});
+  ASSERT_TRUE(readded.ok()) << readded.status().ToString();
+  EXPECT_EQ(readded->applied, 1u);
+  expect_matches_monolithic(g, "after re-add");
+
+  // A batch with no net effect anywhere: applied=0, mode none, no bump.
+  const uint64_t wire_epoch = wire.epoch();
+  auto noop = wire.ApplyUpdate(std::vector<GraphUpdate>{AddEdgeOp(u, v)});
+  ASSERT_TRUE(noop.ok());
+  EXPECT_EQ(noop->applied, 0u);
+  EXPECT_EQ(noop->skipped, 1u);
+  EXPECT_EQ(noop->mode, UpdateOutcome::Mode::kNone);
+  EXPECT_EQ(wire.epoch(), wire_epoch);
+}
+
+TEST(ShardedUpdate, CrossShardAddIsSkippedUnderWccPlans) {
+  Graph g = MakeRandomGraph(GraphOptions(11));
+  Ontology ontology = TestOntology();
+  auto sharded = BuildShardedIndex(
+      g, &ontology, {.plan = {.num_shards = 2}, .index = {.max_layers = 2}});
+  ASSERT_TRUE(sharded.ok());
+  // One vertex from each shard's cover: the edge between them is owned by
+  // no shard (the documented wcc-mode limitation).
+  ASSERT_FALSE(sharded->shards[0].shard.global_of.empty());
+  ASSERT_FALSE(sharded->shards[1].shard.global_of.empty());
+  const VertexId a = sharded->shards[0].shard.global_of.front();
+  const VertexId b = sharded->shards[1].shard.global_of.front();
+  auto substrate = InProcessSubstrate::Create(std::move(sharded->shards),
+                                              SubstrateOptions());
+  ASSERT_TRUE(substrate.ok());
+  ShardedSearchService service(substrate->get());
+  ASSERT_TRUE(service.Attach().ok());
+
+  const uint64_t epoch = service.epoch();
+  auto outcome = service.ApplyUpdate(std::vector<GraphUpdate>{AddEdgeOp(a, b)});
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome->applied, 0u);
+  EXPECT_EQ(outcome->skipped, 1u);
+  EXPECT_EQ(outcome->mode, UpdateOutcome::Mode::kNone);
+  EXPECT_EQ(service.epoch(), epoch);
+}
+
+TEST(ShardedUpdate, UpdateInvalidatesCoordinatorCaches) {
+  CoordinatorFixture fx;
+  ShardedSearchService service(fx.substrate.get());
+  ASSERT_TRUE(service.Attach().ok());
+  EngineQuery q = fx.Query();
+  q.eval.top_k = 0;        // full sets at layer 0: ranking-independent
+  q.eval.forced_layer = 0;
+
+  auto first = service.Query(q);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(service.Query(q).ok());
+  EXPECT_EQ(service.Snapshot().batched_queries, 2u);  // repeat hit the caches
+
+  const auto edges = fx.graph.Edges();
+  ASSERT_FALSE(edges.empty());
+  auto outcome = service.ApplyUpdate(
+      std::vector<GraphUpdate>{RemoveEdgeOp(edges[0].first, edges[0].second)});
+  ASSERT_TRUE(outcome.ok());
+  ASSERT_EQ(outcome->applied, 1u);
+
+  auto after = service.Query(q);
+  ASSERT_TRUE(after.ok());
+  // The changed shard's cache was cleared: at least one shard re-fanned,
+  // and the answers reflect the updated graph.
+  EXPECT_GT(service.Snapshot().batched_queries, 2u);
+  auto updated = ApplyUpdates(
+      fx.graph,
+      std::vector<GraphUpdate>{RemoveEdgeOp(edges[0].first, edges[0].second)});
+  ASSERT_TRUE(updated.ok());
+  auto mono_index = BigIndex::Build(*updated, &fx.ontology, {.max_layers = 2});
+  ASSERT_TRUE(mono_index.ok());
+  QueryEngine mono(std::move(mono_index).value());
+  UncapRClique(mono);
+  EngineQuery ref = q;
+  auto expected = mono.Evaluate(ref);
+  ASSERT_TRUE(expected.ok());
+  EXPECT_EQ(Sorted(after->answers), Sorted(expected->answers));
 }
 
 }  // namespace

@@ -27,6 +27,15 @@
 //           build every shard's index and write one relocatable shard image
 //           per shard under the "<prefix>.shard<k>of<n>.img" convention
 //           bigindex_serverd --shard-of loads.
+//   update  <graph.in> <ontology.in> <index.in>
+//           (add:<u>:<v>|remove:<u>:<v>)... [--out <index.out>] [--check]
+//           [--fallback-ratio F] [--force-wholesale]
+//           Apply an edge-update batch to a built index offline via
+//           incremental maintenance (update/maintain.h) and print the
+//           per-layer maintenance report. --out writes the successor index
+//           (image or text by extension); --check additionally rebuilds
+//           from scratch on the updated graph and verifies the successor is
+//           byte-identical (exit 1 on divergence).
 //
 // Index files may be either the text format (core/index_io.h) or a flat
 // mmap image (core/index_image.h); readers sniff the magic and pick the
@@ -40,6 +49,7 @@
 // Exit status: 0 on success, 1 on any error (message on stderr).
 
 #include <algorithm>
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -80,7 +90,11 @@ int Usage() {
                "  bigindex_cli inspect <index.img>\n"
                "  bigindex_cli shard <graph> <ontology> <num_shards>"
                " [image-prefix] [layers]\n"
-               "               [--shard-mode wcc|bfs] [--bfs-block N]\n");
+               "               [--shard-mode wcc|bfs] [--bfs-block N]\n"
+               "  bigindex_cli update <graph> <ontology> <index> "
+               "(add:<u>:<v>|remove:<u>:<v>)...\n"
+               "               [--out <index>] [--check]"
+               " [--fallback-ratio F] [--force-wholesale]\n");
   return 1;
 }
 
@@ -443,6 +457,151 @@ int CmdShard(int argc, char** argv) {
   return 0;
 }
 
+/// Parses one "add:<u>:<v>" / "remove:<u>:<v>" token (the same op syntax
+/// the line protocol's UPDATE verb uses). False = malformed (message
+/// printed).
+bool ParseUpdateOp(const std::string& token, GraphUpdate* out) {
+  size_t first = token.find(':');
+  size_t second = first == std::string::npos ? std::string::npos
+                                             : token.find(':', first + 1);
+  if (second == std::string::npos) {
+    std::fprintf(stderr, "error: malformed update op '%s'\n", token.c_str());
+    return false;
+  }
+  std::string kind = token.substr(0, first);
+  if (kind == "add") {
+    out->kind = GraphUpdate::Kind::kAddEdge;
+  } else if (kind == "remove") {
+    out->kind = GraphUpdate::Kind::kRemoveEdge;
+  } else {
+    std::fprintf(stderr, "error: unknown update op kind '%s'\n", kind.c_str());
+    return false;
+  }
+  const std::string u = token.substr(first + 1, second - first - 1);
+  const std::string v = token.substr(second + 1);
+  auto all_digits = [](const std::string& s) {
+    return !s.empty() &&
+           std::all_of(s.begin(), s.end(),
+                       [](unsigned char c) { return std::isdigit(c); });
+  };
+  if (!all_digits(u) || !all_digits(v)) {
+    std::fprintf(stderr, "error: non-numeric endpoint in '%s'\n",
+                 token.c_str());
+    return false;
+  }
+  out->source = static_cast<VertexId>(std::strtoull(u.c_str(), nullptr, 10));
+  out->target = static_cast<VertexId>(std::strtoull(v.c_str(), nullptr, 10));
+  return true;
+}
+
+const char* MaintenanceName(LayerMaintenance mode) {
+  switch (mode) {
+    case LayerMaintenance::kIncremental: return "incremental";
+    case LayerMaintenance::kWholesale: return "wholesale";
+    case LayerMaintenance::kCopied: return "copied";
+  }
+  return "unknown";
+}
+
+int CmdUpdate(int argc, char** argv) {
+  MaintainOptions mopt;
+  std::string out_path;
+  bool check = false;
+  std::vector<char*> pos;
+  for (int i = 0; i < argc; ++i) {
+    auto next = [&](const char* flag) -> char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: %s needs a value\n", flag);
+        std::exit(Usage());
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--out") == 0) {
+      out_path = next("--out");
+    } else if (std::strcmp(argv[i], "--check") == 0) {
+      check = true;
+    } else if (std::strcmp(argv[i], "--fallback-ratio") == 0) {
+      mopt.fallback_dirty_ratio = std::atof(next("--fallback-ratio"));
+    } else if (std::strcmp(argv[i], "--force-wholesale") == 0) {
+      mopt.force_wholesale = true;
+    } else {
+      pos.push_back(argv[i]);
+    }
+  }
+  if (pos.size() < 4) return Usage();
+  auto loaded = LoadGraphAndOntology(pos[0], pos[1]);
+  if (!loaded.ok()) return Fail(loaded.status());
+  auto index = LoadIndexAuto(pos[2], loaded->dict, &loaded->ontology);
+  if (!index.ok()) return Fail(index.status());
+
+  std::vector<GraphUpdate> updates;
+  for (size_t i = 3; i < pos.size(); ++i) {
+    GraphUpdate up;
+    if (!ParseUpdateOp(pos[i], &up)) return Usage();
+    updates.push_back(up);
+  }
+
+  Timer t;
+  MaintainReport report;
+  auto successor = MaintainIndex(*index, updates, mopt, &report);
+  if (!successor.ok()) return Fail(successor.status());
+  double maintain_ms = t.ElapsedMillis();
+
+  std::printf("batch of %zu op(s): +%zu edge(s) -%zu edge(s), %zu redundant\n",
+              updates.size(), report.delta.added.size(),
+              report.delta.removed.size(), report.delta.redundant);
+  if (report.full_rebuild) {
+    std::printf("full rebuild (greedy-config index): %zu layer(s)\n",
+                successor->NumLayers());
+  } else {
+    for (size_t i = 0; i < report.layers.size(); ++i) {
+      const MaintainLayerReport& lr = report.layers[i];
+      std::printf("layer %-4zu %-11s", i + 1, MaintenanceName(lr.mode));
+      if (lr.mode == LayerMaintenance::kIncremental) {
+        std::printf(" dirty=%zu split_rounds=%zu resigned=%zu",
+                    lr.stats.dirty_seed, lr.stats.split_rounds,
+                    lr.stats.vertices_resigned);
+      }
+      std::printf("\n");
+    }
+  }
+  std::printf("maintained %zu -> %zu layer(s) (%zu re-summarized) in "
+              "%.1f ms\n",
+              index->NumLayers(), successor->NumLayers(),
+              report.LayersRebuilt(), maintain_ms);
+
+  if (check) {
+    Timer tr;
+    auto rebuilt = BigIndex::Build(successor->LayerGraph(0),
+                                   &loaded->ontology, index->options());
+    if (!rebuilt.ok()) return Fail(rebuilt.status());
+    std::ostringstream inc_bytes, scratch_bytes;
+    BIGINDEX_RETURN_IF_ERROR_CLI(
+        WriteIndex(*successor, loaded->dict, inc_bytes));
+    BIGINDEX_RETURN_IF_ERROR_CLI(
+        WriteIndex(*rebuilt, loaded->dict, scratch_bytes));
+    if (inc_bytes.str() != scratch_bytes.str()) {
+      std::fprintf(stderr,
+                   "error: incremental result diverges from from-scratch "
+                   "rebuild\n");
+      return 1;
+    }
+    std::printf("check: byte-identical to from-scratch rebuild (%.1f ms)\n",
+                tr.ElapsedMillis());
+  }
+
+  if (!out_path.empty()) {
+    Status s = EndsWithImg(out_path)
+                   ? SaveIndexImageFile(*successor, loaded->dict,
+                                        out_path.c_str())
+                   : SaveIndexFile(*successor, loaded->dict,
+                                   out_path.c_str());
+    if (!s.ok()) return Fail(s);
+    std::printf("wrote %s\n", out_path.c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 }  // namespace bigindex
 
@@ -457,5 +616,6 @@ int main(int argc, char** argv) {
   if (std::strcmp(cmd, "batch") == 0) return CmdBatch(argc - 2, argv + 2);
   if (std::strcmp(cmd, "inspect") == 0) return CmdInspect(argc - 2, argv + 2);
   if (std::strcmp(cmd, "shard") == 0) return CmdShard(argc - 2, argv + 2);
+  if (std::strcmp(cmd, "update") == 0) return CmdUpdate(argc - 2, argv + 2);
   return Usage();
 }

@@ -8,9 +8,14 @@
 //       instead of hanging), forwards stdin lines, prints response blocks.
 //   bigindex_client --inprocess [dataset] [scale] [layers]
 //       Spins up the whole serving stack (dataset → index → engine →
-//       SearchService) inside this process and feeds stdin lines straight
-//       to the LineHandler — the same protocol with no sockets, handy for
+//       SearchService, live updater included so the UPDATE verb works)
+//       inside this process and feeds stdin lines straight to the
+//       LineHandler — the same protocol with no sockets, handy for
 //       scripted smoke tests and for exploring a dataset interactively.
+//   bigindex_client --update <host> <port> (add:<u>:<v>|remove:<u>:<v>)...
+//       One-shot edge-update batch: sends a single UPDATE request and
+//       prints the outcome (applied/skipped/rebuilt/epoch/mode). Exits 0
+//       only if the server applied the batch.
 //
 // Reads requests from stdin (one per line; '#' comments and blank lines are
 // skipped) until EOF or a `quit` command.
@@ -33,7 +38,9 @@ int Usage() {
                "  bigindex_client --connect <host> <port>\n"
                "                  [--connect-timeout-ms N]"
                " [--connect-retries N]\n"
-               "  bigindex_client --inprocess [dataset] [scale] [layers]\n");
+               "  bigindex_client --inprocess [dataset] [scale] [layers]\n"
+               "  bigindex_client --update <host> <port>"
+               " (add:<u>:<v>|remove:<u>:<v>)...\n");
   return 1;
 }
 
@@ -57,10 +64,21 @@ int RunInProcess(int argc, char** argv) {
     std::fprintf(stderr, "error: %s\n", index.status().ToString().c_str());
     return 1;
   }
-  auto engine = std::make_shared<const QueryEngine>(
-      std::move(index).value(),
-      QueryEngineOptions{.num_threads = ExecutorPool::kHardwareConcurrency});
+  const QueryEngineOptions engine_opts{
+      .num_threads = ExecutorPool::kHardwareConcurrency};
+  auto index_ptr = std::make_shared<const BigIndex>(std::move(index).value());
+  auto engine = std::make_shared<const QueryEngine>(index_ptr, engine_opts);
   SearchService service(engine);
+  // Wire the write path so interactive `update add:0:1 ...` lines work.
+  LiveUpdaterOptions updater_opts;
+  updater_opts.engine = engine_opts;
+  LiveUpdater updater(std::move(index_ptr), engine, std::move(updater_opts));
+  updater.set_swap([&service](std::shared_ptr<const QueryEngine> next) {
+    return service.SwapEngine(std::move(next));
+  });
+  service.set_updater([&updater](std::span<const GraphUpdate> updates) {
+    return updater.Apply(updates);
+  });
   LineHandler handler(&service, ds->dict.get());
   std::fprintf(stderr, "in-process %s (|V|=%zu); type requests:\n",
                dataset_name.c_str(), ds->graph.NumVertices());
@@ -131,6 +149,51 @@ int RunConnect(int argc, char** argv) {
   return 0;
 }
 
+int RunUpdate(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  const std::string host = argv[0];
+  const uint16_t port = static_cast<uint16_t>(std::atoi(argv[1]));
+  std::string line = "update";
+  for (int i = 2; i < argc; ++i) {
+    line += ' ';
+    line += argv[i];  // server-side parse rejects malformed ops
+  }
+
+  ProtocolClient client(host, port);
+  Status connected = client.Connect();
+  if (!connected.ok()) {
+    std::fprintf(stderr, "error: %s\n", connected.ToString().c_str());
+    return 1;
+  }
+  auto block = client.Request(line);
+  if (!block.ok()) {
+    std::fprintf(stderr, "error: %s\n", block.status().ToString().c_str());
+    return 1;
+  }
+  if (block->empty()) {
+    std::fprintf(stderr, "error: empty update response\n");
+    return 1;
+  }
+  const std::string& head = block->front();
+  if (head.starts_with("ERR")) {
+    std::fprintf(stderr, "error: %s\n", ParseErrLine(head).ToString().c_str());
+    return 1;
+  }
+  UpdateOutcome outcome;
+  Status parsed = ParseUpdateOutcomeLine(head, &outcome);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "error: %s\n", parsed.ToString().c_str());
+    return 1;
+  }
+  std::printf("applied=%llu skipped=%llu rebuilt=%llu epoch=%llu mode=%s\n",
+              static_cast<unsigned long long>(outcome.applied),
+              static_cast<unsigned long long>(outcome.skipped),
+              static_cast<unsigned long long>(outcome.layers_rebuilt),
+              static_cast<unsigned long long>(outcome.epoch),
+              UpdateModeName(outcome.mode));
+  return 0;
+}
+
 }  // namespace
 }  // namespace bigindex
 
@@ -142,6 +205,9 @@ int main(int argc, char** argv) {
   }
   if (std::strcmp(argv[1], "--connect") == 0) {
     return RunConnect(argc - 2, argv + 2);
+  }
+  if (std::strcmp(argv[1], "--update") == 0) {
+    return RunUpdate(argc - 2, argv + 2);
   }
   return Usage();
 }

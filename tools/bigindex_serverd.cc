@@ -47,6 +47,14 @@
 //   collection from startup (covers index construction too); it can also be
 //   toggled at runtime with the `trace on|off` verb.
 //
+// Live updates: monolithic servers and shard workers accept the UPDATE verb
+// (see src/server/line_protocol.h) and maintain the served index in place —
+// delta-propagating incremental refinement, RCU epoch-swapped publication.
+// --update-fallback-ratio F sets the dirty-frontier ratio above which a
+// layer is re-summarized wholesale (default 0.25); --no-live-updates
+// disables the write path entirely (UPDATE answers ERR Unimplemented).
+// Coordinators always accept UPDATE and broadcast it to their workers.
+//
 // On shutdown the final ServiceStats snapshot is printed to stderr.
 
 #include <unistd.h>
@@ -80,8 +88,34 @@ int Usage() {
       "                        [--shards N --shard-of K"
       " [--shard-mode wcc|bfs] [--bfs-block N]]\n"
       "                        [--coordinator HOST:PORT,...]"
-      " [--allow-partial] [--attach-retries N]\n");
+      " [--allow-partial] [--attach-retries N]\n"
+      "                        [--update-fallback-ratio F]"
+      " [--no-live-updates]\n");
   return 1;
+}
+
+/// Builds a LiveUpdater over `index`/`engine` and wires it to `service`
+/// (swap hook + write path). Shared by the monolithic and shard-worker
+/// modes; the caller keeps the returned updater alive next to the service.
+std::unique_ptr<LiveUpdater> WireLiveUpdater(
+    std::shared_ptr<const BigIndex> index,
+    std::shared_ptr<const QueryEngine> engine,
+    const QueryEngineOptions& engine_opts, double fallback_ratio,
+    SearchService* service) {
+  LiveUpdaterOptions opts;
+  opts.maintain.fallback_dirty_ratio = fallback_ratio;
+  opts.engine = engine_opts;
+  auto updater = std::make_unique<LiveUpdater>(std::move(index),
+                                               std::move(engine),
+                                               std::move(opts));
+  updater->set_swap([service](std::shared_ptr<const QueryEngine> next) {
+    return service->SwapEngine(std::move(next));
+  });
+  LiveUpdater* raw = updater.get();
+  service->set_updater([raw](std::span<const GraphUpdate> updates) {
+    return raw->Apply(updates);
+  });
+  return updater;
 }
 
 /// Parses "host:port,host:port,..." into shard endpoints.
@@ -139,6 +173,8 @@ int Run(int argc, char** argv) {
   std::string coordinator_spec;
   bool allow_partial = false;
   size_t attach_retries = 10;
+  double update_fallback_ratio = 0.25;
+  bool live_updates = true;
 
   for (int i = 1; i < argc; ++i) {
     auto next = [&](const char* flag) -> const char* {
@@ -208,6 +244,10 @@ int Run(int argc, char** argv) {
       allow_partial = true;
     } else if (std::strcmp(argv[i], "--attach-retries") == 0) {
       attach_retries = static_cast<size_t>(std::atoi(next("--attach-retries")));
+    } else if (std::strcmp(argv[i], "--update-fallback-ratio") == 0) {
+      update_fallback_ratio = std::atof(next("--update-fallback-ratio"));
+    } else if (std::strcmp(argv[i], "--no-live-updates") == 0) {
+      live_updates = false;
     } else {
       std::fprintf(stderr, "error: unknown flag %s\n", argv[i]);
       return Usage();
@@ -346,8 +386,10 @@ int Run(int argc, char** argv) {
       if (info.ok()) fingerprint = info->fingerprint;
     }
     uint32_t num_layers = static_cast<uint32_t>(built->index.NumLayers());
-    auto engine = std::make_shared<const QueryEngine>(
-        std::move(built->index), engine_opts);
+    auto shard_index = std::make_shared<const BigIndex>(
+        std::move(built->index));
+    auto engine =
+        std::make_shared<const QueryEngine>(shard_index, engine_opts);
     SearchService service(engine, service_opts);
     service.set_identity(ServiceIdentity{
         .fingerprint = fingerprint,
@@ -355,6 +397,11 @@ int Run(int argc, char** argv) {
         .shard_id = static_cast<uint32_t>(shard_of),
         .num_shards = static_cast<uint32_t>(plan_opts.num_shards),
     });
+    std::unique_ptr<LiveUpdater> updater;
+    if (live_updates) {
+      updater = WireLiveUpdater(std::move(shard_index), engine, engine_opts,
+                                update_fallback_ratio, &service);
+    }
     ShardRemapService remapped(&service,
                                std::move(built->shard.global_of));
     TcpServer server(&remapped, ds->dict.get(), tcp);
@@ -411,9 +458,14 @@ int Run(int argc, char** argv) {
     }
   }
 
-  auto engine = std::make_shared<const QueryEngine>(std::move(index).value(),
-                                                    engine_opts);
+  auto index_ptr = std::make_shared<const BigIndex>(std::move(index).value());
+  auto engine = std::make_shared<const QueryEngine>(index_ptr, engine_opts);
   SearchService service(engine, service_opts);
+  std::unique_ptr<LiveUpdater> updater;
+  if (live_updates) {
+    updater = WireLiveUpdater(std::move(index_ptr), engine, engine_opts,
+                              update_fallback_ratio, &service);
+  }
   TcpServer server(&service, ds->dict.get(), tcp);
   Status started = server.Start();
   if (!started.ok()) {

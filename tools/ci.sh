@@ -1,12 +1,15 @@
 #!/usr/bin/env bash
 # CI entry point: tier-1 correctness, then a ThreadSanitizer pass over the
-# engine + serving + shard-substrate + observability + parallel-construction
-# + CSR-differential tests (the suites that exercise cross-thread sharing)
-# plus the multi-process coordinator/shard integration test, then an
+# engine + serving + shard-substrate + live-update + observability +
+# parallel-construction + CSR-differential tests (the suites that exercise
+# cross-thread sharing, including the update differential gate and the
+# cache-epoch race test) plus the multi-process coordinator/shard
+# integration test (which now drives the UPDATE verb end to end), then an
 # ASan+UBSan pass over the index-image fuzz and binary-io suites
 # (hostile-bytes paths), then a docs-link check, a metrics-overhead smoke, a
 # parallel-construction smoke, an index-image cold-start smoke, the shard
-# scatter-gather throughput gate, and a short serving-layer load smoke.
+# scatter-gather throughput gate, a maintenance differential smoke, and a
+# short serving-layer load smoke (with the mixed read/update phase).
 #
 #   tools/ci.sh [jobs]
 #
@@ -27,12 +30,13 @@ cmake -B build-tsan -S . -DBIGINDEX_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j"$JOBS" --target bigindex_tests bigindex_serverd \
   bigindex_client
 # halt_on_error makes any race a hard failure rather than a log line. The
-# shard differential gate runs at reduced seeds under TSan (full strength in
-# the tier-1 pass above); the coordinator fan-out, substrates, and protocol
-# client run in full.
+# shard and update differential gates run at reduced seeds under TSan (full
+# strength in the tier-1 pass above); the coordinator fan-out, substrates,
+# protocol client, live updater, and the cache-epoch race test run in full.
 TSAN_OPTIONS="halt_on_error=1" BIGINDEX_SHARD_GATE_SEEDS=5 \
+  BIGINDEX_UPDATE_GATE_SEEDS=5 \
   ./build-tsan/tests/bigindex_tests \
-  --gtest_filter='ExecutorPool*:QueryContext*:QueryEngine*:Deadline*:AnswerCache*:SearchService*:LineProtocol*:TcpServer*:Metrics*:Trace*:ParallelBisim*:BuildDeterminism*:CsrDifferential*:ShardCoordinator*:ShardSubstrate*:ShardDifferentialGate*:ProtocolClient*:InfoVerb*'
+  --gtest_filter='ExecutorPool*:QueryContext*:QueryEngine*:Deadline*:AnswerCache*:SearchService*:LineProtocol*:TcpServer*:Metrics*:Trace*:ParallelBisim*:BuildDeterminism*:CsrDifferential*:ShardCoordinator*:ShardSubstrate*:ShardDifferentialGate*:ProtocolClient*:InfoVerb*:NormalizeUpdates*:IncrementalBisim*:MaintainIndex*:VersionStore*:LiveUpdater*:ServiceUpdate*:CacheEpochRace*:UpdateProtocol*:UpdateVerb*:ShardedUpdate*:UpdateDifferentialGate*'
 
 echo
 echo "=== tsan: multi-process coordinator/shard integration ==="
@@ -80,9 +84,16 @@ BIGINDEX_BENCH_SCALE="${BIGINDEX_BENCH_SCALE:-0.002}" \
   ./build/bench/bench_shards --smoke
 
 echo
+echo "=== smoke: maintenance differential (incremental == wholesale == rebuild) ==="
+# One mixed update batch through all three maintenance paths; fails unless
+# the three serialized indexes are byte-identical.
+./build/bench/bench_maintenance --smoke
+
+echo
 echo "=== smoke: serving-layer load generator (~2s) ==="
 # Tiny instance; exercises the full service pipeline (admission, batching,
-# cache, deadlines, backpressure) end to end without benchmarking anything.
+# cache, deadlines, backpressure, mixed read/update serving with live epoch
+# swaps) end to end without benchmarking anything.
 BIGINDEX_BENCH_SCALE="${BIGINDEX_BENCH_SCALE:-0.002}" \
   ./build/bench/bench_server --smoke
 

@@ -4,8 +4,11 @@
 # protocol and differentially checked against a monolithic server on the
 # same dataset. Exercises the full remote path — independent worker
 # processes agreeing on the shard plan, coordinator attach with retries,
-# INFO identity checks, fan-out/merge, and epoch bumps through the
-# coordinator.
+# INFO identity checks, fan-out/merge, epoch bumps through the coordinator,
+# and live updates (UPDATE verb): edge remove + re-add against both the
+# coordinator (broadcast, owner-shard apply, epoch swap) and the monolithic
+# server, with an answer differential proving the maintained indexes match
+# the originals once the graph is restored.
 #
 #   tools/shard_integration.sh [build-dir]
 #
@@ -134,5 +137,62 @@ echo info | "$CLIENT" --connect 127.0.0.1 "$P_W0" | grep -q 'epoch=2' || {
   echo "error: worker 0 epoch did not advance on coordinator bump" >&2
   exit 1
 }
+
+# Live updates over the wire. Edge 2371->491 is the first edge of the
+# deterministic yago3@0.002 instance (probed once, like the keyword ids
+# above); under the default wcc shard mode both endpoints land on one
+# shard, so the coordinator broadcast applies it on exactly one worker.
+# 2371->4999 is NOT an edge, so removing it is a fleet-wide no-op.
+echo "== live update: no-op remove through the coordinator"
+out=$("$CLIENT" --update 127.0.0.1 "$P_COORD" remove:2371:4999)
+echo "   $out"
+[[ "$out" == *"applied=0"* && "$out" == *"mode=none"* ]] || {
+  echo "error: no-op update should report applied=0 mode=none" >&2
+  exit 1
+}
+
+echo "== live update: remove + re-add edge 2371->491 through the coordinator"
+out=$("$CLIENT" --update 127.0.0.1 "$P_COORD" remove:2371:491)
+echo "   $out"
+[[ "$out" == *"applied=1"* && "$out" != *"mode=none"* ]] || {
+  echo "error: edge remove should report applied=1 and a non-none mode" >&2
+  exit 1
+}
+# The applied update shows up in the coordinator's INFO counters.
+echo info | "$CLIENT" --connect 127.0.0.1 "$P_COORD" | grep -q 'updates=1/0' || {
+  echo "error: coordinator INFO missing updates=1/0 after the remove" >&2
+  exit 1
+}
+out=$("$CLIENT" --update 127.0.0.1 "$P_COORD" add:2371:491)
+echo "   $out"
+[[ "$out" == *"applied=1"* ]] || {
+  echo "error: edge re-add should report applied=1" >&2
+  exit 1
+}
+
+# With the graph restored, a from-scratch rebuild is deterministic, so the
+# maintained shard indexes must answer exactly like before the updates —
+# and the epoch bumps must have invalidated every stale cache on the way.
+echo "== differential: coordinator answers after remove + re-add"
+"$CLIENT" --connect 127.0.0.1 "$P_COORD" <"$TMP/queries" >"$TMP/out_coord2"
+if ! diff <(grep '^A ' "$TMP/out_coord") <(grep '^A ' "$TMP/out_coord2"); then
+  echo "error: answers changed after remove + re-add through coordinator" >&2
+  exit 1
+fi
+
+echo "== live update: monolithic server remove + re-add"
+"$CLIENT" --update 127.0.0.1 "$P_MONO" remove:2371:491 | grep -q 'applied=1' || {
+  echo "error: monolithic remove should report applied=1" >&2
+  exit 1
+}
+"$CLIENT" --update 127.0.0.1 "$P_MONO" add:2371:491 | grep -q 'applied=1' || {
+  echo "error: monolithic re-add should report applied=1" >&2
+  exit 1
+}
+"$CLIENT" --connect 127.0.0.1 "$P_MONO" <"$TMP/queries" >"$TMP/out_mono2"
+if ! diff <(grep '^A ' "$TMP/out_mono") <(grep '^A ' "$TMP/out_mono2"); then
+  echo "error: answers changed after remove + re-add on monolithic" >&2
+  exit 1
+fi
 
 echo "shard integration OK"
