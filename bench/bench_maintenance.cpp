@@ -4,22 +4,29 @@
 //
 // The paper (Sec. 3.2) adopts incremental bisimulation maintenance and
 // notes the index "can be recomputed occasionally"; the numbers to check
-// here are (a) how many layers the seeded localized refinement
-// (update/incremental.h) keeps on the incremental path as the dirty set
-// grows (the fallback_dirty_ratio knob trips past the crossover), and
-// (b) the wall-clock split — per-layer cost is dominated by configuration
-// + generalization + the O(V+E) dirty/correspondence scans, which every
-// path shares, so do not expect the refinement savings alone to beat a
-// from-scratch rebuild at bench scales (see EXPERIMENTS.md).
+// here are (a) how many layers stay on a fast path (patched or seeded
+// localized refinement, update/incremental.h) as the dirty set grows
+// (the fallback_dirty_ratio knob trips past the crossover), and (b) the
+// wall-clock speedup over a from-scratch rebuild — small batches avoid
+// every layer-sized re-derivation (delta patching, localized merge scan,
+// quotient-as-summary shortcut), so maintenance beats rebuild by 2x+
+// until the propagated changed set saturates the summaries (see
+// docs/MAINTENANCE.md for the cost model and EXPERIMENTS.md for numbers).
 // All three paths produce byte-identical indexes; the differential gate in
 // tests/update_differential_test.cpp enforces that, and --smoke re-checks
 // it here on every CI run.
 //
-//   bench_maintenance [--smoke]
+//   bench_maintenance [--smoke | --check]
 //
 // --smoke: tiny preset; one mixed batch through all three paths, exits
 // non-zero unless the three serialized indexes are identical. Used by
 // tools/ci.sh.
+//
+// --check: CI speedup gate. On the default preset, asserts incremental
+// maintenance beats the from-scratch rebuild by >= 2x for small batches
+// (well under 5% dirty edges) and that the maintained index serializes
+// byte-identically to the rebuild at every gated batch size. Exits
+// non-zero on any miss. Used by tools/ci.sh.
 
 #include <cstring>
 #include <sstream>
@@ -77,6 +84,101 @@ BigIndex MustMaintain(const BigIndex& index,
   return std::move(result).value();
 }
 
+/// Layers that avoided wholesale re-summarization: patched (projected
+/// block-level delta), seeded localized refinement, or copied verbatim.
+size_t FastLayers(const MaintainReport& report) {
+  size_t fast = 0;
+  for (const MaintainLayerReport& lr : report.layers) {
+    if (lr.mode != LayerMaintenance::kWholesale) ++fast;
+  }
+  return fast;
+}
+
+/// CI gate: incremental maintenance must beat a from-scratch rebuild by
+/// kGateSpeedup at each gated batch size, and the maintained index must
+/// serialize byte-identically to the rebuild. Batch sizes are a tiny
+/// fraction of |E| (50k+ edges at the default preset), far under the 5%
+/// dirty-edge bound the gate documents.
+constexpr size_t kGateBatches[] = {1, 4};
+constexpr double kGateSpeedup = 2.0;
+
+int RunCheck() {
+  auto ds = MakeDataset("yago3", BenchScale());
+  if (!ds.ok()) {
+    std::fprintf(stderr, "%s\n", ds.status().ToString().c_str());
+    return 1;
+  }
+  auto index =
+      BigIndex::Build(ds->graph, &ds->ontology.ontology, {.max_layers = 4});
+  if (!index.ok()) {
+    std::fprintf(stderr, "%s\n", index.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("maintenance speedup gate: yago3 |V|=%zu |E|=%zu, >= %.1fx "
+              "vs rebuild\n",
+              ds->graph.NumVertices(), ds->graph.NumEdges(), kGateSpeedup);
+  bool ok = true;
+  for (size_t count : kGateBatches) {
+    auto batch = MakeBatch(ds->graph, count, 1000 + count);
+
+    MaintainReport report;
+    BigIndex maintained = MustMaintain(*index, batch, MaintainOptions{},
+                                       &report);
+    double inc_ms = MedianMs(5, [&] {
+      MustMaintain(*index, batch, MaintainOptions{});
+    });
+
+    auto updated = ApplyUpdates(ds->graph, batch);
+    if (!updated.ok()) {
+      std::fprintf(stderr, "%s\n", updated.status().ToString().c_str());
+      return 1;
+    }
+    auto rebuilt = BigIndex::Build(*updated, &ds->ontology.ontology,
+                                   index->options());
+    if (!rebuilt.ok()) {
+      std::fprintf(stderr, "%s\n", rebuilt.status().ToString().c_str());
+      return 1;
+    }
+    double rebuild_ms = MedianMs(5, [&] {
+      auto r = BigIndex::Build(*updated, &ds->ontology.ontology,
+                               index->options());
+      if (!r.ok()) std::exit(1);
+    });
+
+    const bool identical =
+        SerializeIndex(maintained, *ds->dict) ==
+        SerializeIndex(*rebuilt, *ds->dict);
+    double speedup = inc_ms > 0 ? rebuild_ms / inc_ms : 0.0;
+    if (speedup < kGateSpeedup) {
+      // One re-measure before failing: the gate runs on shared CI machines
+      // and a single noisy median should not fail the build.
+      inc_ms = MedianMs(5, [&] {
+        MustMaintain(*index, batch, MaintainOptions{});
+      });
+      rebuild_ms = MedianMs(5, [&] {
+        auto r = BigIndex::Build(*updated, &ds->ontology.ontology,
+                                 index->options());
+        if (!r.ok()) std::exit(1);
+      });
+      speedup = inc_ms > 0 ? rebuild_ms / inc_ms : 0.0;
+    }
+    const bool fast_enough = speedup >= kGateSpeedup;
+    std::printf("  batch=%zu inc=%.2fms rebuild=%.2fms speedup=%.2fx "
+                "fast-layers=%zu/%zu bytes=%s  %s\n",
+                count, inc_ms, rebuild_ms, speedup, FastLayers(report),
+                report.layers.size(), identical ? "identical" : "DIVERGED",
+                fast_enough && identical ? "ok" : "FAIL");
+    ok = ok && fast_enough && identical;
+  }
+  if (!ok) {
+    std::fprintf(stderr,
+                 "FAIL: maintenance speedup gate (see rows above)\n");
+    return 1;
+  }
+  std::printf("maintenance speedup gate OK\n");
+  return 0;
+}
+
 int RunSmoke() {
   auto ds = MakeDataset("yago3", 0.002);
   if (!ds.ok()) {
@@ -117,14 +219,10 @@ int RunSmoke() {
                  ds->graph.NumVertices(), batch.size());
     return 1;
   }
-  size_t incremental_layers = 0;
-  for (const MaintainLayerReport& lr : report.layers) {
-    if (lr.mode == LayerMaintenance::kIncremental) ++incremental_layers;
-  }
   std::printf("maintenance smoke OK: incremental == wholesale == rebuild "
-              "(|V|=%zu, +%zu -%zu edges, %zu/%zu layers incremental)\n",
+              "(|V|=%zu, +%zu -%zu edges, %zu/%zu layers fast-path)\n",
               ds->graph.NumVertices(), report.delta.added.size(),
-              report.delta.removed.size(), incremental_layers,
+              report.delta.removed.size(), FastLayers(report),
               report.layers.size());
   return 0;
 }
@@ -133,6 +231,7 @@ int RunSmoke() {
 
 int main(int argc, char** argv) {
   if (argc > 1 && std::strcmp(argv[1], "--smoke") == 0) return RunSmoke();
+  if (argc > 1 && std::strcmp(argv[1], "--check") == 0) return RunCheck();
 
   PrintHeader("Live-update maintenance — incremental vs wholesale vs rebuild",
               "Sec. 3.2 (maintenance of BiG-index)");
@@ -185,16 +284,12 @@ int main(int argc, char** argv) {
       if (!r.ok()) std::exit(1);
     });
 
-    size_t incremental_layers = 0;
-    for (const MaintainLayerReport& lr : report.layers) {
-      if (lr.mode == LayerMaintenance::kIncremental) ++incremental_layers;
-    }
     std::printf("%8zu %8zu %12.2f %12.2f %12.2f %7zu/%zu %11.2fx\n", count,
                 delta->added.size() + delta->removed.size(), inc_ms, whole_ms,
-                rebuild_ms, incremental_layers, report.layers.size(),
+                rebuild_ms, FastLayers(report), report.layers.size(),
                 inc_ms > 0 ? rebuild_ms / inc_ms : 0.0);
   }
-  std::printf("\ninc-layers: layers refined via the seeded localized path "
-              "(rest: wholesale or copied).\n");
+  std::printf("\ninc-layers: layers maintained on a fast path (patched, "
+              "seeded localized, or copied; rest: wholesale).\n");
   return 0;
 }

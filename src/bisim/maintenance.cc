@@ -78,6 +78,47 @@ bool GraphsIdentical(const Graph& a, const Graph& b) {
   return true;
 }
 
+UpdateDelta ProjectDeltaToSummary(const Graph& g,
+                                  std::span<const VertexId> partition,
+                                  const Graph& old_summary,
+                                  const UpdateDelta& delta) {
+  // Candidate block pairs: only pairs under a delta edge can change. Keep
+  // one representative source per pair — stability makes every member of the
+  // source block equivalent for the presence test.
+  struct Candidate {
+    VertexId bu, bv, rep;
+  };
+  std::vector<Candidate> pairs;
+  pairs.reserve(delta.added.size() + delta.removed.size());
+  for (const auto& [u, v] : delta.added) {
+    pairs.push_back({partition[u], partition[v], u});
+  }
+  for (const auto& [u, v] : delta.removed) {
+    pairs.push_back({partition[u], partition[v], u});
+  }
+  std::sort(pairs.begin(), pairs.end(), [](const Candidate& a,
+                                           const Candidate& b) {
+    return a.bu != b.bu ? a.bu < b.bu : a.bv < b.bv;
+  });
+
+  UpdateDelta out;
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    const Candidate& c = pairs[i];
+    if (i > 0 && pairs[i - 1].bu == c.bu && pairs[i - 1].bv == c.bv) continue;
+    const bool before = old_summary.HasEdge(c.bu, c.bv);
+    bool after = false;
+    for (VertexId w : g.OutNeighbors(c.rep)) {
+      if (partition[w] == c.bv) {
+        after = true;
+        break;
+      }
+    }
+    if (after && !before) out.added.emplace_back(c.bu, c.bv);
+    if (before && !after) out.removed.emplace_back(c.bu, c.bv);
+  }
+  return out;  // pair order is sorted, so added/removed are too
+}
+
 StatusOr<MaintenanceResult> ResummarizeAfterUpdates(
     const Graph& g, const Graph& previous_summary,
     std::span<const GraphUpdate> updates) {

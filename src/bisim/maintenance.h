@@ -68,6 +68,24 @@ StatusOr<Graph> ApplyUpdates(const Graph& g,
 /// sets under identical vertex numbering.
 bool GraphsIdentical(const Graph& a, const Graph& b);
 
+/// Projects a base-level edge delta onto the summary of a partition that is
+/// stable for the *updated* graph `g`. Under stability a summary edge
+/// (B_u, B_v) exists iff any one member of B_u has an out-edge into B_v, so
+/// only block pairs touched by a delta edge can flip and each is decided by
+/// one O(deg) scan of its representative source — the projection costs
+/// O(|delta| * max_deg), independent of |V| + |E|.
+///
+/// `partition[x]` is x's block id, already in `old_summary`'s vertex
+/// numbering; `old_summary` is the pre-update summary of the same partition.
+/// The result obeys UpdateDelta's contract (sorted by (source, target),
+/// disjoint, each edge at most once). Calling this with a partition that is
+/// NOT stable for `g` yields garbage — maintenance only uses it after the
+/// no-split probe proves stability.
+UpdateDelta ProjectDeltaToSummary(const Graph& g,
+                                  std::span<const VertexId> partition,
+                                  const Graph& old_summary,
+                                  const UpdateDelta& delta);
+
 /// Result of re-summarizing a layer after updates.
 struct MaintenanceResult {
   Graph updated_graph;

@@ -86,4 +86,10 @@ GeneralizationConfig FullOneStepConfiguration(const Graph& g,
   return config;
 }
 
+bool SameFullConfiguration(const Graph& a, const Graph& b) {
+  auto la = a.DistinctLabels();
+  auto lb = b.DistinctLabels();
+  return std::equal(la.begin(), la.end(), lb.begin(), lb.end());
+}
+
 }  // namespace bigindex

@@ -50,6 +50,13 @@ GeneralizationConfig FindConfiguration(const Graph& g,
 GeneralizationConfig FullOneStepConfiguration(const Graph& g,
                                               const Ontology& ontology);
 
+/// True iff FullOneStepConfiguration(a, ont) == FullOneStepConfiguration(b,
+/// ont) for every ontology, decided without building either: the full
+/// one-step configuration is a pure function of the graph's distinct-label
+/// set. Incremental maintenance uses this to reuse a stored (already
+/// validated) layer configuration instead of re-deriving it per batch.
+bool SameFullConfiguration(const Graph& a, const Graph& b);
+
 }  // namespace bigindex
 
 #endif  // BIGINDEX_CORE_CONFIG_SEARCH_H_

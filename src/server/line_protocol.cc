@@ -186,6 +186,7 @@ std::string HandleInfo(QueryService& service) {
   // keys, so these are backward-compatible additions.
   out << " updates=" << stats.updates_applied << '/' << stats.updates_rejected
       << '/' << stats.update_fallbacks;
+  out << " rollbacks=" << stats.rollbacks;
   out.precision(1);
   out << " epoch_age_s=" << std::fixed << stats.epoch_age_s;
   out << "\n.\n";
@@ -272,6 +273,11 @@ LineHandler::Result LineHandler::Handle(const std::string& line) {
   }
   if (cmd == "update") {
     return {HandleUpdate(*service_, tokens), false};
+  }
+  if (cmd == "rollback") {
+    StatusOr<uint64_t> epoch = service_->Rollback();
+    if (!epoch.ok()) return {ErrBlock(epoch.status()), false};
+    return {"OK epoch=" + std::to_string(*epoch) + "\n.\n", false};
   }
   if (cmd == "algos") {
     std::string out = "OK";

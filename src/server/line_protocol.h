@@ -17,11 +17,17 @@
 //                    ids. Response: OK applied=A skipped=S rebuilt=K
 //                    epoch=E mode=none|incremental|wholesale|rebuild.
 //                    Read-only services answer ERR Unimplemented.
+//   rollback         re-publish the previous retained index version (undo
+//                    the last update batch). Response: OK epoch=E. The
+//                    version store keeps one generation, so a second
+//                    consecutive rollback answers ERR FailedPrecondition;
+//                    services without a rollback path answer ERR
+//                    Unimplemented.
 //   algos            registered algorithm names
 //   info             index identity: epoch, image checksum, layer count,
 //                    shard id/count, algorithm names — what the shard
 //                    coordinator verifies at attach time — plus live-update
-//                    counters (updates=a/r/f) and epoch age
+//                    counters (updates=a/r/f, rollbacks) and epoch age
 //   ping             liveness probe
 //   quit             close the session
 //

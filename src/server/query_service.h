@@ -119,6 +119,15 @@ class QueryService {
     (void)updates;
     return Status::Unimplemented("service is read-only");
   }
+
+  /// Re-publishes the previous retained index version (the ROLLBACK verb)
+  /// and returns the new serving epoch. The backing version store keeps one
+  /// generation of history (IndexVersionStore), so a bad update batch can be
+  /// undone without a rebuild; a second consecutive rollback fails with
+  /// FailedPrecondition. Unimplemented default for read-only services.
+  virtual StatusOr<uint64_t> Rollback() {
+    return Status::Unimplemented("service retains no previous version");
+  }
 };
 
 /// Adapter that makes a shard worker speak global vertex ids: forwards every
@@ -192,6 +201,8 @@ class ShardRemapService : public QueryService {
     if (outcome.ok()) outcome->skipped += unowned;
     return outcome;
   }
+
+  StatusOr<uint64_t> Rollback() override { return inner_->Rollback(); }
 
  private:
   /// global -> local via binary search: global_of_ is strictly ascending

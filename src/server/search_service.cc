@@ -29,6 +29,7 @@ struct ServerMetrics {
   Counter& updates_applied;
   Counter& updates_rejected;
   Counter& update_fallbacks;
+  Counter& rollbacks;
   Histogram& request_ms;
   Gauge& queue_depth;
 
@@ -61,6 +62,9 @@ struct ServerMetrics {
           reg.GetCounter("bigindex_server_update_fallbacks_total",
                          "Update batches that fell back to wholesale or "
                          "full rebuild"),
+          reg.GetCounter("bigindex_server_rollbacks_total",
+                         "Index versions rolled back through the ROLLBACK "
+                         "path"),
           reg.GetHistogram("bigindex_server_request_ms",
                            "Admission-to-completion latency, ms"),
           reg.GetGauge("bigindex_server_queue_depth",
@@ -239,6 +243,18 @@ StatusOr<UpdateOutcome> SearchService::ApplyUpdate(
     sm.update_fallbacks.Inc();
   }
   return outcome;
+}
+
+StatusOr<uint64_t> SearchService::Rollback() {
+  TRACE_SPAN("server/rollback");
+  if (!rollbacker_) {
+    return Status::Unimplemented("service has no rollback path wired");
+  }
+  StatusOr<uint64_t> epoch = rollbacker_();
+  if (!epoch.ok()) return epoch;
+  rollbacks_.fetch_add(1, std::memory_order_relaxed);
+  ServerMetrics::Get().rollbacks.Inc();
+  return epoch;
 }
 
 std::vector<std::string> SearchService::AlgorithmNames() const {
@@ -433,6 +449,7 @@ ServiceStats SearchService::Snapshot() const {
   s.updates_applied = updates_applied_.load(std::memory_order_relaxed);
   s.updates_rejected = updates_rejected_.load(std::memory_order_relaxed);
   s.update_fallbacks = update_fallbacks_.load(std::memory_order_relaxed);
+  s.rollbacks = rollbacks_.load(std::memory_order_relaxed);
   s.epoch_age_s =
       s.uptime_s - epoch_changed_at_s_.load(std::memory_order_relaxed);
   if (s.epoch_age_s < 0) s.epoch_age_s = 0;  // clock reads raced; clamp

@@ -152,6 +152,19 @@ class SearchService : public QueryService {
   StatusOr<UpdateOutcome> ApplyUpdate(
       std::span<const GraphUpdate> updates) override;
 
+  /// Wires the rollback path (LiveUpdater::Rollback in practice; the
+  /// embedder's hook must re-install the previous engine via SwapEngine and
+  /// return the new epoch). Without one, Rollback returns Unimplemented.
+  /// Not thread-safe against serving: call before traffic starts.
+  using Rollbacker = std::function<StatusOr<uint64_t>()>;
+  void set_rollbacker(Rollbacker rollbacker) {
+    rollbacker_ = std::move(rollbacker);
+  }
+
+  /// Re-publishes the previous retained index version through the wired
+  /// rollbacker and counts the swap (the ROLLBACK verb).
+  StatusOr<uint64_t> Rollback() override;
+
   /// RCU swap: installs `engine` as the serving engine, then bumps the
   /// epoch, and returns the new epoch. The ordering is load-bearing for
   /// cache coherence: the engine is published BEFORE the bump, and readers
@@ -197,6 +210,7 @@ class SearchService : public QueryService {
   SearchServiceOptions options_;
   ServiceIdentity identity_;
   Updater updater_;
+  Rollbacker rollbacker_;
   AnswerCache cache_;
   Timer uptime_;
 
@@ -218,6 +232,7 @@ class SearchService : public QueryService {
   std::atomic<uint64_t> updates_applied_{0};
   std::atomic<uint64_t> updates_rejected_{0};
   std::atomic<uint64_t> update_fallbacks_{0};
+  std::atomic<uint64_t> rollbacks_{0};
   /// Uptime-relative seconds of the last BumpEpoch (0 = service start), so
   /// epoch age is two atomic reads instead of a racy shared Timer.
   std::atomic<double> epoch_changed_at_s_{0};

@@ -14,7 +14,8 @@ std::string ServiceStats::ToString() const {
       "cache_evictions=%llu cache_entries=%zu hit_ratio=%.3f "
       "p50_ms=%.3f p95_ms=%.3f p99_ms=%.3f qps=%.1f uptime_s=%.1f epoch=%llu"
       " epoch_age_s=%.1f updates_applied=%llu updates_rejected=%llu"
-      " update_fallbacks=%llu shard_failures=%llu partial=%llu",
+      " update_fallbacks=%llu rollbacks=%llu shard_failures=%llu"
+      " partial=%llu",
       static_cast<unsigned long long>(submitted),
       static_cast<unsigned long long>(rejected_invalid),
       static_cast<unsigned long long>(rejected_overload), queue_depth,
@@ -29,6 +30,7 @@ std::string ServiceStats::ToString() const {
       static_cast<unsigned long long>(updates_applied),
       static_cast<unsigned long long>(updates_rejected),
       static_cast<unsigned long long>(update_fallbacks),
+      static_cast<unsigned long long>(rollbacks),
       static_cast<unsigned long long>(shard_failures),
       static_cast<unsigned long long>(partial_results));
   return buf;

@@ -57,6 +57,7 @@ struct ServiceStats {
   uint64_t updates_applied = 0;    // net edge changes applied
   uint64_t updates_rejected = 0;   // batches rejected (no updater / error)
   uint64_t update_fallbacks = 0;   // batches served wholesale / full rebuild
+  uint64_t rollbacks = 0;          // versions rolled back (ROLLBACK verb)
   double epoch_age_s = 0;          // seconds since the last epoch bump
 
   // Scatter-gather coordination (zero on non-sharded services). The

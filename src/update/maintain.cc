@@ -4,10 +4,12 @@
 #include <optional>
 #include <utility>
 
+#include "core/config_search.h"
 #include "engine/executor.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "ontology/config.h"
+#include "util/timer.h"
 
 namespace bigindex {
 namespace {
@@ -15,7 +17,7 @@ namespace {
 // Vertex correspondence between one old layer and the same layer of the
 // successor index. Entries are kInvalidVertex where no counterpart exists;
 // `to_new`/`to_old` are mutually inverse on valid entries (block member
-// sets are disjoint, so the member-set match below is injective).
+// sets are disjoint, so every derivation below is injective).
 struct Correspondence {
   std::vector<VertexId> to_new;  // old vertex -> new vertex
   std::vector<VertexId> to_old;  // new vertex -> old vertex
@@ -42,12 +44,107 @@ struct Correspondence {
   }
 };
 
-size_t CountWholesale(const MaintainReport& rep) {
+// The delta-propagation state flowing from one layer to the next. The
+// correspondence is always present (possibly unusable); the exact edge
+// delta survives only while the partition above stays identity-matched, and
+// the changed set (a sound superset of vertices whose generalized label or
+// mapped out-neighborhood drifted) survives until a wholesale layer erases
+// provenance.
+struct LevelLink {
+  Correspondence corr;
+  bool have_delta = false;
+  UpdateDelta delta;
+  bool have_changed = false;
+  std::vector<VertexId> changed;  // sorted, unique, new-graph vertex ids
+  // Subset of `changed` whose quotient-level behavior genuinely differs
+  // from the old layer (adjacency / membership / label) — excludes the
+  // renaming-only vertices the in-neighbor rule adds for split coverage.
+  // Seeds the localized merge scan (IncrementalBisimOptions::merge_changed).
+  std::vector<VertexId> core;
+};
+
+size_t CountMode(const MaintainReport& rep, LayerMaintenance mode) {
   size_t n = 0;
   for (const MaintainLayerReport& l : rep.layers) {
-    if (l.mode == LayerMaintenance::kWholesale) ++n;
+    if (l.mode == mode) ++n;
   }
   return n;
+}
+
+// label -> generalized-label table covering `slots` label ids (identity for
+// unmapped labels). Cached per layer in `state` across batches — edge-only
+// updates cannot change a layer's label set, so the table is usually
+// reusable verbatim; validity is re-checked against the config either way.
+const std::vector<LabelId>* GetGenTable(const GeneralizationConfig& config,
+                                        size_t slots, size_t layer,
+                                        MaintenanceState* state,
+                                        std::vector<LabelId>* scratch) {
+  MaintenanceState::LayerCache* cache = nullptr;
+  if (state != nullptr) {
+    if (state->layers.size() < layer) state->layers.resize(layer);
+    cache = &state->layers[layer - 1];
+    if (cache->gen_table.size() == slots &&
+        cache->config == config.mappings()) {
+      ++state->table_hits;
+      return &cache->gen_table;
+    }
+  }
+  std::vector<LabelId>& table = cache != nullptr ? cache->gen_table : *scratch;
+  table.resize(slots);
+  for (size_t l = 0; l < slots; ++l) table[l] = static_cast<LabelId>(l);
+  for (const LabelMapping& m : config.mappings()) {
+    if (m.from < slots) table[m.from] = m.to;
+  }
+  if (cache != nullptr) cache->config = config.mappings();
+  return &table;
+}
+
+// No-split probe for the patched fast path: true iff every block containing
+// a dirty vertex is still signature-uniform under the transported (and
+// unchanged) seed. One pass suffices — a split is the only event that could
+// propagate dirtiness, and the true path has none; untouched blocks remain
+// uniform by the transfer argument (none of their members' out-edges or
+// out-neighbor blocks changed). Cost is the dirty blocks' member degrees,
+// independent of |V| + |E|.
+bool PartitionSurvivesDelta(const Graph& g, std::span<const VertexId> seed,
+                            const BisimMapping& mapping,
+                            std::span<const VertexId> dirty,
+                            const std::vector<LabelId>& gen_table) {
+  std::vector<char> seen(mapping.NumSupernodes(), 0);
+  std::vector<uint32_t> ref, sig;
+  for (VertexId v : dirty) {
+    const VertexId b = seed[v];
+    if (seen[b]) continue;
+    seen[b] = 1;
+    const auto members = mapping.Members(b);
+    if (members.size() <= 1) continue;  // singletons cannot split
+    bool first = true;
+    for (VertexId m : members) {
+      sig.clear();
+      sig.push_back(gen_table[g.label(m)]);
+      const size_t fixed = sig.size();
+      for (VertexId w : g.OutNeighbors(m)) sig.push_back(seed[w]);
+      std::sort(sig.begin() + fixed, sig.end());
+      sig.erase(std::unique(sig.begin() + fixed, sig.end()), sig.end());
+      if (first) {
+        ref = sig;
+        first = false;
+      } else if (sig != ref) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+std::vector<VertexId> SortedUniqueSources(const UpdateDelta& delta) {
+  std::vector<VertexId> out;
+  out.reserve(delta.added.size() + delta.removed.size());
+  for (const auto& [u, v] : delta.added) out.push_back(u);
+  for (const auto& [u, v] : delta.removed) out.push_back(u);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
 }
 
 }  // namespace
@@ -63,7 +160,8 @@ size_t MaintainReport::LayersRebuilt() const {
 StatusOr<BigIndex> MaintainIndex(const BigIndex& index,
                                  std::span<const GraphUpdate> updates,
                                  const MaintainOptions& options,
-                                 MaintainReport* report) {
+                                 MaintainReport* report,
+                                 MaintenanceState* state) {
   TRACE_SPAN("update/maintain");
   static Counter& layers_maintained = MetricsRegistry::Global().GetCounter(
       "bigindex_update_maintained_layers_total",
@@ -71,6 +169,9 @@ StatusOr<BigIndex> MaintainIndex(const BigIndex& index,
   static Counter& layers_fallback = MetricsRegistry::Global().GetCounter(
       "bigindex_update_fallback_layers_total",
       "Layers re-summarized wholesale instead of incrementally");
+  static Counter& layers_patched = MetricsRegistry::Global().GetCounter(
+      "bigindex_update_patched_layers_total",
+      "Layers whose summary was patched directly from the projected delta");
 
   MaintainReport local_report;
   MaintainReport& rep = report != nullptr ? *report : local_report;
@@ -80,6 +181,7 @@ StatusOr<BigIndex> MaintainIndex(const BigIndex& index,
   if (!delta.ok()) return delta.status();
   rep.delta = std::move(*delta);
   if (rep.delta.empty()) return index;  // shallow copy; nothing to do
+  if (state != nullptr) ++state->batches;
 
   Graph new_base = ApplyDelta(index.base(), rep.delta);
   const Ontology* ontology = &index.ontology();
@@ -106,98 +208,416 @@ StatusOr<BigIndex> MaintainIndex(const BigIndex& index,
 
   std::vector<IndexLayer> new_layers;
   new_layers.reserve(opts.max_layers);
-  Correspondence corr = Correspondence::Identity(new_base.NumVertices());
+  LevelLink link;
+  link.corr = Correspondence::Identity(new_base.NumVertices());
+  link.have_delta = true;
+  link.delta = rep.delta;
+  link.have_changed = true;
+  link.changed = SortedUniqueSources(rep.delta);
+  link.core = link.changed;  // at the base every changed vertex is genuine
 
+  std::vector<LabelId> table_scratch;
   const Graph* cur_new = &new_base;
   for (size_t i = 1; i <= opts.max_layers; ++i) {
     TRACE_SPAN("update/layer");
     const bool have_old_layer = i <= index.NumLayers();
     const Graph& old_below = index.LayerGraph(i - 1);
+    Correspondence& corr = link.corr;
 
     // Strongest case: the layer below is unchanged, vertex-for-vertex. Build
     // is a deterministic function of (layer graph, ontology, options), so
     // the old stack from here up — including its stopping point — is exactly
-    // what a from-scratch rebuild would produce.
-    if (corr.IsTotalIdentity() && GraphsIdentical(*cur_new, old_below)) {
+    // what a from-scratch rebuild would produce. With an exact propagated
+    // delta the test is O(1); the O(V+E) graph comparison only backs up the
+    // delta-less (post-wholesale) case.
+    if (corr.IsTotalIdentity() &&
+        ((link.have_delta && link.delta.empty()) ||
+         (!link.have_delta && GraphsIdentical(*cur_new, old_below)))) {
       for (size_t j = i; j <= index.NumLayers(); ++j) {
         new_layers.push_back(index.Layer(j));
-        rep.layers.push_back({LayerMaintenance::kCopied, {}});
+        MaintainLayerReport copied;
+        copied.mode = LayerMaintenance::kCopied;
+        rep.layers.push_back(copied);
       }
       break;
     }
 
-    GeneralizationConfig config;
-    {
-      TRACE_SPAN("build/config");
-      config = FullOneStepConfiguration(*cur_new, *ontology);
-    }
-    BIGINDEX_RETURN_IF_ERROR(config.Validate(*ontology));
-    const bool config_matches =
-        have_old_layer && config.mappings() == index.Layer(i).config.mappings();
-
-    Graph generalized;
-    {
-      TRACE_SPAN("build/generalize");
-      generalized = Generalize(*cur_new, config);
-    }
-
     MaintainLayerReport lrep;
-    BisimResult bisim;
-    if (!options.force_wholesale && config_matches && corr.usable) {
-      // Transport the old partition into a seed: corresponded vertices keep
-      // their old block, orphans get fresh singletons. Dirty = orphans +
-      // vertices whose generalized label or (correspondence-mapped)
-      // out-neighborhood drifted — exactly the vertices whose signature the
-      // old stability proof no longer covers.
-      const BisimMapping& old_map = index.Layer(i).mapping;
-      const size_t n = cur_new->NumVertices();
-      std::vector<VertexId> seed(n), dirty, mapped;
-      VertexId fresh = static_cast<VertexId>(index.LayerGraph(i).NumVertices());
-      for (VertexId x = 0; x < n; ++x) {
-        const VertexId s =
-            x < corr.to_old.size() ? corr.to_old[x] : kInvalidVertex;
-        if (s == kInvalidVertex) {
-          seed[x] = fresh++;
-          dirty.push_back(x);
-          continue;
-        }
-        seed[x] = old_map.SuperOf(s);
-        if (config.Generalize(cur_new->label(x)) !=
-            config.Generalize(old_below.label(s))) {
-          dirty.push_back(x);
-          continue;
-        }
-        mapped.clear();
-        bool drifted = false;
-        for (VertexId t : old_below.OutNeighbors(s)) {
-          const VertexId y = corr.to_new[t];
-          if (y == kInvalidVertex) {
-            drifted = true;
-            break;
-          }
-          mapped.push_back(y);
-        }
-        if (!drifted) {
-          std::sort(mapped.begin(), mapped.end());
-          auto out = cur_new->OutNeighbors(x);
-          drifted = !std::equal(mapped.begin(), mapped.end(), out.begin(),
-                                out.end());
-        }
-        if (drifted) dirty.push_back(x);
+    GeneralizationConfig config;
+    bool config_matches = false;
+    {
+      Timer t;
+      TRACE_SPAN("build/config");
+      if (have_old_layer && SameFullConfiguration(*cur_new, old_below)) {
+        // The full one-step configuration is a pure function of the
+        // distinct-label set; the stored config was validated at its own
+        // build, so both the ontology walk and Validate are skipped.
+        config = index.Layer(i).config;
+        config_matches = true;
+        lrep.config_reused = true;
+      } else {
+        config = FullOneStepConfiguration(*cur_new, *ontology);
+        BIGINDEX_RETURN_IF_ERROR(config.Validate(*ontology));
+        config_matches =
+            have_old_layer &&
+            config.mappings() == index.Layer(i).config.mappings();
       }
+      lrep.configure_ms = t.ElapsedMillis();
+    }
 
+    const size_t n = cur_new->NumVertices();
+    const bool incremental_eligible =
+        !options.force_wholesale && config_matches && corr.usable;
+
+    BisimResult bisim;
+    Correspondence next;
+    bool next_have_delta = false;
+    UpdateDelta next_delta;
+    bool next_have_changed = false;
+    std::vector<VertexId> next_changed;
+    std::vector<VertexId> next_core;
+    bool need_legacy_corr = false;
+    bool done = false;
+
+    // Tier 1 — patched: the layer below changed by an exact, identity-mapped
+    // edge delta. Dirty is exactly the delta's sources (edge-only deltas
+    // cannot touch labels). If no dirty block splits and no blocks merge,
+    // the old partition is still the maximal bisimulation: the summary is
+    // the old summary patched by the projected block-level delta, and the
+    // mapping carries over verbatim — nothing layer-sized is rebuilt.
+    if (incremental_eligible && link.have_delta && corr.IsTotalIdentity() &&
+        static_cast<double>(link.changed.size()) <=
+            options.fallback_dirty_ratio * static_cast<double>(n)) {
+      TRACE_SPAN("update/patch_attempt");
+      const IndexLayer& old_layer = index.Layer(i);
+      const std::span<const VertexId> seed = old_layer.mapping.VertexToSuper();
+      const std::vector<VertexId>& dirty = link.changed;
+
+      Timer t_gen;
+      const std::vector<LabelId>* table = GetGenTable(
+          config, cur_new->LabelSlots(), i, state, &table_scratch);
+      lrep.generalize_ms += t_gen.ElapsedMillis();
+
+      Timer t_ref;
+      if (PartitionSurvivesDelta(*cur_new, seed, old_layer.mapping, dirty,
+                                 *table)) {
+        UpdateDelta sdelta = ProjectDeltaToSummary(*cur_new, seed,
+                                                   old_layer.graph, link.delta);
+        Graph patched = sdelta.empty() ? old_layer.graph
+                                       : ApplyDelta(old_layer.graph, sdelta);
+        // Merge check: the old summary is reduced (no two blocks of a
+        // maximal partition are bisimilar); the patch may have made blocks
+        // bisimilar, but only within the backward closure of the patched
+        // block edges — a delta-local scan, not a summary-sized refinement.
+        MergeScan merged;
+        if (sdelta.empty()) {
+          merged.num_classes = patched.NumVertices();
+          merged.localized = true;
+        } else {
+          merged = DetectMerges(patched, SortedUniqueSources(sdelta),
+                                kMergeScanFallbackRatio, pool);
+        }
+        lrep.stats.dirty_seed = dirty.size();
+        lrep.stats.quotient_vertices = patched.NumVertices();
+        lrep.stats.merge_active = merged.active;
+        lrep.stats.merge_localized = merged.localized;
+        if (merged.num_classes == patched.NumVertices()) {
+          // Discrete: partition and numbering unchanged (first-occurrence
+          // renumbering of unchanged membership is the identity) — summary
+          // and mapping carry over, and the next layer inherits an identity
+          // correspondence plus the projected delta.
+          bisim.summary = std::move(patched);
+          bisim.mapping = old_layer.mapping;
+          bisim.refinement_rounds = merged.rounds;
+          lrep.mode = LayerMaintenance::kPatched;
+          if (state != nullptr) ++state->patched_layers;
+
+          Timer t_corr;
+          next = Correspondence::Identity(bisim.summary.NumVertices());
+          next_have_changed = true;
+          next_changed = SortedUniqueSources(sdelta);
+          next_core = next_changed;  // sdelta sources: all genuine
+          next_have_delta = true;
+          next_delta = std::move(sdelta);
+          lrep.correspondence_ms += t_corr.ElapsedMillis();
+        } else {
+          // Blocks merged (splits are ruled out by the probe). Compose
+          // seed ∘ merged and materialize; an old supernode survives iff
+          // its merge class is a singleton.
+          std::span<const LabelId> glabels = cur_new->labels();
+          std::vector<LabelId> glabels_storage;
+          if (!config.empty()) {
+            glabels_storage.resize(n);
+            for (VertexId v = 0; v < n; ++v) {
+              glabels_storage[v] = (*table)[cur_new->label(v)];
+            }
+            glabels = glabels_storage;
+          }
+          std::vector<uint32_t> composed(n);
+          for (VertexId v = 0; v < n; ++v) {
+            composed[v] = merged.block_of[seed[v]];
+          }
+          std::vector<uint32_t> old_to_final;
+          bisim = MaterializePartition(*cur_new, glabels, std::move(composed),
+                                       merged.num_classes, merged.rounds,
+                                       &old_to_final);
+          lrep.mode = LayerMaintenance::kIncremental;
+
+          Timer t_corr;
+          next.usable = true;
+          next.to_new.assign(old_layer.graph.NumVertices(), kInvalidVertex);
+          next.to_old.assign(bisim.summary.NumVertices(), kInvalidVertex);
+          std::vector<uint32_t> class_size(merged.num_classes, 0);
+          for (uint32_t c : merged.block_of) ++class_size[c];
+          for (VertexId s2 = 0; s2 < old_layer.graph.NumVertices(); ++s2) {
+            const uint32_t f = merged.block_of[s2];
+            if (class_size[f] != 1) continue;  // old supernode merged away
+            next.to_new[s2] = old_to_final[f];
+            next.to_old[old_to_final[f]] = s2;
+          }
+          // Changed set for the next layer: blocks without a counterpart,
+          // their summary in-neighbors (whose mapped out-neighborhood now
+          // refers to a vanished block), and blocks holding a dirty member.
+          // Core excludes the in-neighbor widening: those blocks' behavior
+          // only changed up to renaming, and the merge scan's backward
+          // closure recovers them through their edge into a core block.
+          const size_t num_final = bisim.summary.NumVertices();
+          std::vector<char> cflag(num_final, 0);
+          std::vector<char> kflag(num_final, 0);
+          for (VertexId t2 = 0; t2 < num_final; ++t2) {
+            if (next.to_old[t2] == kInvalidVertex) cflag[t2] = kflag[t2] = 1;
+          }
+          for (VertexId t2 = 0; t2 < num_final; ++t2) {
+            if (next.to_old[t2] != kInvalidVertex) continue;
+            for (VertexId u : bisim.summary.InNeighbors(t2)) cflag[u] = 1;
+          }
+          for (VertexId x : dirty) {
+            cflag[bisim.mapping.SuperOf(x)] = 1;
+            kflag[bisim.mapping.SuperOf(x)] = 1;
+          }
+          for (VertexId t2 = 0; t2 < num_final; ++t2) {
+            if (cflag[t2]) next_changed.push_back(t2);
+            if (kflag[t2]) next_core.push_back(t2);
+          }
+          next_have_changed = true;
+          lrep.correspondence_ms += t_corr.ElapsedMillis();
+        }
+        done = true;
+      }
+      lrep.refine_ms += t_ref.ElapsedMillis();
+    }
+
+    // Tier 2 — seeded: transport the old partition into a seed through the
+    // correspondence; dirty comes from the propagated changed set (plus
+    // orphans) when provenance survives, and from the legacy O(V+E) drift
+    // scan only after a wholesale layer erased it.
+    if (!done && incremental_eligible) {
+      const BisimMapping& old_map = index.Layer(i).mapping;
+      Timer t_corr;
+      const size_t old_num = index.LayerGraph(i).NumVertices();
+      std::vector<VertexId> seed(n), dirty;
+      VertexId fresh = static_cast<VertexId>(old_num);
+      // Lost-member rule: an old vertex with no new counterpart silently
+      // changes its old block's quotient behavior (the survivors' own
+      // signatures are untouched, so nothing else dirties them). Splits
+      // never need this — survivors stay signature-uniform — but the
+      // localized merge scan does: the whole block must enter its working
+      // set, so every surviving member goes into the merge core.
+      std::vector<char> lost(old_num, 0);
+      bool any_lost = false;
+      for (VertexId s = 0; s < corr.to_new.size(); ++s) {
+        if (corr.to_new[s] == kInvalidVertex) {
+          lost[old_map.SuperOf(s)] = 1;
+          any_lost = true;
+        }
+      }
+      // Core: the subset of dirty whose quotient-level behavior genuinely
+      // differs from the old layer — propagated core from below, orphans,
+      // and survivors of lost-member blocks. The renaming-only vertices the
+      // in-neighbor rule adds to `changed` stay out: the merge scan's
+      // backward closure recovers them through their edge into a core block.
+      std::vector<VertexId> core_vertices;
+      if (link.have_changed) {
+        std::vector<char> dflag(n, 0);
+        std::vector<char> kflag(n, 0);
+        for (VertexId x : link.changed) {
+          if (!dflag[x]) {
+            dflag[x] = 1;
+            dirty.push_back(x);
+          }
+        }
+        for (VertexId x : link.core) {
+          if (!kflag[x]) {
+            kflag[x] = 1;
+            core_vertices.push_back(x);
+          }
+        }
+        for (VertexId x = 0; x < n; ++x) {
+          const VertexId s =
+              x < corr.to_old.size() ? corr.to_old[x] : kInvalidVertex;
+          if (s == kInvalidVertex) {
+            seed[x] = fresh++;
+            if (!dflag[x]) {
+              dflag[x] = 1;
+              dirty.push_back(x);
+            }
+            if (!kflag[x]) {
+              kflag[x] = 1;
+              core_vertices.push_back(x);
+            }
+            continue;
+          }
+          seed[x] = old_map.SuperOf(s);
+          // Lost-block survivors only feed the merge scan — their own
+          // signatures are unchanged, so phase 1 need not re-sign them.
+          if (any_lost && lost[seed[x]] && !kflag[x]) {
+            kflag[x] = 1;
+            core_vertices.push_back(x);
+          }
+        }
+      } else {
+        // Legacy drift scan: orphans + vertices whose generalized label or
+        // (correspondence-mapped) out-neighborhood drifted — exactly the
+        // vertices whose signature the old stability proof no longer covers.
+        std::vector<VertexId> mapped;
+        for (VertexId x = 0; x < n; ++x) {
+          const VertexId s =
+              x < corr.to_old.size() ? corr.to_old[x] : kInvalidVertex;
+          if (s == kInvalidVertex) {
+            seed[x] = fresh++;
+            dirty.push_back(x);
+            continue;
+          }
+          seed[x] = old_map.SuperOf(s);
+          if (any_lost && lost[seed[x]]) {
+            dirty.push_back(x);
+            continue;
+          }
+          if (config.Generalize(cur_new->label(x)) !=
+              config.Generalize(old_below.label(s))) {
+            dirty.push_back(x);
+            continue;
+          }
+          mapped.clear();
+          bool drifted = false;
+          for (VertexId t : old_below.OutNeighbors(s)) {
+            const VertexId y = corr.to_new[t];
+            if (y == kInvalidVertex) {
+              drifted = true;
+              break;
+            }
+            mapped.push_back(y);
+          }
+          if (!drifted) {
+            std::sort(mapped.begin(), mapped.end());
+            auto out = cur_new->OutNeighbors(x);
+            drifted = !std::equal(mapped.begin(), mapped.end(), out.begin(),
+                                  out.end());
+          }
+          if (drifted) dirty.push_back(x);
+        }
+      }
+      lrep.correspondence_ms += t_corr.ElapsedMillis();
+
+      Timer t_gen;
+      std::span<const LabelId> glabels = cur_new->labels();
+      std::vector<LabelId> glabels_storage;
+      if (!config.empty()) {
+        const std::vector<LabelId>* table = GetGenTable(
+            config, cur_new->LabelSlots(), i, state, &table_scratch);
+        glabels_storage.resize(n);
+        for (VertexId v = 0; v < n; ++v) {
+          glabels_storage[v] = (*table)[cur_new->label(v)];
+        }
+        glabels = glabels_storage;
+      }
+      lrep.generalize_ms += t_gen.ElapsedMillis();
+
+      Timer t_ref;
       IncrementalBisimOptions iopts;
       iopts.fallback_dirty_ratio = options.fallback_dirty_ratio;
       iopts.pool = pool;
-      auto result =
-          IncrementalBisimulation(generalized, seed, dirty, iopts, &lrep.stats);
+      iopts.labels = glabels;
+      // Seed values are old supernode ids plus at most n fresh orphan ids;
+      // the old partition is a true maximal bisimulation and `dirty` covers
+      // every behavior drift (changed set / drift scan + lost-member rule),
+      // so the localized merge scan applies.
+      iopts.seed_id_bound = old_num + n;
+      iopts.seed_maximal = true;
+      // Legacy drift scan: every dirty vertex is a genuine behavior change,
+      // so the empty default (merge scan seeds from `dirty`) is already the
+      // tight core.
+      iopts.merge_changed = core_vertices;
+      IncrementalBisimTrace trace;
+      auto result = IncrementalBisimulation(*cur_new, seed, dirty, iopts,
+                                            &lrep.stats, &trace);
       if (!result.ok()) return result.status();
       bisim = std::move(*result);
+      lrep.refine_ms += t_ref.ElapsedMillis();
       lrep.mode = lrep.stats.fell_back ? LayerMaintenance::kWholesale
                                        : LayerMaintenance::kIncremental;
-    } else {
+
+      if (lrep.stats.fell_back) {
+        need_legacy_corr = true;
+      } else {
+        // Next correspondence in O(#blocks) from the seed-provenance trace:
+        // an old supernode survives iff its block is intact AND no old
+        // member was orphaned (the member-count check — intact only proves
+        // equality against the *transported* members).
+        Timer t_nc;
+        const size_t num_final = bisim.summary.NumVertices();
+        next.usable = true;
+        next.to_new.assign(old_num, kInvalidVertex);
+        next.to_old.assign(num_final, kInvalidVertex);
+        for (VertexId t2 = 0; t2 < num_final; ++t2) {
+          const VertexId s = trace.seed_of_final[t2];
+          if (!trace.intact[t2] || s == kInvalidVertex || s >= old_num) {
+            continue;
+          }
+          if (old_map.Members(s).size() != bisim.mapping.Members(t2).size()) {
+            continue;
+          }
+          next.to_new[s] = t2;
+          next.to_old[t2] = s;
+        }
+        std::vector<char> cflag(num_final, 0);
+        std::vector<char> kflag(num_final, 0);
+        for (VertexId t2 = 0; t2 < num_final; ++t2) {
+          if (next.to_old[t2] == kInvalidVertex) cflag[t2] = kflag[t2] = 1;
+        }
+        for (VertexId t2 = 0; t2 < num_final; ++t2) {
+          if (next.to_old[t2] != kInvalidVertex) continue;
+          for (VertexId u : bisim.summary.InNeighbors(t2)) cflag[u] = 1;
+        }
+        for (VertexId x : dirty) cflag[bisim.mapping.SuperOf(x)] = 1;
+        const std::vector<VertexId>& core_src =
+            link.have_changed ? core_vertices : dirty;
+        for (VertexId x : core_src) kflag[bisim.mapping.SuperOf(x)] = 1;
+        for (VertexId t2 = 0; t2 < num_final; ++t2) {
+          if (cflag[t2]) next_changed.push_back(t2);
+          if (kflag[t2]) next_core.push_back(t2);
+        }
+        next_have_changed = true;
+        lrep.correspondence_ms += t_nc.ElapsedMillis();
+      }
+      done = true;
+    }
+
+    // Tier 3 — wholesale: config drift, force_wholesale, new layers beyond
+    // the old stack, or no usable correspondence.
+    if (!done) {
+      Timer t_gen;
+      Graph generalized;
+      {
+        TRACE_SPAN("build/generalize");
+        generalized = Generalize(*cur_new, config);
+      }
+      lrep.generalize_ms += t_gen.ElapsedMillis();
+      Timer t_ref;
       bisim = ComputeBisimulation(generalized, wholesale_opts);
+      lrep.refine_ms += t_ref.ElapsedMillis();
       lrep.mode = LayerMaintenance::kWholesale;
+      need_legacy_corr = true;
     }
 
     // Build's exact stop test.
@@ -207,11 +627,11 @@ StatusOr<BigIndex> MaintainIndex(const BigIndex& index,
             : static_cast<double>(bisim.summary.Size()) / cur_new->Size();
     if (config.empty() && ratio > opts.stop_ratio) break;
 
-    // Correspondence for the next level: old layer-i supernode s matches new
-    // supernode t iff s's members map (through the level-below
-    // correspondence) exactly onto t's members.
-    Correspondence next;
-    if (have_old_layer && corr.usable) {
+    // Legacy member-set rematch (kept only for the no-provenance paths):
+    // old layer-i supernode s matches new supernode t iff s's members map
+    // (through the level-below correspondence) exactly onto t's members.
+    if (need_legacy_corr && have_old_layer && corr.usable) {
+      Timer t_corr;
       const Graph& old_layer_graph = index.LayerGraph(i);
       const BisimMapping& old_map = index.Layer(i).mapping;
       next.usable = true;
@@ -239,6 +659,7 @@ StatusOr<BigIndex> MaintainIndex(const BigIndex& index,
           next.to_old[t] = s;
         }
       }
+      lrep.correspondence_ms += t_corr.ElapsedMillis();
     }
 
     IndexLayer layer;
@@ -248,11 +669,17 @@ StatusOr<BigIndex> MaintainIndex(const BigIndex& index,
     new_layers.push_back(std::move(layer));
     rep.layers.push_back(std::move(lrep));
     cur_new = &new_layers.back().graph;
-    corr = std::move(next);
+    link.corr = std::move(next);
+    link.have_delta = next_have_delta;
+    link.delta = std::move(next_delta);
+    link.have_changed = next_have_changed;
+    link.changed = std::move(next_changed);
+    link.core = std::move(next_core);
   }
 
   layers_maintained.Inc(rep.layers.size());
-  layers_fallback.Inc(CountWholesale(rep));
+  layers_fallback.Inc(CountMode(rep, LayerMaintenance::kWholesale));
+  layers_patched.Inc(CountMode(rep, LayerMaintenance::kPatched));
   return BigIndex::FromParts(std::move(new_base), ontology,
                              std::move(new_layers), opts);
 }

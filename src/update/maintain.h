@@ -3,22 +3,48 @@
 // propagating the update delta up the layer hierarchy only while block
 // signatures actually change (Sec. 3.2; ROADMAP open item 4).
 //
-// The loop mirrors BigIndex::Build layer by layer — recompute the
-// configuration, Generalize, summarize, apply Build's exact stop test — so
-// the result is byte-identical to BigIndex::Build on the updated base graph
-// even when the layer count drifts. Summarization per layer is:
+// The loop mirrors BigIndex::Build layer by layer — configuration,
+// generalization, summarization, Build's exact stop test — so the result is
+// byte-identical to BigIndex::Build on the updated base graph even when the
+// layer count drifts. Unlike Build, every per-layer step is delta-localized
+// when the batch allows it (docs/MAINTENANCE.md has the full cost model):
 //
-//   * incremental (IncrementalBisimulation) when the recomputed
-//     configuration equals the stored one and a supernode correspondence
-//     from the old layer below survives: the old partition transports into
-//     a seed, and only vertices whose label or out-neighborhood (through
-//     the correspondence) drifted are marked dirty;
-//   * a verbatim copy of the old layers when the correspondence below is
-//     the identity and the layer graphs are identical — Build is
-//     deterministic, so everything above is provably unchanged;
+//   * configuration: FullOneStepConfiguration is a pure function of the
+//     distinct-label set, and edge-only updates cannot change labels, so the
+//     stored (already validated) layer config is reused whenever the
+//     distinct-label sets match (SameFullConfiguration) — no per-layer
+//     ontology walk;
+//   * generalization: the generalized layer graph is never materialized on
+//     the localized paths — refinement runs against the structural graph
+//     plus a label-override table (IncrementalBisimOptions::labels), built
+//     from the config in O(#labels);
+//   * dirtiness: seeded from the delta's endpoints only (the sources of net
+//     added/removed edges, then the provenance-tracked changed set per
+//     layer), not from an O(V+E) drift scan; the scan survives solely as a
+//     fallback after a wholesale layer, where no provenance exists;
+//   * summarization, strongest case ("patched", LayerMaintenance::kPatched):
+//     when the partition provably survives the delta (no-split probe over
+//     the dirty blocks + discrete merge check), the summary is patched
+//     directly from the projected block-level delta (ProjectDeltaToSummary +
+//     ApplyDelta) and the old mapping is reused verbatim — per-layer cost is
+//     O(|delta| * deg + |summary|), independent of the layer graph size;
+//   * summarization, general case: seeded IncrementalBisimulation re-splits
+//     only touched blocks; its seed-provenance trace yields the next
+//     layer's vertex correspondence in O(#blocks) instead of the old
+//     O(V + members) member-set rematch;
+//   * verbatim copy of the old tail when the correspondence below is the
+//     identity and the propagated delta is empty — Build is deterministic,
+//     so everything above is provably unchanged;
 //   * wholesale ComputeBisimulation otherwise (config drift, new layers
-//     beyond the old stack, or dirty frontier past the fallback threshold —
-//     the latter handled inside IncrementalBisimulation).
+//     beyond the old stack, or a dirty frontier past fallback_dirty_ratio).
+//
+// Correspondence persistence across batches: the successor preserves vertex
+// numbering on every intact block (first-occurrence renumbering over an
+// unchanged membership is the identity), so the base-level correspondence
+// between consecutive generations is the identity *by construction* — batch
+// N+1 starts exactly where batch N left off with no whole-graph rematch.
+// MaintenanceState carries the cheap derived artifacts (per-layer
+// generalization tables) across batches on the same lineage.
 //
 // Greedy-config indexes (use_greedy_config) fall back to a full
 // BigIndex::Build: Algorithm 1's cost model samples the graph, so layer
@@ -32,11 +58,13 @@
 #define BIGINDEX_UPDATE_MAINTAIN_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
 #include "bisim/maintenance.h"
 #include "core/big_index.h"
+#include "ontology/config.h"
 #include "update/incremental.h"
 #include "util/status.h"
 
@@ -45,8 +73,13 @@ namespace bigindex {
 /// Options for MaintainIndex.
 struct MaintainOptions {
   /// Dirty-frontier ratio above which a layer is re-summarized wholesale
-  /// (forwarded to IncrementalBisimOptions::fallback_dirty_ratio).
-  double fallback_dirty_ratio = 0.25;
+  /// (forwarded to IncrementalBisimOptions::fallback_dirty_ratio). The
+  /// localized split pass is worklist-driven — a large dirty set that causes
+  /// few splits settles after one cheap re-sign round — so the threshold
+  /// tolerates the in-neighbor widening the changed-set propagation applies
+  /// to hub blocks. Output is byte-identical on either side of the knob; see
+  /// docs/MAINTENANCE.md for tuning.
+  double fallback_dirty_ratio = 0.5;
 
   /// Force wholesale re-summarization of every layer (testing/bench knob;
   /// output is identical either way).
@@ -55,6 +88,8 @@ struct MaintainOptions {
 
 /// How one layer of the successor index was produced.
 enum class LayerMaintenance {
+  kPatched,      // partition unchanged: summary patched from the projected
+                 // delta, mapping reused verbatim
   kIncremental,  // seeded localized refinement
   kWholesale,    // full ComputeBisimulation of the generalized layer
   kCopied,       // old layer reused verbatim (provably unchanged)
@@ -63,7 +98,21 @@ enum class LayerMaintenance {
 /// Per-layer maintenance diagnostics.
 struct MaintainLayerReport {
   LayerMaintenance mode = LayerMaintenance::kWholesale;
-  IncrementalBisimStats stats;  // meaningful for kIncremental
+  IncrementalBisimStats stats;  // meaningful for kPatched/kIncremental
+
+  /// True when the stored layer configuration was reused via the
+  /// distinct-label-set check instead of being re-derived.
+  bool config_reused = false;
+
+  /// Wall-clock breakdown of the four per-layer steps (ms). configure =
+  /// config reuse check / recompute + validate; generalize = label-table or
+  /// generalized-graph construction; correspondence = seed/dirty transport +
+  /// next-level correspondence derivation; refine = probe + patch/seeded
+  /// refinement/wholesale summarization.
+  double configure_ms = 0;
+  double generalize_ms = 0;
+  double correspondence_ms = 0;
+  double refine_ms = 0;
 };
 
 /// Diagnostics from one MaintainIndex call.
@@ -77,19 +126,46 @@ struct MaintainReport {
 
   std::vector<MaintainLayerReport> layers;
 
-  /// Layers not reused verbatim (kIncremental + kWholesale + full rebuild).
+  /// Layers not reused verbatim (kPatched + kIncremental + kWholesale +
+  /// full rebuild).
   size_t LayersRebuilt() const;
+};
+
+/// Cross-batch scratch carried between MaintainIndex calls on the same
+/// serving lineage (LiveUpdater owns one per served index). Correctness
+/// never depends on it — every cached entry is validated against the index
+/// before use — it only skips recomputation of batch-invariant artifacts:
+/// edge-only updates cannot change a layer's label set, so the per-layer
+/// label -> generalized-label tables survive from batch to batch. The
+/// counters feed observability (bigindex_cli update, docs/MAINTENANCE.md).
+struct MaintenanceState {
+  struct LayerCache {
+    /// label -> Gen(label) under `config`; sized to the layer-below graph's
+    /// label slots at build time.
+    std::vector<LabelId> gen_table;
+    /// The mappings the table was built for (cheap validity fingerprint).
+    std::vector<LabelMapping> config;
+  };
+
+  /// layers[i-1] caches layer i's generalization table.
+  std::vector<LayerCache> layers;
+
+  uint64_t batches = 0;         // MaintainIndex calls that used this state
+  uint64_t patched_layers = 0;  // layers taken by the patched fast path
+  uint64_t table_hits = 0;      // generalization tables reused across batches
 };
 
 /// Applies `updates` to `index`'s base graph and returns the successor
 /// index, equal — summary graphs, mappings, configs, serialized bytes — to
 /// BigIndex::Build(updated base, ontology, index.options()). `index` is
 /// unchanged. A batch with no net effect returns a (shallow) copy of
-/// `index` and an empty report delta.
+/// `index` and an empty report delta. `state`, when non-null, carries
+/// cached derived artifacts across batches (see MaintenanceState).
 StatusOr<BigIndex> MaintainIndex(const BigIndex& index,
                                  std::span<const GraphUpdate> updates,
                                  const MaintainOptions& options = {},
-                                 MaintainReport* report = nullptr);
+                                 MaintainReport* report = nullptr,
+                                 MaintenanceState* state = nullptr);
 
 }  // namespace bigindex
 

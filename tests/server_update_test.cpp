@@ -94,6 +94,7 @@ struct UpdateFixture {
     service.set_updater([this](std::span<const GraphUpdate> updates) {
       return updater.Apply(updates);
     });
+    service.set_rollbacker([this] { return updater.Rollback(); });
   }
 
   EngineQuery ConnectivityQuery() {
@@ -401,6 +402,62 @@ TEST(UpdateVerb, EndToEndThroughLineHandler) {
   EXPECT_TRUE(handler.Handle("update add:1").response.starts_with("ERR"));
   EXPECT_TRUE(handler.Handle("update grow:1:2").response.starts_with("ERR"));
   EXPECT_TRUE(handler.Handle("update add:x:2").response.starts_with("ERR"));
+}
+
+// ---------------------------------------------------------------------------
+// The ROLLBACK verb.
+
+TEST(RollbackVerb, NoRollbackerWiredReturnsUnimplemented) {
+  Ontology ontology = MakeOntology();
+  auto index = std::make_shared<const BigIndex>(
+      std::move(BigIndex::Build(ToggleGraph(), &ontology, {})).value());
+  SearchService service(
+      std::make_shared<const QueryEngine>(index, QueryEngineOptions{}));
+  LineHandler handler(&service, nullptr);
+  LineHandler::Result r = handler.Handle("rollback");
+  EXPECT_TRUE(r.response.starts_with("ERR Unimplemented")) << r.response;
+}
+
+TEST(RollbackVerb, EndToEndThroughLineHandler) {
+  UpdateFixture fx;
+  LineHandler handler(&fx.service, nullptr);
+  EngineQuery q = fx.ConnectivityQuery();
+  auto before = fx.service.Query(q);
+  ASSERT_TRUE(before.ok());
+  ASSERT_FALSE(before->answers.empty());  // 0 -> 1 -> 2 connects {0,2}
+
+  // Nothing retained yet: the verb refuses instead of serving garbage.
+  LineHandler::Result premature = handler.Handle("rollback");
+  EXPECT_TRUE(premature.response.starts_with("ERR FailedPrecondition"))
+      << premature.response;
+
+  // Cut the connecting edge, then undo it through the verb: the pre-update
+  // answers come back and the epoch advances (the rollback is itself an
+  // epoch swap, never an in-place mutation).
+  ASSERT_TRUE(
+      handler.Handle("update remove:1:2").response.starts_with("OK"));
+  auto cut = fx.service.Query(q);
+  ASSERT_TRUE(cut.ok());
+  EXPECT_TRUE(cut->answers.empty());
+  const uint64_t epoch_before = fx.service.epoch();
+
+  LineHandler::Result r = handler.Handle("rollback");
+  ASSERT_TRUE(r.response.starts_with("OK epoch=")) << r.response;
+  EXPECT_GT(fx.service.epoch(), epoch_before);
+  auto restored = fx.service.Query(q);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->answers, before->answers);
+
+  // One generation of history: a second consecutive rollback refuses.
+  LineHandler::Result again = handler.Handle("rollback");
+  EXPECT_TRUE(again.response.starts_with("ERR FailedPrecondition"))
+      << again.response;
+
+  // INFO and STATS expose the (successful) rollback count.
+  LineHandler::Result info = handler.Handle("info");
+  EXPECT_NE(info.response.find("rollbacks=1"), std::string::npos)
+      << info.response;
+  EXPECT_EQ(fx.service.Snapshot().rollbacks, 1u);
 }
 
 TEST(UpdateVerb, ShardRemapTranslatesAndSkipsUnowned) {

@@ -496,6 +496,7 @@ bool ParseUpdateOp(const std::string& token, GraphUpdate* out) {
 
 const char* MaintenanceName(LayerMaintenance mode) {
   switch (mode) {
+    case LayerMaintenance::kPatched: return "patched";
     case LayerMaintenance::kIncremental: return "incremental";
     case LayerMaintenance::kWholesale: return "wholesale";
     case LayerMaintenance::kCopied: return "copied";
@@ -557,10 +558,20 @@ int CmdUpdate(int argc, char** argv) {
     for (size_t i = 0; i < report.layers.size(); ++i) {
       const MaintainLayerReport& lr = report.layers[i];
       std::printf("layer %-4zu %-11s", i + 1, MaintenanceName(lr.mode));
-      if (lr.mode == LayerMaintenance::kIncremental) {
+      if (lr.mode == LayerMaintenance::kIncremental ||
+          lr.mode == LayerMaintenance::kPatched) {
         std::printf(" dirty=%zu split_rounds=%zu resigned=%zu",
                     lr.stats.dirty_seed, lr.stats.split_rounds,
                     lr.stats.vertices_resigned);
+      }
+      if (lr.mode != LayerMaintenance::kCopied) {
+        // Per-step timing breakdown: regressions in any one step (config
+        // reuse, label table, correspondence transport, refinement) are
+        // visible without a profiler.
+        std::printf(
+            " cfg=%.2fms%s gen=%.2fms corr=%.2fms refine=%.2fms",
+            lr.configure_ms, lr.config_reused ? "(reused)" : "",
+            lr.generalize_ms, lr.correspondence_ms, lr.refine_ms);
       }
       std::printf("\n");
     }

@@ -16,6 +16,12 @@
 //       One-shot edge-update batch: sends a single UPDATE request and
 //       prints the outcome (applied/skipped/rebuilt/epoch/mode). Exits 0
 //       only if the server applied the batch.
+//   bigindex_client --rollback <host> <port>
+//       One-shot ROLLBACK: re-publishes the server's previous retained
+//       index version (undo the last update batch) and prints the new
+//       epoch. Exits non-zero when no previous version is retained
+//       (FailedPrecondition) or the server has no rollback path
+//       (Unimplemented).
 //
 // Reads requests from stdin (one per line; '#' comments and blank lines are
 // skipped) until EOF or a `quit` command.
@@ -40,7 +46,8 @@ int Usage() {
                " [--connect-retries N]\n"
                "  bigindex_client --inprocess [dataset] [scale] [layers]\n"
                "  bigindex_client --update <host> <port>"
-               " (add:<u>:<v>|remove:<u>:<v>)...\n");
+               " (add:<u>:<v>|remove:<u>:<v>)...\n"
+               "  bigindex_client --rollback <host> <port>\n");
   return 1;
 }
 
@@ -79,6 +86,7 @@ int RunInProcess(int argc, char** argv) {
   service.set_updater([&updater](std::span<const GraphUpdate> updates) {
     return updater.Apply(updates);
   });
+  service.set_rollbacker([&updater] { return updater.Rollback(); });
   LineHandler handler(&service, ds->dict.get());
   std::fprintf(stderr, "in-process %s (|V|=%zu); type requests:\n",
                dataset_name.c_str(), ds->graph.NumVertices());
@@ -194,6 +202,42 @@ int RunUpdate(int argc, char** argv) {
   return 0;
 }
 
+int RunRollback(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string host = argv[0];
+  const uint16_t port = static_cast<uint16_t>(std::atoi(argv[1]));
+
+  ProtocolClient client(host, port);
+  Status connected = client.Connect();
+  if (!connected.ok()) {
+    std::fprintf(stderr, "error: %s\n", connected.ToString().c_str());
+    return 1;
+  }
+  auto block = client.Request("rollback");
+  if (!block.ok()) {
+    std::fprintf(stderr, "error: %s\n", block.status().ToString().c_str());
+    return 1;
+  }
+  if (block->empty()) {
+    std::fprintf(stderr, "error: empty rollback response\n");
+    return 1;
+  }
+  const std::string& head = block->front();
+  if (head.starts_with("ERR")) {
+    std::fprintf(stderr, "error: %s\n", ParseErrLine(head).ToString().c_str());
+    return 1;
+  }
+  // Head is "OK epoch=E".
+  const size_t eq = head.find("epoch=");
+  if (eq == std::string::npos) {
+    std::fprintf(stderr, "error: malformed rollback response '%s'\n",
+                 head.c_str());
+    return 1;
+  }
+  std::printf("rolled back, epoch=%s\n", head.c_str() + eq + 6);
+  return 0;
+}
+
 }  // namespace
 }  // namespace bigindex
 
@@ -208,6 +252,9 @@ int main(int argc, char** argv) {
   }
   if (std::strcmp(argv[1], "--update") == 0) {
     return RunUpdate(argc - 2, argv + 2);
+  }
+  if (std::strcmp(argv[1], "--rollback") == 0) {
+    return RunRollback(argc - 2, argv + 2);
   }
   return Usage();
 }

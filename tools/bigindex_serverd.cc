@@ -51,7 +51,8 @@
 // (see src/server/line_protocol.h) and maintain the served index in place —
 // delta-propagating incremental refinement, RCU epoch-swapped publication.
 // --update-fallback-ratio F sets the dirty-frontier ratio above which a
-// layer is re-summarized wholesale (default 0.25); --no-live-updates
+// layer is re-summarized wholesale (default 0.5, see docs/MAINTENANCE.md
+// for tuning); --no-live-updates
 // disables the write path entirely (UPDATE answers ERR Unimplemented).
 // Coordinators always accept UPDATE and broadcast it to their workers.
 //
@@ -95,8 +96,9 @@ int Usage() {
 }
 
 /// Builds a LiveUpdater over `index`/`engine` and wires it to `service`
-/// (swap hook + write path). Shared by the monolithic and shard-worker
-/// modes; the caller keeps the returned updater alive next to the service.
+/// (swap hook + write path + rollback path). Shared by the monolithic and
+/// shard-worker modes; the caller keeps the returned updater alive next to
+/// the service.
 std::unique_ptr<LiveUpdater> WireLiveUpdater(
     std::shared_ptr<const BigIndex> index,
     std::shared_ptr<const QueryEngine> engine,
@@ -115,6 +117,7 @@ std::unique_ptr<LiveUpdater> WireLiveUpdater(
   service->set_updater([raw](std::span<const GraphUpdate> updates) {
     return raw->Apply(updates);
   });
+  service->set_rollbacker([raw] { return raw->Rollback(); });
   return updater;
 }
 
@@ -173,7 +176,7 @@ int Run(int argc, char** argv) {
   std::string coordinator_spec;
   bool allow_partial = false;
   size_t attach_retries = 10;
-  double update_fallback_ratio = 0.25;
+  double update_fallback_ratio = 0.5;
   bool live_updates = true;
 
   for (int i = 1; i < argc; ++i) {

@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# Cross-verifies the line-protocol verb set between its two sources of
+# truth: the formal grammar in docs/OPERATIONS.md ("## Line protocol",
+# `verb = ...` production) and the dispatch chain in
+# src/server/line_protocol.cc (`cmd == "..."` comparisons). Fails when a
+# verb exists on one side only — an undocumented verb or stale docs.
+#
+#   tools/check_protocol_docs.sh
+#
+# tools/ci.sh runs this on every pass, next to check_doc_links.sh.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+DOC=docs/OPERATIONS.md
+SRC=src/server/line_protocol.cc
+
+# Grammar side: the `verb = "..." | ...` production, including continuation
+# lines (leading whitespace + '|'). Quoted tokens only, so the trailing
+# `; any case` comment is ignored.
+doc_verbs=$(awk '
+  /^verb[[:space:]]*=/ { inverb = 1 }
+  inverb && !/^verb/ && !/^[[:space:]]+\|/ { inverb = 0 }
+  inverb {
+    line = $0
+    while (match(line, /"[a-z-]+"/)) {
+      print substr(line, RSTART + 1, RLENGTH - 2)
+      line = substr(line, RSTART + RLENGTH)
+    }
+  }
+' "$DOC" | sort -u)
+
+# Dispatch side: every `cmd == "..."` comparison in LineHandler::Handle.
+src_verbs=$(grep -oE 'cmd == "[a-z-]+"' "$SRC" \
+  | grep -oE '"[a-z-]+"' | tr -d '"' | sort -u)
+
+if [ -z "$doc_verbs" ]; then
+  echo "FAIL: no verb production found in $DOC" >&2
+  exit 1
+fi
+if [ -z "$src_verbs" ]; then
+  echo "FAIL: no cmd dispatch found in $SRC" >&2
+  exit 1
+fi
+
+failures=0
+# Both directions: comm -23 = documented but not dispatched, -13 = the
+# reverse.
+undispatched=$(comm -23 <(echo "$doc_verbs") <(echo "$src_verbs"))
+undocumented=$(comm -13 <(echo "$doc_verbs") <(echo "$src_verbs"))
+for v in $undispatched; do
+  echo "verb '$v' documented in $DOC but not dispatched in $SRC" >&2
+  failures=$((failures + 1))
+done
+for v in $undocumented; do
+  echo "verb '$v' dispatched in $SRC but not documented in $DOC" >&2
+  failures=$((failures + 1))
+done
+
+if [ "$failures" -gt 0 ]; then
+  echo "FAIL: $failures protocol verb mismatch(es)" >&2
+  exit 1
+fi
+echo "protocol verbs OK ($(echo "$doc_verbs" | wc -l) verbs:" \
+  "$(echo "$doc_verbs" | tr '\n' ' ' | sed 's/ $//'))"

@@ -59,6 +59,10 @@ echo "=== docs: no dead relative links in *.md ==="
 tools/check_doc_links.sh
 
 echo
+echo "=== docs: protocol verbs match server dispatch ==="
+tools/check_protocol_docs.sh
+
+echo
 echo "=== smoke: disabled-instrumentation overhead budget ==="
 # Fails if the disabled observability hooks would cost > 2% of real query
 # time (BIGINDEX_OBS_OVERHEAD_PCT overrides the threshold).
@@ -88,6 +92,13 @@ echo "=== smoke: maintenance differential (incremental == wholesale == rebuild) 
 # One mixed update batch through all three maintenance paths; fails unless
 # the three serialized indexes are byte-identical.
 ./build/bench/bench_maintenance --smoke
+
+echo
+echo "=== gate: maintenance speedup (>= 2x at small batches) ==="
+# Measures maintained-vs-rebuilt wall clock at batch sizes 1 and 4 and fails
+# unless incremental maintenance beats a from-scratch rebuild by >= 2x while
+# staying byte-identical (one re-measure retry absorbs scheduler noise).
+./build/bench/bench_maintenance --check
 
 echo
 echo "=== smoke: serving-layer load generator (~2s) ==="
