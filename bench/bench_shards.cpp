@@ -8,8 +8,11 @@
 //      throughput must stay >= 0.9x monolithic AND answers must be
 //      byte-identical for every workload query.
 //   2. 2- and 4-shard coordinators — how the overhead scales with fan-out
-//      width (informational; answers are still checked for equality, which
-//      the connectivity-closed shard mode guarantees).
+//      width (informational; answers are still checked for equality).
+//
+// Both shard modes run: connectivity-closed plans keep every answer within
+// one shard, and bfs-block plans stay exact through the coordinator's
+// boundary completion pass (DESIGN.md §9).
 //
 // `bench_shards --smoke` shrinks the timing loops and exits non-zero when
 // the gate fails (tools/ci.sh runs it on every pass).
@@ -91,8 +94,8 @@ int main(int argc, char** argv) {
                        .eval = {.forced_layer = 0, .top_k = 10}});
     if (queries.size() >= (smoke ? 8u : 24u)) break;
   }
-  std::printf("workload: %zu queries, %zu rounds per config, |V|=%u |E|=%llu\n\n",
-              queries.size(), rounds, g.NumVertices(),
+  std::printf("workload: %zu queries, %zu rounds per config, |V|=%zu |E|=%llu\n\n",
+              queries.size(), rounds, static_cast<size_t>(g.NumVertices()),
               static_cast<unsigned long long>(g.NumEdges()));
 
   // Monolithic baseline over the already-built index (cache off: the bench
@@ -108,62 +111,73 @@ int main(int argc, char** argv) {
               mono_ms);
 
   bool gate_ok = true;
-  for (size_t n : {1u, 2u, 4u}) {
-    auto built = BuildShardedIndex(
-        g, ontology, {.plan = {.num_shards = n}, .index = {.max_layers = 4}});
-    if (!built.ok()) {
-      std::fprintf(stderr, "sharded build (%zu): %s\n", n,
-                   built.status().ToString().c_str());
-      return 1;
-    }
-    auto substrate = InProcessSubstrate::Create(
-        std::move(built->shards), {.service = {.enable_cache = false}});
-    if (!substrate.ok()) {
-      std::fprintf(stderr, "substrate (%zu): %s\n", n,
-                   substrate.status().ToString().c_str());
-      return 1;
-    }
-    ShardedSearchService coordinator(substrate->get(),
-                                     {.enable_cache = false});
-    Status attached = coordinator.Attach();
-    if (!attached.ok()) {
-      std::fprintf(stderr, "attach (%zu): %s\n", n,
-                   attached.ToString().c_str());
-      return 1;
-    }
+  for (ShardMode mode : {ShardMode::kConnectivityClosed, ShardMode::kBfsBlocks}) {
+    const char* mode_name =
+        mode == ShardMode::kConnectivityClosed ? "wcc" : "bfs";
+    for (size_t n : {1u, 2u, 4u}) {
+      auto built = BuildShardedIndex(
+          g, ontology,
+          {.plan = {.num_shards = n, .mode = mode, .bfs_block_size = 128},
+           .index = {.max_layers = 4}});
+      if (!built.ok()) {
+        std::fprintf(stderr, "sharded build (%s, %zu): %s\n", mode_name, n,
+                     built.status().ToString().c_str());
+        return 1;
+      }
+      auto substrate = InProcessSubstrate::Create(
+          std::move(built->shards), {.service = {.enable_cache = false}});
+      if (!substrate.ok()) {
+        std::fprintf(stderr, "substrate (%s, %zu): %s\n", mode_name, n,
+                     substrate.status().ToString().c_str());
+        return 1;
+      }
+      ShardedSearchService coordinator(substrate->get(),
+                                       {.enable_cache = false});
+      Status attached = coordinator.Attach();
+      if (!attached.ok()) {
+        std::fprintf(stderr, "attach (%s, %zu): %s\n", mode_name, n,
+                     attached.ToString().c_str());
+        return 1;
+      }
 
-    // Answers must match the monolithic baseline exactly at every width —
-    // the connectivity-closed plan keeps every answer within one shard.
-    std::vector<std::vector<Answer>> got = CollectAnswers(coordinator, queries);
-    bool identical = got == expected;
-    // The ratio is measured pairwise: a mono segment immediately followed by
-    // a coordinator segment, best of three pairs. Absolute qps samples drift
-    // with background load on a shared 1-core CI host, but back-to-back
-    // segments see near-identical conditions, and an interference spike
-    // inside one segment can only lower that pair's ratio, never raise it.
-    double ms = 0, ratio = 0;
-    for (int pair = 0; pair < 3; ++pair) {
-      double m = RunLoopMs(mono, queries, rounds);
-      double s = RunLoopMs(coordinator, queries, rounds);
-      ratio = std::max(ratio, m / s);
-      ms = pair == 0 ? s : std::min(ms, s);
-    }
-    double qps = 1000.0 * queries.size() * rounds / ms;
-    char name[32];
-    std::snprintf(name, sizeof name, "%zu-shard coordinator", n);
-    std::printf("%-24s %8.1f q/s  (%.1f ms total)  %.2fx mono  answers %s\n",
-                name, qps, ms, ratio, identical ? "identical" : "DIFFER");
-    if (!identical) gate_ok = false;
-    if (n == 1 && ratio < 0.9) {
-      std::printf("  -> GATE FAIL: 1-shard throughput %.2fx monolithic "
-                  "(floor 0.9x)\n",
-                  ratio);
-      gate_ok = false;
+      // Answers must match the monolithic baseline exactly at every width:
+      // wcc keeps every answer within one shard; bfs restores cut-crossing
+      // answers via the coordinator's boundary completion (DESIGN.md §9).
+      std::vector<std::vector<Answer>> got =
+          CollectAnswers(coordinator, queries);
+      bool identical = got == expected;
+      // The ratio is measured pairwise: a mono segment immediately followed
+      // by a coordinator segment, best of three pairs. Absolute qps samples
+      // drift with background load on a shared 1-core CI host, but
+      // back-to-back segments see near-identical conditions, and an
+      // interference spike inside one segment can only lower that pair's
+      // ratio, never raise it.
+      double ms = 0, ratio = 0;
+      for (int pair = 0; pair < 3; ++pair) {
+        double m = RunLoopMs(mono, queries, rounds);
+        double s = RunLoopMs(coordinator, queries, rounds);
+        ratio = std::max(ratio, m / s);
+        ms = pair == 0 ? s : std::min(ms, s);
+      }
+      double qps = 1000.0 * queries.size() * rounds / ms;
+      char name[40];
+      std::snprintf(name, sizeof name, "%zu-shard coordinator (%s)", n,
+                    mode_name);
+      std::printf("%-28s %8.1f q/s  (%.1f ms total)  %.2fx mono  answers %s\n",
+                  name, qps, ms, ratio, identical ? "identical" : "DIFFER");
+      if (!identical) gate_ok = false;
+      if (n == 1 && ratio < 0.9) {
+        std::printf("  -> GATE FAIL: 1-shard (%s) throughput %.2fx "
+                    "monolithic (floor 0.9x)\n",
+                    mode_name, ratio);
+        gate_ok = false;
+      }
     }
   }
 
-  std::printf("\n%s\n", gate_ok ? "gate OK: 1-shard >= 0.9x monolithic, "
-                                  "answers identical at every width"
+  std::printf("\n%s\n", gate_ok ? "gate OK: 1-shard >= 0.9x monolithic in "
+                                  "both modes, answers identical at every "
+                                  "width"
                                 : "gate FAILED");
   return gate_ok ? 0 : 1;
 }

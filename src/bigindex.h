@@ -64,6 +64,7 @@
 #include "server/search_service.h"  // IWYU pragma: export
 #include "server/service_stats.h"   // IWYU pragma: export
 #include "server/tcp_server.h"      // IWYU pragma: export
+#include "shard/boundary.h"         // IWYU pragma: export
 #include "shard/in_process_substrate.h"  // IWYU pragma: export
 #include "shard/remote_substrate.h" // IWYU pragma: export
 #include "shard/shard_build.h"      // IWYU pragma: export

@@ -119,6 +119,13 @@ std::string BuildShardMapSection(const ShardImageInfo& shard) {
   return out;
 }
 
+std::string BuildGhostsSection(const ShardImageInfo& shard) {
+  std::string out;
+  AppendU64(out, shard.ghosts.size());
+  AppendArray(out, std::span<const VertexId>(shard.ghosts));
+  return out;
+}
+
 // ---------------------------------------------------------------------------
 // Loader
 // ---------------------------------------------------------------------------
@@ -177,6 +184,7 @@ struct ParsedTable {
   uint32_t num_layers = 0;
   uint32_t shard_id = 0;
   uint32_t num_shards = 0;  // 0 = monolithic, no SHARDMAP section
+  bool has_ghosts = false;  // sharded image with a trailing GHOSTS section
   std::vector<Section> sections;
 };
 
@@ -235,7 +243,11 @@ StatusOr<ParsedTable> ValidateHeaderAndTable(const std::byte* data,
   }
   uint64_t expected_sections =
       2 + 3ull * table.num_layers + (table.num_shards != 0 ? 1 : 0);
-  if (section_count != expected_sections) {
+  // Sharded images may carry one trailing GHOSTS section (cut-incident
+  // plans); ValidateSectionOrder pins its kind and position.
+  if (table.num_shards != 0 && section_count == expected_sections + 1) {
+    table.has_ghosts = true;
+  } else if (section_count != expected_sections) {
     return Status::Corruption("section count does not match layer count");
   }
   uint64_t table_end =
@@ -276,7 +288,7 @@ StatusOr<ParsedTable> ValidateHeaderAndTable(const std::byte* data,
 
 /// Checks the canonical section sequence: DICT, GRAPH(0), then per layer m:
 /// CONFIG(m), MAPPING(m), GRAPH(m), then SHARDMAP iff the header says the
-/// image is sharded.
+/// image is sharded, then GHOSTS iff the table carries one.
 Status ValidateSectionOrder(const ParsedTable& table) {
   auto expect = [&](size_t i, uint32_t kind, uint32_t layer) {
     const Section& s = table.sections[i];
@@ -295,8 +307,11 @@ Status ValidateSectionOrder(const ParsedTable& table) {
     BIGINDEX_RETURN_IF_ERROR(expect(base + 2, Fmt::kSectionGraph, m));
   }
   if (table.num_shards != 0) {
-    BIGINDEX_RETURN_IF_ERROR(
-        expect(table.sections.size() - 1, Fmt::kSectionShardMap, 0));
+    size_t at = 2 + 3ull * table.num_layers;
+    BIGINDEX_RETURN_IF_ERROR(expect(at, Fmt::kSectionShardMap, 0));
+    if (table.has_ghosts) {
+      BIGINDEX_RETURN_IF_ERROR(expect(at + 1, Fmt::kSectionGhosts, 0));
+    }
   }
   return Status::OK();
 }
@@ -498,6 +513,28 @@ Status ParseShardMapSection(const Section& s, const ParsedTable& table,
   return Status::OK();
 }
 
+/// Parses the GHOSTS section: strictly-ascending local ids of the shard's
+/// ghost vertices, each a valid base-graph vertex.
+Status ParseGhostsSection(const Section& s, uint64_t base_vertices,
+                          ShardImageInfo* shard) {
+  Cursor cur(s.data, s.length);
+  uint64_t count = 0;
+  BIGINDEX_RETURN_IF_ERROR(cur.ReadU64(&count));
+  if (count == 0) {
+    return Status::Corruption("ghost section present but empty");
+  }
+  std::span<const VertexId> ghosts;
+  BIGINDEX_RETURN_IF_ERROR(cur.ReadArray(count, &ghosts));
+  BIGINDEX_RETURN_IF_ERROR(cur.ExpectExhausted());
+  for (size_t i = 0; i < ghosts.size(); ++i) {
+    if (ghosts[i] >= base_vertices || (i > 0 && ghosts[i] <= ghosts[i - 1])) {
+      return Status::Corruption("ghost list not strictly ascending local ids");
+    }
+  }
+  if (shard != nullptr) shard->ghosts.assign(ghosts.begin(), ghosts.end());
+  return Status::OK();
+}
+
 StatusOr<BigIndex> LoadFromMemory(const std::byte* data, uint64_t size,
                                   StorageHandle storage, LabelDictionary& dict,
                                   const Ontology* ontology,
@@ -513,9 +550,14 @@ StatusOr<BigIndex> LoadFromMemory(const std::byte* data, uint64_t size,
                                 options);
   if (!base.ok()) return base.status();
   if (table->num_shards != 0) {
-    BIGINDEX_RETURN_IF_ERROR(ParseShardMapSection(table->sections.back(),
+    size_t at = 2 + 3ull * table->num_layers;
+    BIGINDEX_RETURN_IF_ERROR(ParseShardMapSection(table->sections[at],
                                                   *table, base->NumVertices(),
                                                   shard_out));
+    if (table->has_ghosts) {
+      BIGINDEX_RETURN_IF_ERROR(ParseGhostsSection(
+          table->sections[at + 1], base->NumVertices(), shard_out));
+    }
   }
   std::vector<IndexLayer> layers;
   layers.reserve(table->num_layers);
@@ -552,9 +594,17 @@ Status WriteIndexImage(const BigIndex& index, const LabelDictionary& dict,
       return Status::InvalidArgument(
           "shard remap size does not match base graph");
     }
-  } else if (shard.shard_id != 0 || !shard.global_of.empty()) {
+    for (size_t i = 0; i < shard.ghosts.size(); ++i) {
+      if (shard.ghosts[i] >= shard.global_of.size() ||
+          (i > 0 && shard.ghosts[i] <= shard.ghosts[i - 1])) {
+        return Status::InvalidArgument(
+            "ghost list must be strictly ascending local ids");
+      }
+    }
+  } else if (shard.shard_id != 0 || !shard.global_of.empty() ||
+             !shard.ghosts.empty()) {
     return Status::InvalidArgument(
-        "monolithic image cannot carry shard id or remap");
+        "monolithic image cannot carry shard id, remap, or ghosts");
   }
   std::vector<std::pair<std::pair<uint32_t, uint32_t>, std::string>> sections;
   sections.emplace_back(std::make_pair(Fmt::kSectionDict, 0u),
@@ -573,6 +623,12 @@ Status WriteIndexImage(const BigIndex& index, const LabelDictionary& dict,
   if (shard.IsSharded()) {
     sections.emplace_back(std::make_pair(Fmt::kSectionShardMap, 0u),
                           BuildShardMapSection(shard));
+    // Ghost-free shards (wcc plans) skip the section entirely, keeping
+    // their images byte-identical to the pre-GHOSTS format.
+    if (!shard.ghosts.empty()) {
+      sections.emplace_back(std::make_pair(Fmt::kSectionGhosts, 0u),
+                            BuildGhostsSection(shard));
+    }
   }
 
   std::string table;
@@ -711,6 +767,8 @@ const char* SectionKindName(uint32_t kind) {
       return "CONFIG";
     case Fmt::kSectionShardMap:
       return "SHARDMAP";
+    case Fmt::kSectionGhosts:
+      return "GHOSTS";
     default:
       return "UNKNOWN";
   }

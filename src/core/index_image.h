@@ -13,10 +13,13 @@
 //
 // Canonical section order: DICT, GRAPH(0), then per layer m = 1..h:
 // CONFIG(m), MAPPING(m), GRAPH(m); sharded images (shard substrate,
-// DESIGN.md §9) append one final SHARDMAP section carrying the shard id,
-// shard count, and the local->global vertex remap. Monolithic images write
-// zeros in the header's shard fields and no SHARDMAP section, so the v1
-// format is unchanged for them byte for byte.
+// DESIGN.md §9) append a SHARDMAP section carrying the shard id, shard
+// count, and the local->global vertex remap, and — only when the shard has
+// ghost vertices (cut-incident plans) — one final GHOSTS section listing
+// the ghosts' local ids. Monolithic images write zeros in the header's
+// shard fields and no SHARDMAP/GHOSTS section, and ghost-free sharded
+// images (e.g. wcc plans) write no GHOSTS section, so both stay
+// byte-identical to the pre-GHOSTS format.
 // Graph and mapping sections contain the
 // structures' flat arrays verbatim, so loading wires std::spans straight
 // into the mapped region (Graph::FromStorage / BisimMapping::FromStorage)
@@ -61,6 +64,7 @@ struct IndexImageFormat {
   static constexpr uint32_t kSectionMapping = 3;  // one layer's BisimMapping
   static constexpr uint32_t kSectionConfig = 4;   // one layer's C^m
   static constexpr uint32_t kSectionShardMap = 5;  // shard id + global remap
+  static constexpr uint32_t kSectionGhosts = 6;    // local ids of ghosts
 };
 
 /// Shard identity of an index image. `num_shards == 0` means the image is
@@ -73,6 +77,10 @@ struct ShardImageInfo {
   /// Local vertex id -> global vertex id, strictly ascending. Size equals the
   /// base graph's vertex count when sharded; empty for monolithic images.
   std::vector<VertexId> global_of;
+  /// Local ids of ghost vertices (see ShardExtract), strictly ascending,
+  /// each < base vertex count. Empty for ghost-free shards and monolithic
+  /// images; serialized as the GHOSTS section only when non-empty.
+  std::vector<VertexId> ghosts;
 
   bool IsSharded() const { return num_shards != 0; }
 };

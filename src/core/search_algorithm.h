@@ -60,6 +60,15 @@ class KeywordSearchAlgorithm {
   /// candidates are keyword-vertex assignments.
   virtual bool IsRooted() const = 0;
 
+  /// Locality radius ρ of the semantics: every vertex an answer depends on
+  /// (its own vertices, and every path consulted while scoring it) lies
+  /// within undirected distance ρ of the answer's anchor (the root for
+  /// rooted semantics, else its smallest keyword vertex). The shard
+  /// substrate's boundary completion pass (DESIGN.md §9) uses ρ to decide
+  /// which answers are shard-exact: 0 means "unknown/unbounded" and
+  /// disables cross-shard completion for this algorithm.
+  virtual uint32_t LocalityRadius() const { return 0; }
+
   /// Verifies one layer-0 candidate produced by BiG-index answer generation
   /// (Sec. 4.2 Step 5 / Sec. 5 "answer generation and verification") and, if
   /// it satisfies the semantics, returns the *exact* answer: for rooted

@@ -82,6 +82,9 @@ class BidirectionalAlgorithm final : public KeywordSearchAlgorithm {
 
   bool IsRooted() const override { return true; }
 
+  // Every answer vertex lies on a root->keyword path of length <= d_max.
+  uint32_t LocalityRadius() const override { return options_.d_max; }
+
   std::optional<Answer> VerifyCandidate(const Graph& g,
                                         const std::vector<LabelId>& keywords,
                                         const Answer& candidate,

@@ -184,25 +184,60 @@ StatusOr<ShardExtract> ExtractShard(const Graph& g, const ShardPlan& plan,
   }
   std::span<const VertexId> members = plan.ShardMembers(shard);
   ShardExtract extract;
-  extract.global_of.assign(members.begin(), members.end());
+
+  // Ghost set: every distinct off-shard endpoint of a cut edge incident to
+  // this shard, in either direction. The manifest is sorted by
+  // (source, target), so the collected ids only need a final sort + dedup.
+  std::vector<VertexId> ghost_globals;
+  for (const CutEdge& e : plan.CutEdges()) {
+    bool src_here = plan.ShardOf(e.source) == shard;
+    bool dst_here = plan.ShardOf(e.target) == shard;
+    if (src_here) ghost_globals.push_back(e.target);
+    if (dst_here) ghost_globals.push_back(e.source);
+  }
+  std::sort(ghost_globals.begin(), ghost_globals.end());
+  ghost_globals.erase(
+      std::unique(ghost_globals.begin(), ghost_globals.end()),
+      ghost_globals.end());
+
+  // global_of = sorted merge of members and ghosts (disjoint by
+  // construction: a ghost lives on another shard), so the remap stays
+  // order-preserving with ghosts interleaved.
+  extract.global_of.resize(members.size() + ghost_globals.size());
+  std::merge(members.begin(), members.end(), ghost_globals.begin(),
+             ghost_globals.end(), extract.global_of.begin());
 
   std::vector<VertexId> local_of(g.NumVertices(), kInvalidVertex);
-  for (size_t i = 0; i < members.size(); ++i) {
-    local_of[members[i]] = static_cast<VertexId>(i);
+  for (size_t i = 0; i < extract.global_of.size(); ++i) {
+    local_of[extract.global_of[i]] = static_cast<VertexId>(i);
   }
+  extract.ghosts.reserve(ghost_globals.size());
+  for (VertexId gv : ghost_globals) extract.ghosts.push_back(local_of[gv]);
+  std::sort(extract.ghosts.begin(), extract.ghosts.end());
 
   GraphBuilder b;
-  size_t edge_estimate = 0;
+  size_t edge_estimate = ghost_globals.size();
   for (VertexId v : members) edge_estimate += g.OutDegree(v);
-  b.Reserve(members.size(), edge_estimate);
-  for (VertexId v : members) b.AddVertex(g.label(v));
+  b.Reserve(extract.global_of.size(), edge_estimate);
+  for (VertexId v : extract.global_of) b.AddVertex(g.label(v));
   const CsrView out = g.Out();
   for (VertexId v : members) {
     const auto oi = out[v];
     for (uint64_t i = oi.begin; i < oi.end; ++i) {
       VertexId w = out.Slot(i);
-      if (local_of[w] == kInvalidVertex) continue;  // severed cut edge
+      // Intra-shard edge or an outgoing cut edge to a ghost; edges to
+      // vertices of other shards that are not ghosts here cannot occur
+      // (any member->off-shard edge is in the manifest, so its target is
+      // a ghost).
+      if (local_of[w] == kInvalidVertex) continue;
       b.AddEdge(local_of[v], local_of[w]);
+    }
+  }
+  // Incoming cut edges (ghost source -> member target) are not reachable
+  // from member out-adjacency; materialize them from the manifest.
+  for (const CutEdge& e : plan.CutEdges()) {
+    if (plan.ShardOf(e.target) == shard) {
+      b.AddEdge(local_of[e.source], local_of[e.target]);
     }
   }
   auto graph = b.Build();

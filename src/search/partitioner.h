@@ -72,10 +72,12 @@ enum class ShardMode {
   kConnectivityClosed,
 
   /// Pack BFS-grown blocks (PartitionGraph) onto shards. Balanced cuts on
-  /// any graph shape, but cut edges (recorded in the manifest) are dropped
-  /// from the shard subgraphs, so answers that would span shards are lost —
-  /// serving over this mode is approximate. Use it for capacity planning
-  /// and for workloads that tolerate partition-local answers.
+  /// any graph shape. Cut edges are recorded in the manifest and
+  /// materialized into BOTH incident shards via ghost vertices (the
+  /// off-shard endpoint is replicated read-only), so block-local search
+  /// plus the coordinator's boundary completion pass (DESIGN.md §9)
+  /// reproduces the monolithic answer set exactly for algorithms with a
+  /// declared locality radius.
   kBfsBlocks,
 };
 
@@ -140,19 +142,28 @@ class ShardPlan {
 /// given the same dataset flags agree on the plan without coordination.
 StatusOr<ShardPlan> PlanShards(const Graph& g, const ShardPlanOptions& options);
 
-/// One shard's materialized subgraph: the vertex-induced subgraph of its
-/// member set under an order-preserving remap (local id i is the i-th
-/// smallest global member, so relative vertex order — and with it every
-/// deterministic tie-break in the search algorithms — is preserved).
+/// One shard's materialized subgraph: the subgraph induced by its member set
+/// plus ghost vertices for the off-shard endpoints of its incident cut
+/// edges, under an order-preserving remap (local id i is the i-th smallest
+/// global id among members ∪ ghosts, so relative vertex order — and with it
+/// every deterministic tie-break in the search algorithms — is preserved).
+/// Ghosts keep their real labels; each incident cut edge is materialized in
+/// its stored direction. A plan with an empty cut yields no ghosts.
 struct ShardExtract {
   Graph graph;
   /// Local -> global vertex id, strictly ascending; size = graph vertices.
   std::vector<VertexId> global_of;
+  /// Local ids of ghost vertices, strictly ascending. Ghosts are read-only
+  /// replicas of other shards' vertices: answers anchored on them are
+  /// filtered worker-side (ShardRemapService) and updates never target
+  /// them.
+  std::vector<VertexId> ghosts;
 };
 
-/// Materializes shard `shard` of `plan`. Edges with exactly one endpoint in
-/// the shard are dropped (they are the plan's CutEdges). Labels keep their
-/// global ids, so keyword queries need no translation.
+/// Materializes shard `shard` of `plan`: the member-induced subgraph, plus a
+/// ghost vertex for every distinct off-shard endpoint of the shard's
+/// incident cut edges (both directions), with those cut edges materialized.
+/// Labels keep their global ids, so keyword queries need no translation.
 StatusOr<ShardExtract> ExtractShard(const Graph& g, const ShardPlan& plan,
                                     uint32_t shard);
 

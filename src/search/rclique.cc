@@ -109,10 +109,64 @@ class BestAnswerFinder {
     }
 
     for (VertexId v : touched_) position_mask_[v] = 0;
+
+    // The greedy anchor scan can miss valid assignments: the nearest picks
+    // per position may be pairwise-invalid while farther picks are valid.
+    // Dropping such a space from the Lawler heap would silently lose every
+    // answer inside it (and with it exactness of full enumeration), so when
+    // the greedy finds nothing we fall back to an exact branch-and-bound.
+    if (!best.valid) best = ExactBest(space, stats);
     return best;
   }
 
  private:
+  /// Exact minimum (by CandidateLess) valid assignment of a search space,
+  /// or an invalid candidate when none exists. Smallest-set-first position
+  /// order, prefix pairwise pruning, and a weight bound keep the
+  /// branch-and-bound cheap; it only runs when the greedy failed.
+  Candidate ExactBest(const SearchSpace& space, RCliqueStats* stats) {
+    const size_t nq = space.sets.size();
+    std::vector<size_t> order(nq);
+    for (size_t i = 0; i < nq; ++i) order[i] = i;
+    std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      return space.sets[a].size() < space.sets[b].size();
+    });
+    Candidate best;
+    std::vector<VertexId> picks(nq, kInvalidVertex);
+    auto recurse = [&](auto&& self, size_t depth, uint32_t weight) -> void {
+      // Remaining picks only add nonnegative distance, so a partial weight
+      // strictly above the incumbent cannot win (ties still can, on picks).
+      if (best.valid && weight > best.weight) return;
+      if (depth == nq) {
+        if (stats) ++stats->candidates_scored;
+        Candidate c;
+        c.picks = picks;
+        c.weight = weight;
+        c.valid = true;
+        if (!best.valid || CandidateLess(c, best)) best = std::move(c);
+        return;
+      }
+      size_t pos = order[depth];
+      for (VertexId v : space.sets[pos]) {
+        uint32_t add = 0;
+        bool ok = true;
+        for (size_t j = 0; j < depth; ++j) {
+          uint32_t d = index_.Distance(picks[order[j]], v);
+          if (d == kInfDistance || d > r_) {
+            ok = false;
+            break;
+          }
+          add += d;
+        }
+        if (!ok) continue;
+        picks[pos] = v;
+        self(self, depth + 1, weight + add);
+      }
+    };
+    recurse(recurse, 0, 0);
+    return best;
+  }
+
   const NeighborIndex& index_;
   uint32_t r_;
   // Per-vertex mask and its touched list, borrowed from the QueryContext

@@ -131,6 +131,12 @@ class RCliqueAlgorithm final : public KeywordSearchAlgorithm {
 
   bool IsRooted() const override { return false; }
 
+  // The anchor is an answer's smallest keyword vertex. Picks are pairwise
+  // within r (so within r of the anchor), and scoring consults witness
+  // paths of length <= r between picks, whose vertices are within
+  // r + r = 2r of the anchor.
+  uint32_t LocalityRadius() const override { return 2 * options_.r; }
+
   /// Checks the candidate's keyword assignment: labels must match the query
   /// and all pairwise undirected distances must be <= r (verified by bounded
   /// BFS on `g` — no neighbor index needed at the data layer, mirroring

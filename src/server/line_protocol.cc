@@ -244,6 +244,24 @@ std::string HandleUpdate(QueryService& service,
   return out.str();
 }
 
+std::string HandleBoundary(QueryService& service) {
+  StatusOr<BoundaryExport> ex = service.Boundary();
+  if (!ex.ok()) return ErrBlock(ex.status());
+  std::ostringstream out;
+  out << "OK vertices=" << ex->vertices.size() << " edges="
+      << ex->edges.size() << " cut=" << ex->cut_edges.size()
+      << " radius=" << ex->radius_cap << "\n";
+  for (const auto& [id, label] : ex->vertices) {
+    out << "v " << id << ' ' << label << "\n";
+  }
+  for (const auto& [u, v] : ex->edges) out << "e " << u << ' ' << v << "\n";
+  for (const auto& [u, v] : ex->cut_edges) {
+    out << "c " << u << ' ' << v << "\n";
+  }
+  out << ".\n";
+  return out.str();
+}
+
 }  // namespace
 
 LineHandler::Result LineHandler::Handle(const std::string& line) {
@@ -278,6 +296,9 @@ LineHandler::Result LineHandler::Handle(const std::string& line) {
     StatusOr<uint64_t> epoch = service_->Rollback();
     if (!epoch.ok()) return {ErrBlock(epoch.status()), false};
     return {"OK epoch=" + std::to_string(*epoch) + "\n.\n", false};
+  }
+  if (cmd == "boundary") {
+    return {HandleBoundary(*service_), false};
   }
   if (cmd == "algos") {
     std::string out = "OK";
@@ -497,6 +518,66 @@ Status ParseUpdateOutcomeLine(const std::string& line, UpdateOutcome* out) {
   if (!saw_applied || !saw_epoch) {
     return Status::IOError("UPDATE response missing required fields: '" +
                            line + "'");
+  }
+  return Status::OK();
+}
+
+Status ParseBoundaryBlock(std::span<const std::string> lines,
+                          BoundaryExport* out) {
+  *out = BoundaryExport{};
+  if (lines.empty()) return Status::IOError("empty BOUNDARY response");
+  std::vector<std::string> head = Tokenize(lines[0]);
+  if (head.empty() || head[0] != "OK") {
+    return Status::IOError("not a BOUNDARY response: '" + lines[0] + "'");
+  }
+  size_t want_vertices = 0, want_edges = 0, want_cut = 0;
+  bool saw_vertices = false, saw_cut = false;
+  for (size_t i = 1; i < head.size(); ++i) {
+    size_t eq = head[i].find('=');
+    if (eq == std::string::npos) continue;
+    std::string key = head[i].substr(0, eq);
+    const char* value = head[i].c_str() + eq + 1;
+    if (key == "vertices") {
+      saw_vertices = true;
+      want_vertices = std::strtoull(value, nullptr, 10);
+    } else if (key == "edges") {
+      want_edges = std::strtoull(value, nullptr, 10);
+    } else if (key == "cut") {
+      saw_cut = true;
+      want_cut = std::strtoull(value, nullptr, 10);
+    } else if (key == "radius") {
+      out->radius_cap =
+          static_cast<uint32_t>(std::strtoul(value, nullptr, 10));
+    }
+  }
+  if (!saw_vertices || !saw_cut) {
+    return Status::IOError("BOUNDARY response missing required fields: '" +
+                           lines[0] + "'");
+  }
+  for (size_t i = 1; i < lines.size(); ++i) {
+    std::vector<std::string> tokens = Tokenize(lines[i]);
+    if (tokens.size() != 3 ||
+        !AllDigits(tokens[1]) || !AllDigits(tokens[2])) {
+      return Status::IOError("malformed boundary record '" + lines[i] + "'");
+    }
+    auto first = static_cast<VertexId>(
+        std::strtoul(tokens[1].c_str(), nullptr, 10));
+    auto second = static_cast<VertexId>(
+        std::strtoul(tokens[2].c_str(), nullptr, 10));
+    if (tokens[0] == "v") {
+      out->vertices.emplace_back(first, static_cast<LabelId>(second));
+    } else if (tokens[0] == "e") {
+      out->edges.emplace_back(first, second);
+    } else if (tokens[0] == "c") {
+      out->cut_edges.emplace_back(first, second);
+    } else {
+      return Status::IOError("unknown boundary record kind '" + tokens[0] +
+                             "'");
+    }
+  }
+  if (out->vertices.size() != want_vertices ||
+      out->edges.size() != want_edges || out->cut_edges.size() != want_cut) {
+    return Status::IOError("BOUNDARY body does not match head counts");
   }
   return Status::OK();
 }

@@ -23,6 +23,14 @@
 //                    consecutive rollback answers ERR FailedPrecondition;
 //                    services without a rollback path answer ERR
 //                    Unimplemented.
+//   boundary         the shard's boundary export (DESIGN.md §9): the owned
+//                    vertices within the locality cap of the partition cut,
+//                    their induced edges, and the cut edges themselves, all
+//                    in global ids. Response head: OK vertices=N edges=M
+//                    cut=C radius=R, then N lines "v <global> <label>",
+//                    M lines "e <u> <v>", C lines "c <u> <v>". Ghost-free
+//                    workers (monolithic, wcc shards) answer OK vertices=0
+//                    edges=0 cut=0 radius=0 with no body.
 //   algos            registered algorithm names
 //   info             index identity: epoch, image checksum, layer count,
 //                    shard id/count, algorithm names — what the shard
@@ -130,6 +138,12 @@ std::string FormatUpdateLine(std::span<const GraphUpdate> updates);
 /// head line of an UPDATE response. applied= and epoch= are required;
 /// unknown keys are skipped.
 Status ParseUpdateOutcomeLine(const std::string& line, UpdateOutcome* out);
+
+/// Parses a full BOUNDARY response block (head + v/e/c body lines, no dot
+/// terminator) back into a BoundaryExport. The head's vertices=/edges=/cut=
+/// counts must match the body line counts exactly.
+Status ParseBoundaryBlock(std::span<const std::string> lines,
+                          BoundaryExport* out);
 
 }  // namespace bigindex
 

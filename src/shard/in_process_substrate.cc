@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "shard/boundary.h"
+
 namespace bigindex {
 
 StatusOr<std::unique_ptr<InProcessSubstrate>> InProcessSubstrate::Create(
@@ -39,8 +41,20 @@ StatusOr<std::unique_ptr<InProcessSubstrate>> InProcessSubstrate::Create(
         .shard_id = built.shard.shard_id,
         .num_shards = built.shard.num_shards,
     });
+    // The remap and ghost tables are shared with the engine-swap hook below
+    // (the boundary is a function of the served graph, so every swap
+    // recomputes it over the same tables).
+    auto global_of = std::make_shared<const std::vector<VertexId>>(
+        std::move(built.shard.global_of));
+    auto ghosts = std::make_shared<const std::vector<VertexId>>(
+        std::move(built.shard.ghosts));
     shard->remapped = std::make_unique<ShardRemapService>(
-        shard->service.get(), std::move(built.shard.global_of));
+        shard->service.get(), *global_of, *ghosts);
+    if (!ghosts->empty()) {
+      shard->remapped->InstallBoundary(ComputeShardBoundary(
+          shard->engine->index().base(), *global_of, *ghosts,
+          AlgorithmRadii(*shard->engine)));
+    }
     if (options.enable_updates) {
       LiveUpdaterOptions updater_opts;
       updater_opts.maintain = options.maintain;
@@ -49,14 +63,26 @@ StatusOr<std::unique_ptr<InProcessSubstrate>> InProcessSubstrate::Create(
       shard->updater = std::make_unique<LiveUpdater>(
           std::move(index), shard->engine, std::move(updater_opts));
       SearchService* service = shard->service.get();
+      ShardRemapService* remapped = shard->remapped.get();
       shard->updater->set_swap(
-          [service](std::shared_ptr<const QueryEngine> engine) {
+          [service, remapped, global_of,
+           ghosts](std::shared_ptr<const QueryEngine> engine) {
+            // Install the successor's boundary before publishing the
+            // engine: post-swap queries must see the matching filter (the
+            // brief pre-swap window with the new boundary is invalidated
+            // by the epoch bump anyway).
+            if (!ghosts->empty()) {
+              remapped->InstallBoundary(ComputeShardBoundary(
+                  engine->index().base(), *global_of, *ghosts,
+                  AlgorithmRadii(*engine)));
+            }
             return service->SwapEngine(std::move(engine));
           });
       LiveUpdater* updater = shard->updater.get();
       service->set_updater([updater](std::span<const GraphUpdate> updates) {
         return updater->Apply(updates);
       });
+      service->set_rollbacker([updater] { return updater->Rollback(); });
     }
     substrate->shards_.push_back(std::move(shard));
   }
@@ -103,6 +129,16 @@ StatusOr<UpdateOutcome> InProcessSubstrate::Update(
   // The remapped service translates global -> local ids and skips edges this
   // shard does not own; without a wired updater it answers Unimplemented.
   return shards_[shard]->remapped->ApplyUpdate(updates);
+}
+
+StatusOr<uint64_t> InProcessSubstrate::Rollback(size_t shard) {
+  BIGINDEX_RETURN_IF_ERROR(CheckShard(shard));
+  return shards_[shard]->remapped->Rollback();
+}
+
+StatusOr<BoundaryExport> InProcessSubstrate::Boundary(size_t shard) {
+  BIGINDEX_RETURN_IF_ERROR(CheckShard(shard));
+  return shards_[shard]->remapped->Boundary();
 }
 
 }  // namespace bigindex

@@ -62,6 +62,8 @@ class InProcessSubstrate : public ShardSubstrate {
   StatusOr<uint64_t> BumpEpoch(size_t shard) override;
   StatusOr<UpdateOutcome> Update(size_t shard,
                                  std::span<const GraphUpdate> updates) override;
+  StatusOr<uint64_t> Rollback(size_t shard) override;
+  StatusOr<BoundaryExport> Boundary(size_t shard) override;
 
   /// The shard's serving stack (global-id view), e.g. to front one shard of
   /// this substrate with a TcpServer in tests.

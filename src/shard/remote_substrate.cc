@@ -114,4 +114,30 @@ StatusOr<uint64_t> RemoteSubstrate::BumpEpoch(size_t shard) {
       std::strtoull(head.c_str() + at + 6, nullptr, 10));
 }
 
+StatusOr<uint64_t> RemoteSubstrate::Rollback(size_t shard) {
+  BIGINDEX_RETURN_IF_ERROR(CheckShard(shard));
+  auto lines = RequestLocked(shard, "rollback");
+  if (!lines.ok()) return lines.status();
+  if (lines->empty()) return Status::IOError("empty rollback response");
+  const std::string& head = lines->front();
+  if (head.starts_with("ERR")) return ParseErrLine(head);
+  size_t at = head.find("epoch=");
+  if (!head.starts_with("OK") || at == std::string::npos) {
+    return Status::IOError("unexpected rollback response: '" + head + "'");
+  }
+  return static_cast<uint64_t>(
+      std::strtoull(head.c_str() + at + 6, nullptr, 10));
+}
+
+StatusOr<BoundaryExport> RemoteSubstrate::Boundary(size_t shard) {
+  BIGINDEX_RETURN_IF_ERROR(CheckShard(shard));
+  auto lines = RequestLocked(shard, "boundary");
+  if (!lines.ok()) return lines.status();
+  if (lines->empty()) return Status::IOError("empty boundary response");
+  if (lines->front().starts_with("ERR")) return ParseErrLine(lines->front());
+  BoundaryExport ex;
+  BIGINDEX_RETURN_IF_ERROR(ParseBoundaryBlock(*lines, &ex));
+  return ex;
+}
+
 }  // namespace bigindex

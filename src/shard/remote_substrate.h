@@ -46,6 +46,8 @@ class RemoteSubstrate : public ShardSubstrate {
   StatusOr<uint64_t> BumpEpoch(size_t shard) override;
   StatusOr<UpdateOutcome> Update(size_t shard,
                                  std::span<const GraphUpdate> updates) override;
+  StatusOr<uint64_t> Rollback(size_t shard) override;
+  StatusOr<BoundaryExport> Boundary(size_t shard) override;
 
  private:
   struct Shard {

@@ -19,6 +19,7 @@ StatusOr<BuiltShard> BuildShardFromPlan(const Graph& g,
   built.shard.shard_id = shard;
   built.shard.num_shards = static_cast<uint32_t>(plan.num_shards());
   built.shard.global_of = std::move(extract->global_of);
+  built.shard.ghosts = std::move(extract->ghosts);
   return built;
 }
 

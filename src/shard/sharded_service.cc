@@ -4,9 +4,39 @@
 #include <utility>
 
 #include "search/answer.h"
+#include "search/bidirectional.h"
+#include "search/bkws.h"
+#include "search/blinks.h"
+#include "search/rclique.h"
 #include "server/search_service.h"
 
 namespace bigindex {
+namespace {
+
+/// Mirrors QueryEngine's default registrations (query_engine.cc) for fleets
+/// that never customize configure_engine; nullptr for unknown names.
+std::unique_ptr<KeywordSearchAlgorithm> MakeDefaultAlgorithm(
+    const std::string& name) {
+  if (name == "bkws") return std::make_unique<BkwsAlgorithm>();
+  if (name == "blinks") return std::make_unique<BlinksAlgorithm>();
+  if (name == "r-clique") return std::make_unique<RCliqueAlgorithm>();
+  if (name == "bidirectional") {
+    return std::make_unique<BidirectionalAlgorithm>();
+  }
+  return nullptr;
+}
+
+/// The completion pass's anchor rule — must match ShardRemapService's
+/// (root for rooted semantics, else smallest keyword vertex; both survive
+/// the order-preserving remap, so region-local and global anchors agree).
+VertexId AnchorOf(const Answer& a) {
+  if (a.root != kInvalidVertex) return a.root;
+  if (a.keyword_vertices.empty()) return kInvalidVertex;
+  return *std::min_element(a.keyword_vertices.begin(),
+                           a.keyword_vertices.end());
+}
+
+}  // namespace
 
 ShardedSearchService::ShardedSearchService(ShardSubstrate* substrate,
                                            ShardedServiceOptions options)
@@ -75,8 +105,109 @@ Status ShardedSearchService::Attach() {
   for (const ShardInfo& info : infos) {
     num_layers_ = std::max(num_layers_, info.num_layers);
   }
+  InvalidateRegion();  // re-attach may follow a fleet rebuild
   attached_.store(true, std::memory_order_release);
   return Status::OK();
+}
+
+const KeywordSearchAlgorithm* ShardedSearchService::RegionState::Find(
+    const std::string& name) const {
+  auto it = std::lower_bound(
+      algos.begin(), algos.end(), name,
+      [](const auto& e, const std::string& n) { return e.first < n; });
+  if (it == algos.end() || it->first != name) return nullptr;
+  return it->second.get();
+}
+
+void ShardedSearchService::InvalidateRegion() {
+  std::lock_guard<std::mutex> lock(region_mutex_);
+  region_.reset();
+}
+
+StatusOr<std::shared_ptr<const ShardedSearchService::RegionState>>
+ShardedSearchService::EnsureRegion() {
+  std::lock_guard<std::mutex> lock(region_mutex_);
+  if (region_ != nullptr) return region_;
+  std::vector<BoundaryExport> exports;
+  exports.reserve(shards_.size());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    auto ex = substrate_->Boundary(s);
+    if (!ex.ok()) {
+      // allow_partial already trades exactness for availability on the
+      // query path; do the same here and assemble from the shards that
+      // answered (a missing cut-incident export surfaces as Corruption
+      // below). Without it, a dead shard fails the query.
+      if (options_.allow_partial) {
+        shard_failures_.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      return Status::Unavailable("shard " + std::to_string(s) +
+                                 " boundary fetch failed: " +
+                                 ex.status().ToString());
+    }
+    exports.push_back(std::move(ex).value());
+  }
+  auto assembled = AssembleBoundaryRegion(exports);
+  if (!assembled.ok()) return assembled.status();
+  auto state = std::make_shared<RegionState>();
+  state->region = std::move(assembled).value();
+  if (state->region.has_cut) {
+    for (const std::string& name : algorithms_) {
+      std::unique_ptr<KeywordSearchAlgorithm> algo =
+          options_.make_algorithm ? options_.make_algorithm(name)
+                                  : MakeDefaultAlgorithm(name);
+      if (algo == nullptr) continue;  // CompleteAcrossCut rejects the query
+      const uint32_t rho = algo->LocalityRadius();
+      if (2 * rho > state->region.radius_cap) {
+        return Status::FailedPrecondition(
+            "completion for '" + name + "' needs region radius " +
+            std::to_string(2 * rho) + " but the fleet exported only " +
+            std::to_string(state->region.radius_cap) +
+            " — worker and coordinator algorithm configurations disagree");
+      }
+      state->algos.emplace_back(name, std::move(algo));
+    }
+    // algorithms_ arrives in the workers' registration order; Find does a
+    // binary search by name.
+    std::sort(state->algos.begin(), state->algos.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+  }
+  region_ = std::move(state);
+  return region_;
+}
+
+StatusOr<std::vector<Answer>> ShardedSearchService::CompleteAcrossCut(
+    const RegionState& state, const EngineQuery& query) const {
+  const KeywordSearchAlgorithm* algo = state.Find(query.algorithm);
+  if (algo == nullptr) {
+    return Status::FailedPrecondition(
+        "fleet has a cut but the coordinator has no completion instance "
+        "for algorithm '" + query.algorithm +
+        "' (set ShardedServiceOptions::make_algorithm)");
+  }
+  const uint32_t rho = algo->LocalityRadius();
+  if (rho == 0) return std::vector<Answer>{};  // workers did not filter
+  std::vector<Answer> answers =
+      algo->Evaluate(state.region.graph, query.keywords);
+  std::vector<Answer> near;
+  for (Answer& a : answers) {
+    VertexId anchor = AnchorOf(a);
+    // Keep exactly the answers the workers withheld: anchored within rho of
+    // the cut. The region's extra vertices (between rho and the export cap)
+    // only exist so those answers score exactly; answers anchored out there
+    // are the far shards' responsibility and are dropped here.
+    if (anchor == kInvalidVertex ||
+        state.region.dist_to_cut[anchor] > rho) {
+      continue;
+    }
+    if (a.root != kInvalidVertex) a.root = state.region.global_of[a.root];
+    for (VertexId& v : a.vertices) v = state.region.global_of[v];
+    for (VertexId& v : a.keyword_vertices) {
+      v = state.region.global_of[v];
+    }
+    near.push_back(std::move(a));
+  }
+  return near;
 }
 
 StatusOr<QueryResult> ShardedSearchService::Query(EngineQuery query) {
@@ -102,6 +233,17 @@ StatusOr<QueryResult> ShardedSearchService::Query(EngineQuery query) {
     deadline_misses_.fetch_add(1, std::memory_order_relaxed);
     return Status::DeadlineExceeded("deadline expired before fan-out");
   }
+
+  // Boundary completion setup: with a cut in the fleet the workers withhold
+  // near answers and a per-shard top-k could displace a cut-crossing
+  // answer, so fan out (and cache) with top_k=0 and apply the caller's cut
+  // after the merge. Cut-free fleets take none of this path.
+  auto region_state = EnsureRegion();
+  if (!region_state.ok()) return region_state.status();
+  const std::shared_ptr<const RegionState>& region = *region_state;
+  const bool completing = region->region.has_cut;
+  const size_t original_top_k = query.eval.top_k;
+  if (completing) query.eval.top_k = 0;
 
   Timer timer;
   const size_t n = shards_.size();
@@ -181,9 +323,16 @@ StatusOr<QueryResult> ShardedSearchService::Query(EngineQuery query) {
                             std::make_move_iterator(answers.end()));
     }
   }
+  if (completing) {
+    auto near = CompleteAcrossCut(*region, query);
+    if (!near.ok()) return near.status();
+    merged.answers.insert(merged.answers.end(),
+                          std::make_move_iterator(near->begin()),
+                          std::make_move_iterator(near->end()));
+  }
   SortAnswers(merged.answers);
-  if (query.eval.top_k > 0 && merged.answers.size() > query.eval.top_k) {
-    merged.answers.resize(query.eval.top_k);
+  if (original_top_k > 0 && merged.answers.size() > original_top_k) {
+    merged.answers.resize(original_top_k);
   }
   merged.breakdown.final_answers = merged.answers.size();
   merged.wall_ms = timer.ElapsedMillis();
@@ -204,6 +353,77 @@ uint64_t ShardedSearchService::BumpEpoch() {
     }
     if (shards_[s]->cache != nullptr) shards_[s]->cache->Clear();
   }
+  InvalidateRegion();
+  const uint64_t epoch = epoch_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  epoch_changed_at_s_.store(uptime_.ElapsedSeconds(),
+                            std::memory_order_relaxed);
+  return epoch;
+}
+
+StatusOr<uint64_t> ShardedSearchService::Rollback() {
+  if (!attached()) {
+    return Status::FailedPrecondition("coordinator is not attached");
+  }
+  const size_t n = shards_.size();
+  std::vector<StatusOr<uint64_t>> per(
+      n, Status::Unavailable("shard rollback not run"));
+  pool_.ParallelFor(n, [&](size_t /*slot*/, size_t s) {
+    per[s] = substrate_->Rollback(s);
+  });
+
+  bool any_changed = false;
+  Status first_failure = Status::OK();
+  std::vector<bool> rolled(n, false);
+  for (size_t s = 0; s < n; ++s) {
+    if (!per[s].ok()) {
+      // A shard the last batch never touched retains no previous version
+      // and answers FailedPrecondition — that is "nothing to undo here",
+      // not a broadcast failure (a single-shard update must stay
+      // reversible fleet-wide).
+      if (per[s].status().code() == StatusCode::kFailedPrecondition) continue;
+      shard_failures_.fetch_add(1, std::memory_order_relaxed);
+      if (first_failure.ok()) first_failure = per[s].status();
+      continue;
+    }
+    any_changed = true;
+    rolled[s] = true;
+    shards_[s]->epoch.store(*per[s], std::memory_order_release);
+    if (shards_[s]->cache != nullptr) shards_[s]->cache->Clear();
+  }
+  InvalidateRegion();
+  if (!first_failure.ok()) {
+    if (any_changed) {
+      // Partially rolled back: advance our epoch so clients re-query
+      // through fresh caches; a retry re-broadcasts (already-rolled-back
+      // shards then answer FailedPrecondition, which the retry skips).
+      epoch_.fetch_add(1, std::memory_order_acq_rel);
+      epoch_changed_at_s_.store(uptime_.ElapsedSeconds(),
+                                std::memory_order_relaxed);
+    }
+    return first_failure;
+  }
+  if (!any_changed) {
+    return Status::FailedPrecondition(
+        "no shard had a previous index version to restore");
+  }
+
+  // Fleet-coherence check: every rolled-back shard must still report the
+  // epoch its rollback returned — an update racing the broadcast would
+  // leave the fleet serving mixed generations behind our freshly cleared
+  // caches.
+  for (size_t s = 0; s < n; ++s) {
+    if (!rolled[s]) continue;
+    auto info = substrate_->Info(s);
+    if (!info.ok()) return info.status();
+    if (info->epoch != *per[s]) {
+      shards_[s]->epoch.store(info->epoch, std::memory_order_release);
+      return Status::FailedPrecondition(
+          "shard " + std::to_string(s) + " epoch moved during rollback (" +
+          std::to_string(*per[s]) + " -> " + std::to_string(info->epoch) +
+          "); a concurrent update raced the broadcast");
+    }
+  }
+  rollbacks_.fetch_add(1, std::memory_order_relaxed);
   const uint64_t epoch = epoch_.fetch_add(1, std::memory_order_acq_rel) + 1;
   epoch_changed_at_s_.store(uptime_.ElapsedSeconds(),
                             std::memory_order_relaxed);
@@ -246,6 +466,9 @@ StatusOr<UpdateOutcome> ShardedSearchService::ApplyUpdate(
       if (shards_[s]->cache != nullptr) shards_[s]->cache->Clear();
     }
   }
+  // An applied update can move edges near the cut, so the workers' exports
+  // (recomputed at their engine swaps) may differ: re-assemble lazily.
+  if (any_changed || !first_failure.ok()) InvalidateRegion();
   if (!first_failure.ok()) {
     updates_rejected_.fetch_add(1, std::memory_order_relaxed);
     if (any_changed) {
@@ -307,6 +530,7 @@ ServiceStats ShardedSearchService::Snapshot() const {
   s.updates_applied = updates_applied_.load(std::memory_order_relaxed);
   s.updates_rejected = updates_rejected_.load(std::memory_order_relaxed);
   s.update_fallbacks = update_fallbacks_.load(std::memory_order_relaxed);
+  s.rollbacks = rollbacks_.load(std::memory_order_relaxed);
   s.p50_ms = latency_.Quantile(0.50);
   s.p95_ms = latency_.Quantile(0.95);
   s.p99_ms = latency_.Quantile(0.99);

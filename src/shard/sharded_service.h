@@ -18,6 +18,21 @@
 // top-k cut the merged ranking equals the monolithic ranking whenever
 // scores are exact (layer 0, or exact mode's verified scores).
 //
+// Boundary completion (DESIGN.md §9): under bfs-mode plans the fleet has a
+// cut, and workers withhold answers anchored within the algorithm's
+// locality radius rho of it (ShardRemapService's near-answer filter — those
+// answers could be wrong or missing locally). The coordinator lazily
+// assembles the per-shard BoundaryExports into one region graph, evaluates
+// the query on it with its own algorithm instances, and keeps exactly the
+// answers anchored within rho of the cut; the region covers every vertex
+// and edge within 2*rho, so those answers and scores are exact. Far worker
+// answers plus near region answers partition the monolithic answer set, so
+// bfs-mode serving is exact too. While a cut exists, fan-out queries are
+// rewritten to top_k=0 (a per-shard cut could displace a cut-crossing
+// answer) and the caller's top-k is applied after the merge. The region is
+// invalidated by BumpEpoch/ApplyUpdate/Rollback — like the per-shard
+// caches, mutate the fleet *through the coordinator*.
+//
 // Caches are per shard and epoch-keyed: the coordinator tracks each shard's
 // epoch (learned at Attach, advanced by BumpEpoch) and keys shard s's cache
 // on (epoch_s, query identity). A repeat query after one shard's rebuild
@@ -35,15 +50,18 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "core/search_algorithm.h"
 #include "engine/executor.h"
 #include "server/answer_cache.h"
 #include "server/query_service.h"
+#include "shard/boundary.h"
 #include "shard/substrate.h"
 #include "util/timer.h"
 
@@ -69,6 +87,18 @@ struct ShardedServiceOptions {
   /// exactness, counted in stats. If false (default), any shard failure
   /// fails the query with that shard's status.
   bool allow_partial = false;
+
+  /// Factory for the completion pass's algorithm instances, called once per
+  /// fleet algorithm name when the boundary region is (re)assembled. MUST
+  /// construct instances configured identically to the workers' (same
+  /// options the workers' configure_engine applied), or the near answers
+  /// re-derived on the region diverge from what the workers withheld.
+  /// Unset = the engine's default registrations (bkws, blinks, r-clique,
+  /// bidirectional with default options). Returning nullptr for a name
+  /// fails that algorithm's queries whenever the fleet has a cut.
+  std::function<std::unique_ptr<KeywordSearchAlgorithm>(
+      const std::string& name)>
+      make_algorithm;
 };
 
 class ShardedSearchService : public QueryService {
@@ -114,6 +144,21 @@ class ShardedSearchService : public QueryService {
   StatusOr<UpdateOutcome> ApplyUpdate(
       std::span<const GraphUpdate> updates) override;
 
+  /// Broadcasts ROLLBACK to every shard in parallel, then verifies fleet
+  /// coherence: each rolled-back shard must still report the epoch its
+  /// rollback returned (a concurrent update racing the broadcast would
+  /// leave the fleet serving mixed generations — that surfaces as
+  /// FailedPrecondition, and the caches/region are already invalidated so
+  /// nothing stale is served either way). Shards that retain no previous
+  /// version answer FailedPrecondition and are skipped — a single-shard
+  /// update stays reversible fleet-wide; if NO shard rolled back the call
+  /// itself returns FailedPrecondition. On success clears the rolled-back
+  /// shards' coordinator caches and returns the coordinator's new epoch.
+  /// A shard failure mid-broadcast leaves the fleet partially rolled back;
+  /// the returned status names the first failing shard and a retry
+  /// re-broadcasts (already-rolled-back shards are then skipped as above).
+  StatusOr<uint64_t> Rollback() override;
+
   bool attached() const { return attached_.load(std::memory_order_acquire); }
   size_t num_shards() const { return substrate_->num_shards(); }
 
@@ -122,6 +167,30 @@ class ShardedSearchService : public QueryService {
     std::unique_ptr<AnswerCache> cache;  // null when caching is disabled
     std::atomic<uint64_t> epoch{1};      // the shard's epoch as last seen
   };
+
+  /// Lazily assembled completion state: the region plus the coordinator's
+  /// own algorithm instances (with their locality radii). Immutable once
+  /// published; rebuilt after every invalidation.
+  struct RegionState {
+    BoundaryRegion region;
+    std::vector<std::pair<std::string,
+                          std::unique_ptr<KeywordSearchAlgorithm>>>
+        algos;  // ascending by name
+
+    const KeywordSearchAlgorithm* Find(const std::string& name) const;
+  };
+
+  /// Returns the current region state, fetching every shard's boundary and
+  /// assembling on first use after an invalidation. Unavailable when a
+  /// shard's boundary cannot be fetched.
+  StatusOr<std::shared_ptr<const RegionState>> EnsureRegion();
+  void InvalidateRegion();
+
+  /// Evaluates `query` on the region and returns the near answers (anchor
+  /// within the algorithm's locality radius of the cut), remapped to global
+  /// ids — exactly the answers the workers withheld.
+  StatusOr<std::vector<Answer>> CompleteAcrossCut(
+      const RegionState& state, const EngineQuery& query) const;
 
   ShardSubstrate* substrate_;
   ShardedServiceOptions options_;
@@ -144,6 +213,10 @@ class ShardedSearchService : public QueryService {
   std::atomic<uint64_t> updates_applied_{0};
   std::atomic<uint64_t> updates_rejected_{0};
   std::atomic<uint64_t> update_fallbacks_{0};
+  std::atomic<uint64_t> rollbacks_{0};
+
+  mutable std::mutex region_mutex_;
+  std::shared_ptr<const RegionState> region_;  // null = needs (re)assembly
   std::atomic<double> epoch_changed_at_s_{0};  // uptime-relative, like
                                                // SearchService's
   LatencyHistogram latency_;

@@ -76,6 +76,22 @@ class ShardSubstrate {
     (void)updates;
     return Status::Unimplemented("substrate is read-only");
   }
+
+  /// Re-publishes shard `shard`'s previous retained index version (the
+  /// ROLLBACK verb) and returns its new epoch. Unimplemented default, like
+  /// Update.
+  virtual StatusOr<uint64_t> Rollback(size_t shard) {
+    (void)shard;
+    return Status::Unimplemented("substrate retains no previous version");
+  }
+
+  /// Shard `shard`'s boundary export (the BOUNDARY verb; DESIGN.md §9).
+  /// Ghost-free shards return an empty export. The coordinator assembles
+  /// the exports into the region its completion pass evaluates on.
+  virtual StatusOr<BoundaryExport> Boundary(size_t shard) {
+    (void)shard;
+    return BoundaryExport{};
+  }
 };
 
 }  // namespace bigindex

@@ -22,6 +22,7 @@
 #include "search/answer.h"
 #include "search/partitioner.h"
 #include "search/rclique.h"
+#include "shard/shard_build.h"
 #include "testing/random_graph.h"
 #include "util/random.h"
 
@@ -166,25 +167,64 @@ TEST(ExtractShard, OrderPreservingRemapAndEdgeAccounting) {
       auto plan = PlanShards(
           g, {.num_shards = 3, .mode = mode, .bfs_block_size = 16});
       ASSERT_TRUE(plan.ok());
-      size_t edges = 0;
+      size_t edges = 0, cut_copies = 0;
       for (uint32_t s = 0; s < plan->num_shards(); ++s) {
         auto ex = ExtractShard(g, *plan, s);
         ASSERT_TRUE(ex.ok()) << ex.status().ToString();
         std::span<const VertexId> members = plan->ShardMembers(s);
-        ASSERT_EQ(ex->global_of.size(), members.size());
-        ASSERT_EQ(ex->graph.NumVertices(), members.size());
-        // Local id i is the i-th smallest global member: the remap is the
-        // sorted member list itself.
-        EXPECT_TRUE(std::equal(ex->global_of.begin(), ex->global_of.end(),
-                               members.begin(), members.end()));
-        // Labels ride along unchanged.
+        // global_of covers members plus materialized ghosts, and local id i
+        // is the i-th smallest global id of that union (order-preserving).
+        ASSERT_EQ(ex->global_of.size(), members.size() + ex->ghosts.size());
+        ASSERT_EQ(ex->graph.NumVertices(), ex->global_of.size());
+        ASSERT_TRUE(std::is_sorted(ex->global_of.begin(),
+                                   ex->global_of.end()));
+        ASSERT_TRUE(std::adjacent_find(ex->global_of.begin(),
+                                       ex->global_of.end()) ==
+                    ex->global_of.end());
+        // Stripping the ghosts leaves exactly the sorted member list.
+        std::set<VertexId> ghost_locals(ex->ghosts.begin(),
+                                        ex->ghosts.end());
+        std::vector<VertexId> owned;
+        for (VertexId local = 0; local < ex->graph.NumVertices(); ++local) {
+          if (!ghost_locals.count(local)) {
+            owned.push_back(ex->global_of[local]);
+          }
+        }
+        EXPECT_TRUE(std::equal(owned.begin(), owned.end(), members.begin(),
+                               members.end()));
+        if (mode == ShardMode::kConnectivityClosed) {
+          EXPECT_TRUE(ex->ghosts.empty());
+        }
+        // Labels ride along unchanged, ghosts included.
         for (VertexId local = 0; local < ex->graph.NumVertices(); ++local) {
           EXPECT_EQ(ex->graph.label(local), g.label(ex->global_of[local]));
         }
         edges += ex->graph.NumEdges();
+        // Every incident cut edge is materialized in this shard.
+        for (const CutEdge& e : plan->CutEdges()) {
+          if (plan->ShardOf(e.source) != s && plan->ShardOf(e.target) != s) {
+            continue;
+          }
+          ++cut_copies;
+          auto local_of = [&](VertexId global, VertexId* local) {
+            auto it = std::lower_bound(ex->global_of.begin(),
+                                       ex->global_of.end(), global);
+            if (it == ex->global_of.end() || *it != global) return false;
+            *local = static_cast<VertexId>(it - ex->global_of.begin());
+            return true;
+          };
+          VertexId lu, lv;
+          ASSERT_TRUE(local_of(e.source, &lu) && local_of(e.target, &lv));
+          auto out = ex->graph.OutNeighbors(lu);
+          EXPECT_TRUE(std::find(out.begin(), out.end(), lv) != out.end())
+              << "cut edge " << e.source << "->" << e.target
+              << " missing in shard " << s;
+        }
       }
-      // Every edge is either in exactly one shard subgraph or in the cut.
-      EXPECT_EQ(edges + plan->CutEdges().size(), g.NumEdges());
+      // Every intra-shard edge lands in exactly one shard subgraph; every
+      // cut edge is materialized in both incident shards.
+      EXPECT_EQ(cut_copies, 2 * plan->CutEdges().size());
+      EXPECT_EQ(edges, g.NumEdges() + plan->CutEdges().size());
     }
   }
 }
@@ -194,6 +234,93 @@ TEST(ExtractShard, RejectsOutOfRangeShard) {
   auto plan = PlanShards(g, {.num_shards = 2});
   ASSERT_TRUE(plan.ok());
   EXPECT_FALSE(ExtractShard(g, *plan, 2).ok());
+}
+
+// --- Ghost / cut-manifest invariants (DESIGN.md §9) -----------------------
+
+TEST(GhostManifest, RemapRoundTripsOver50Seeds) {
+  for (int seed = 1; seed <= kSeeds; ++seed) {
+    Graph g = MakeRandomGraph(GraphOptions(seed));
+    for (size_t n : {2u, 4u}) {
+      auto plan = PlanShards(g, {.num_shards = n,
+                                 .mode = ShardMode::kBfsBlocks,
+                                 .bfs_block_size = 16});
+      ASSERT_TRUE(plan.ok());
+      for (uint32_t s = 0; s < n; ++s) {
+        auto ex = ExtractShard(g, *plan, s);
+        ASSERT_TRUE(ex.ok());
+        ASSERT_TRUE(std::is_sorted(ex->ghosts.begin(), ex->ghosts.end()));
+        ASSERT_TRUE(std::adjacent_find(ex->ghosts.begin(),
+                                       ex->ghosts.end()) ==
+                    ex->ghosts.end());
+        // global -> local -> global is the identity for every materialized
+        // vertex: the remap is a strictly ascending bijection onto locals.
+        for (VertexId local = 0; local < ex->graph.NumVertices(); ++local) {
+          VertexId global = ex->global_of[local];
+          auto it = std::lower_bound(ex->global_of.begin(),
+                                     ex->global_of.end(), global);
+          ASSERT_TRUE(it != ex->global_of.end() && *it == global);
+          ASSERT_EQ(static_cast<VertexId>(it - ex->global_of.begin()),
+                    local);
+        }
+        // Ghosts are exactly the foreign endpoints of this shard's
+        // incident cut edges — no more, no fewer — and each is owned by a
+        // different shard.
+        std::set<VertexId> expected_ghosts;
+        for (const CutEdge& e : plan->CutEdges()) {
+          if (plan->ShardOf(e.source) == s) expected_ghosts.insert(e.target);
+          if (plan->ShardOf(e.target) == s) expected_ghosts.insert(e.source);
+        }
+        std::set<VertexId> actual_ghosts;
+        for (VertexId local : ex->ghosts) {
+          ASSERT_LT(local, ex->graph.NumVertices());
+          VertexId global = ex->global_of[local];
+          EXPECT_NE(plan->ShardOf(global), s);
+          // "Exactly once": inserting twice would mean a duplicate.
+          EXPECT_TRUE(actual_ghosts.insert(global).second);
+        }
+        EXPECT_EQ(actual_ghosts, expected_ghosts)
+            << "seed " << seed << " shard " << s << "/" << n;
+      }
+    }
+  }
+}
+
+TEST(GhostManifest, StableAcrossBuildThreadCounts) {
+  for (int seed : {3, 29}) {
+    Graph g = MakeRandomGraph(GraphOptions(seed));
+    Ontology ontology =
+        MakeRandomOntologyDag({.num_leaves = 6, .height = 3, .seed = 7});
+    std::vector<std::vector<VertexId>> global_of, ghosts;
+    std::vector<std::vector<CutEdge>> cuts;
+    for (size_t threads : {0u, 4u}) {
+      ShardBuildOptions opts;
+      opts.plan = {.num_shards = 3, .mode = ShardMode::kBfsBlocks,
+                   .bfs_block_size = 16};
+      opts.index = {.max_layers = 2, .build = {.num_threads = threads}};
+      auto sharded = BuildShardedIndex(g, &ontology, opts);
+      ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
+      std::vector<VertexId> flat_global, flat_ghosts;
+      for (const BuiltShard& built : sharded->shards) {
+        flat_global.insert(flat_global.end(), built.shard.global_of.begin(),
+                           built.shard.global_of.end());
+        flat_ghosts.insert(flat_ghosts.end(), built.shard.ghosts.begin(),
+                           built.shard.ghosts.end());
+      }
+      global_of.push_back(std::move(flat_global));
+      ghosts.push_back(std::move(flat_ghosts));
+      cuts.emplace_back(sharded->plan.CutEdges().begin(),
+                        sharded->plan.CutEdges().end());
+    }
+    // The plan, the remaps, and the ghost sets are functions of the graph
+    // alone — build parallelism must not leak into them.
+    EXPECT_EQ(global_of[0], global_of[1]) << "seed " << seed;
+    EXPECT_EQ(ghosts[0], ghosts[1]) << "seed " << seed;
+    ASSERT_EQ(cuts[0].size(), cuts[1].size());
+    for (size_t i = 0; i < cuts[0].size(); ++i) {
+      EXPECT_EQ(cuts[0][i], cuts[1][i]);
+    }
+  }
 }
 
 // --- Sharded-vs-monolithic differential ----------------------------------

@@ -55,6 +55,7 @@
 #include <cstring>
 #include <fstream>
 #include <memory>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -426,11 +427,20 @@ int CmdShard(int argc, char** argv) {
   std::printf("shard plan: %zu shard(s) over |V|=%zu, mode=%s\n", n,
               plan->NumVertices(),
               plan->mode() == ShardMode::kConnectivityClosed ? "wcc" : "bfs");
+  // Ghosts a bfs-mode extraction will materialize per shard: the distinct
+  // foreign endpoints of each shard's incident cut edges. This is what the
+  // coordinator's completion pass costs scale with (DESIGN.md §9).
+  std::vector<std::set<VertexId>> ghosts(n);
+  for (const CutEdge& e : plan->CutEdges()) {
+    ghosts[plan->ShardOf(e.source)].insert(e.target);
+    ghosts[plan->ShardOf(e.target)].insert(e.source);
+  }
   for (uint32_t s = 0; s < n; ++s) {
     size_t size = plan->ShardMembers(s).size();
     min_size = std::min(min_size, size);
     max_size = std::max(max_size, size);
-    std::printf("  shard %-4u |V|=%zu\n", s, size);
+    std::printf("  shard %-4u |V|=%zu ghosts=%zu\n", s, size,
+                ghosts[s].size());
   }
   double ideal = static_cast<double>(plan->NumVertices()) / n;
   std::printf("balance: min=%zu max=%zu ideal=%.1f imbalance=%.3f\n",
@@ -450,9 +460,10 @@ int CmdShard(int argc, char** argv) {
   std::printf("built %zu shard index(es) in %.1f ms; wrote:\n",
               sharded->shards.size(), t.ElapsedMillis());
   for (const BuiltShard& shard : sharded->shards) {
-    std::printf("  %s\n",
+    std::printf("  %s (|V|=%zu, %zu ghost(s))\n",
                 ShardImagePath(prefix, shard.shard.shard_id,
-                               shard.shard.num_shards).c_str());
+                               shard.shard.num_shards).c_str(),
+                shard.shard.global_of.size(), shard.shard.ghosts.size());
   }
   return 0;
 }

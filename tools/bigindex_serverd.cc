@@ -98,19 +98,24 @@ int Usage() {
 /// Builds a LiveUpdater over `index`/`engine` and wires it to `service`
 /// (swap hook + write path + rollback path). Shared by the monolithic and
 /// shard-worker modes; the caller keeps the returned updater alive next to
-/// the service.
+/// the service. `before_swap` (optional) runs on each successor engine
+/// before publication — shard workers use it to reinstall the boundary
+/// filter matching the new graph.
 std::unique_ptr<LiveUpdater> WireLiveUpdater(
     std::shared_ptr<const BigIndex> index,
     std::shared_ptr<const QueryEngine> engine,
     const QueryEngineOptions& engine_opts, double fallback_ratio,
-    SearchService* service) {
+    SearchService* service,
+    std::function<void(const QueryEngine&)> before_swap = {}) {
   LiveUpdaterOptions opts;
   opts.maintain.fallback_dirty_ratio = fallback_ratio;
   opts.engine = engine_opts;
   auto updater = std::make_unique<LiveUpdater>(std::move(index),
                                                std::move(engine),
                                                std::move(opts));
-  updater->set_swap([service](std::shared_ptr<const QueryEngine> next) {
+  updater->set_swap([service, before_swap = std::move(before_swap)](
+                        std::shared_ptr<const QueryEngine> next) {
+    if (before_swap) before_swap(*next);
     return service->SwapEngine(std::move(next));
   });
   LiveUpdater* raw = updater.get();
@@ -400,13 +405,33 @@ int Run(int argc, char** argv) {
         .shard_id = static_cast<uint32_t>(shard_of),
         .num_shards = static_cast<uint32_t>(plan_opts.num_shards),
     });
+    // The remap/ghost tables are shared with the updater's swap hook: every
+    // published successor graph gets a freshly computed boundary filter.
+    auto global_of = std::make_shared<const std::vector<VertexId>>(
+        std::move(built->shard.global_of));
+    auto ghosts = std::make_shared<const std::vector<VertexId>>(
+        std::move(built->shard.ghosts));
+    ShardRemapService remapped(&service, *global_of, *ghosts);
+    if (!ghosts->empty()) {
+      remapped.InstallBoundary(ComputeShardBoundary(
+          engine->index().base(), *global_of, *ghosts,
+          AlgorithmRadii(*engine)));
+      std::fprintf(stderr, "shard %d/%zu: %zu ghost vertices materialized\n",
+                   shard_of, plan_opts.num_shards, ghosts->size());
+    }
     std::unique_ptr<LiveUpdater> updater;
     if (live_updates) {
-      updater = WireLiveUpdater(std::move(shard_index), engine, engine_opts,
-                                update_fallback_ratio, &service);
+      ShardRemapService* remapped_ptr = &remapped;
+      updater = WireLiveUpdater(
+          std::move(shard_index), engine, engine_opts, update_fallback_ratio,
+          &service,
+          [remapped_ptr, global_of, ghosts](const QueryEngine& next) {
+            if (ghosts->empty()) return;
+            remapped_ptr->InstallBoundary(ComputeShardBoundary(
+                next.index().base(), *global_of, *ghosts,
+                AlgorithmRadii(next)));
+          });
     }
-    ShardRemapService remapped(&service,
-                               std::move(built->shard.global_of));
     TcpServer server(&remapped, ds->dict.get(), tcp);
     Status started = server.Start();
     if (!started.ok()) {

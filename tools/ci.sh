@@ -31,12 +31,14 @@ cmake --build build-tsan -j"$JOBS" --target bigindex_tests bigindex_serverd \
   bigindex_client
 # halt_on_error makes any race a hard failure rather than a log line. The
 # shard and update differential gates run at reduced seeds under TSan (full
-# strength in the tier-1 pass above); the coordinator fan-out, substrates,
-# protocol client, live updater, and the cache-epoch race test run in full.
+# strength in the tier-1 pass above) — ShardDifferentialGate covers BOTH
+# shard modes (wcc and bfs with boundary completion); the ghost-manifest
+# invariants, coordinator fan-out, substrates, protocol client, live
+# updater, and the cache-epoch race test run in full.
 TSAN_OPTIONS="halt_on_error=1" BIGINDEX_SHARD_GATE_SEEDS=5 \
   BIGINDEX_UPDATE_GATE_SEEDS=5 \
   ./build-tsan/tests/bigindex_tests \
-  --gtest_filter='ExecutorPool*:QueryContext*:QueryEngine*:Deadline*:AnswerCache*:SearchService*:LineProtocol*:TcpServer*:Metrics*:Trace*:ParallelBisim*:BuildDeterminism*:CsrDifferential*:ShardCoordinator*:ShardSubstrate*:ShardDifferentialGate*:ProtocolClient*:InfoVerb*:NormalizeUpdates*:IncrementalBisim*:MaintainIndex*:VersionStore*:LiveUpdater*:ServiceUpdate*:CacheEpochRace*:UpdateProtocol*:UpdateVerb*:ShardedUpdate*:UpdateDifferentialGate*'
+  --gtest_filter='ExecutorPool*:QueryContext*:QueryEngine*:Deadline*:AnswerCache*:SearchService*:LineProtocol*:TcpServer*:Metrics*:Trace*:ParallelBisim*:BuildDeterminism*:CsrDifferential*:ShardCoordinator*:ShardSubstrate*:ShardDifferentialGate*:ExtractShard*:GhostManifest*:ShardImage*:ProtocolClient*:InfoVerb*:NormalizeUpdates*:IncrementalBisim*:MaintainIndex*:VersionStore*:LiveUpdater*:ServiceUpdate*:CacheEpochRace*:UpdateProtocol*:UpdateVerb*:ShardedUpdate*:UpdateDifferentialGate*'
 
 echo
 echo "=== tsan: multi-process coordinator/shard integration ==="
